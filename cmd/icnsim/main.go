@@ -1,0 +1,304 @@
+// Command icnsim regenerates the paper's tables and figures from the
+// request-level cache simulator.
+//
+// Usage:
+//
+//	icnsim -exp table2|fig1|fig2|fig6|fig7|table3|fig8a|fig8b|fig8c|table4|fig9|fig10 \
+//	       [-scale 0.1] [-seed N] [-arity 2] [-depth 5] [-budget 0.05] \
+//	       [-alpha 1.04] [-objects N] [-sweep-topology ATT]
+//	icnsim -exp sens-latency|sens-capacity|sens-objsize|sens-policy|ablation-universe
+//	icnsim -exp all     # everything, in paper order
+//
+// Scale 1 is paper scale (the 1.8M-request Asia workload); the default 0.05
+// finishes in minutes on a laptop core. Output is aligned text, one table
+// per experiment, matching the rows/series of the paper's evaluation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"idicn/internal/experiments"
+	"idicn/internal/topo"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id (see package comment)")
+		scale     = flag.Float64("scale", 0.05, "workload scale; 1 = paper scale")
+		seed      = flag.Int64("seed", 0, "override base seed (0 keeps the default)")
+		arity     = flag.Int("arity", 0, "override access-tree arity")
+		depth     = flag.Int("depth", 0, "override access-tree depth")
+		budget    = flag.Float64("budget", 0, "override per-router budget fraction F")
+		alpha     = flag.Float64("alpha", 0, "override Zipf alpha")
+		objects   = flag.Int("objects", 0, "override object-universe size")
+		sweepTopo = flag.String("sweep-topology", "", "topology for the sensitivity sweeps (default ATT)")
+		locality  = flag.Float64("locality", 0, "temporal locality of the request stream (0=IID, ~0.7=trace-like)")
+		topoFile  = flag.String("topology-file", "", "load a custom sweep topology from a file (see internal/topo/parse.go for the format)")
+		traceFile = flag.String("trace", "", "request log (tracegen format) for the trace-designs experiment")
+		seeds     = flag.Int("seeds", 5, "independent seeds for the variance experiment")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams(*scale)
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *arity != 0 {
+		p.Arity = *arity
+	}
+	if *depth != 0 {
+		p.Depth = *depth
+	}
+	if *budget != 0 {
+		p.BudgetFraction = *budget
+	}
+	if *alpha != 0 {
+		p.Alpha = *alpha
+	}
+	if *objects != 0 {
+		p.Objects = *objects
+	}
+	if *sweepTopo != "" {
+		p.SweepTopology = *sweepTopo
+	}
+	if *locality != 0 {
+		p.TemporalLocality = *locality
+	}
+	p.TraceFile = *traceFile
+	p.VarianceSeeds = *seeds
+	if *topoFile != "" {
+		tp, err := topo.LoadTopology(*topoFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icnsim: %v\n", err)
+			os.Exit(1)
+		}
+		p.CustomTopology = tp
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{
+			"table2", "fig2", "fig6", "fig7", "table3",
+			"fig8a", "fig8b", "fig8c", "table4", "table4-norm", "fig9", "fig10",
+			"sens-latency", "sens-capacity", "sens-objsize", "sens-policy",
+			"flood", "depth-profile", "ablation-universe", "ablation-lookup", "ablation-deployment", "ablation-locality", "ablation-policy", "ablation-warmup", "ablation-coop",
+		}
+	}
+	for _, id := range ids {
+		if err := run(strings.TrimSpace(id), p); err != nil {
+			fmt.Fprintf(os.Stderr, "icnsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(id string, p experiments.Params) error {
+	start := time.Now()
+	var out string
+	var title string
+	switch id {
+	case "table2":
+		title = "Table 2: Zipf fits of the three CDN vantage points"
+		rows, err := experiments.Table2(p.Scale)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatTable2(rows)
+	case "fig1":
+		title = "Figure 1: request popularity rank/frequency series"
+		series, err := experiments.Figure1Series(p.Scale, 0)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatFigure1(series, 20)
+	case "fig2":
+		title = "Figure 2: fraction of requests served per tree level (optimal placement)"
+		out = experiments.FormatFigure2(experiments.Figure2())
+	case "fig6":
+		title = "Figure 6: improvements over no caching (population-proportional budgets)"
+		rows, err := experiments.Figure6(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatFigure(rows)
+	case "fig7":
+		title = "Figure 7: improvements over no caching (uniform budgets)"
+		rows, err := experiments.Figure7(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatFigure(rows)
+	case "table3":
+		title = "Table 3: ICN-NR vs EDGE latency gap, trace vs best-fit synthetic"
+		rows, err := experiments.Table3(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatTable3(rows)
+	case "fig8a":
+		title = "Figure 8(a): NR-over-EDGE gap vs Zipf alpha"
+		pts, err := experiments.Figure8a(p, nil)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatSweep("alpha", pts)
+	case "fig8b":
+		title = "Figure 8(b): NR-over-EDGE gap vs per-router cache budget (%)"
+		pts, err := experiments.Figure8b(p, nil)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatSweep("budget%", pts)
+	case "fig8c":
+		title = "Figure 8(c): NR-over-EDGE gap vs spatial skew"
+		pts, err := experiments.Figure8c(p, nil)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatSweep("skew", pts)
+	case "table4":
+		title = "Table 4: NR-over-EDGE gains vs access-tree arity (64 leaves/tree)"
+		rows, err := experiments.Table4(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatTable4(rows)
+	case "table4-norm":
+		title = "Table 4 variant: arity sweep against EDGE-Norm (equal budgets)"
+		rows, err := experiments.Table4Normalized(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatTable4(rows)
+	case "fig9":
+		title = "Figure 9: progressive best case for ICN-NR"
+		steps, err := experiments.Figure9(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatFigure9(steps)
+	case "fig10":
+		title = "Figure 10: bridging the best-case gap with EDGE extensions"
+		rows, err := experiments.Figure10(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatFigure10(rows)
+	case "sens-latency":
+		title = "Sensitivity: latency models (§5.1)"
+		rows, err := experiments.SensitivityLatencyModels(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatNamedGaps("model", rows)
+	case "sens-capacity":
+		title = "Sensitivity: per-node serving capacity (§5.1)"
+		rows, err := experiments.SensitivityCapacity(p, nil)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatNamedGaps("capacity", rows)
+	case "sens-objsize":
+		title = "Sensitivity: heterogeneous object sizes (§5.1)"
+		rows, err := experiments.SensitivityObjectSizes(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatNamedGaps("sizes", rows)
+	case "sens-policy":
+		title = "Sensitivity: LRU vs LFU cache management (§3)"
+		rows, err := experiments.SensitivityPolicy(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatNamedGaps("policy", rows)
+	case "flood":
+		title = "Flood protection (§7): origin-load absorption under a flash crowd"
+		rows, err := experiments.FloodProtection(p, 0.3)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatFlood(rows)
+	case "ablation-lookup":
+		title = "Ablation: charging nearest-replica lookup a latency cost (hops)"
+		pts, err := experiments.AblationLookupCost(p, nil)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatSweep("penalty", pts)
+	case "ablation-deployment":
+		title = "Ablation: incremental deployment (EDGE caches at a growing fraction of PoPs)"
+		rows, err := experiments.AblationIncrementalDeployment(p, nil)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatDeployment(rows)
+	case "ablation-locality":
+		title = "Ablation: temporal locality in the request stream vs NR-over-EDGE gap"
+		pts, err := experiments.AblationTemporalLocality(p, nil)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatSweep("locality", pts)
+	case "depth-profile":
+		title = "Serve-depth profile: where requests are served (simulated vs Figure 2 model)"
+		profiles, analytic, err := experiments.ServeDepthProfile(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatDepthProfile(profiles, analytic)
+	case "trace-designs":
+		title = "Trace-driven designs: five architectures on a request log file"
+		if p.TraceFile == "" {
+			return fmt.Errorf("trace-designs requires -trace <file>")
+		}
+		rows, err := experiments.TraceDrivenDesigns(p, p.TraceFile)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatFigure(rows)
+	case "variance":
+		title = "Seed variance of the NR-over-EDGE gap"
+		rows, err := experiments.SeedVariance(p, p.VarianceSeeds)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatVariance(rows)
+	case "ablation-policy":
+		title = "Ablation: LRU/LFU vs Belady's offline optimum at the leaf caches"
+		rows, err := experiments.AblationPolicyOptimality(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatPolicyOptimality(rows)
+	case "ablation-coop":
+		title = "Ablation: cooperative search scope of EDGE vs the ICN-NR gap"
+		pts, err := experiments.AblationCoopScope(p, nil)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatSweep("scope", pts)
+	case "ablation-warmup":
+		title = "Ablation: warmup fraction excluded from metrics vs NR-over-EDGE gap"
+		pts, err := experiments.AblationWarmup(p, nil)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatSweep("warmup", pts)
+	case "ablation-universe":
+		title = "Ablation: object-universe size (workload warmth) vs design improvements"
+		rows, err := experiments.AblationObjectUniverse(p, nil)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatAblation(rows)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	fmt.Printf("== %s ==\n%s(%s, scale=%g)\n\n", title, out, time.Since(start).Round(time.Millisecond), p.Scale)
+	return nil
+}

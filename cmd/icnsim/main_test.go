@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+
+	"idicn/internal/experiments"
+)
+
+// Exercise the experiment dispatcher for a cheap subset, plus the unknown-id
+// error path.
+func TestRunDispatch(t *testing.T) {
+	p := experiments.DefaultParams(0.001)
+	p.Depth = 2
+	p.SweepTopology = "Abilene"
+	for _, id := range []string{"fig2", "table2", "fig1", "sens-policy"} {
+		if err := run(id, p); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+	if err := run("nonsense", p); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run("trace-designs", p); err == nil {
+		t.Error("trace-designs without -trace accepted")
+	}
+}

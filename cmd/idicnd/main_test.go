@@ -1,0 +1,22 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/extra.txt", []byte("from a file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(true, dir); err != nil {
+		t.Fatalf("demo run failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadContentDir(t *testing.T) {
+	if err := run(true, "/nonexistent/surely"); err == nil {
+		t.Fatal("bad content dir accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"idicn/internal/trace"
+)
+
+func TestPickModel(t *testing.T) {
+	for vantage, wantName := range map[string]string{
+		"us": "US", "Europe": "Europe", "ASIA": "Asia",
+	} {
+		m, err := pickModel(vantage, 0.01, 0, 0, 0, 0)
+		if err != nil || m.Name != wantName {
+			t.Errorf("pickModel(%q) = %v, %v", vantage, m.Name, err)
+		}
+	}
+	custom, err := pickModel("", 0, 5000, 100, 1.2, 7)
+	if err != nil || custom.Name != "custom" || custom.Requests != 5000 || custom.Alpha != 1.2 {
+		t.Errorf("custom model = %+v, %v", custom, err)
+	}
+	if _, err := pickModel("mars", 1, 0, 0, 0, 0); err == nil {
+		t.Error("unknown vantage accepted")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	m, err := pickModel("", 0, 2000, 100, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := generate(m, &buf)
+	if err != nil || n != 2000 {
+		t.Fatalf("generate = %d, %v", n, err)
+	}
+	records, err := trace.ReadLog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2000 {
+		t.Fatalf("round trip read %d records", len(records))
+	}
+}

@@ -1,0 +1,65 @@
+// Command zipffit fits a Zipf popularity exponent to a CDN request log (as
+// written by tracegen), the analysis behind the paper's Table 2.
+//
+// Usage:
+//
+//	zipffit asia.log
+//	tracegen -vantage asia | zipffit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"idicn/internal/trace"
+	"idicn/internal/zipfian"
+)
+
+func main() {
+	flag.Parse()
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zipffit: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+	if err := fit(in, name, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "zipffit: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// fit reads a log, fits both estimators, and writes the report.
+func fit(in io.Reader, name string, out io.Writer) error {
+	records, err := trace.ReadLog(in)
+	if err != nil {
+		return err
+	}
+	counts := trace.ObjectCounts(records)
+	alphaFit, r2, err := zipfian.FitRankFrequency(counts)
+	if err != nil {
+		return err
+	}
+	alphaMLE, err := zipfian.FitMLE(counts)
+	if err != nil {
+		return err
+	}
+	distinct := 0
+	for _, c := range counts {
+		if c > 0 {
+			distinct++
+		}
+	}
+	fmt.Fprintf(out, "%s: %d requests, %d distinct objects\n", name, len(records), distinct)
+	fmt.Fprintf(out, "  Zipf alpha (log-log regression) = %.3f  (r^2 = %.4f)\n", alphaFit, r2)
+	fmt.Fprintf(out, "  Zipf alpha (MLE)                = %.3f\n", alphaMLE)
+	return nil
+}

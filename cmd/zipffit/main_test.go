@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"idicn/internal/trace"
+)
+
+func TestFit(t *testing.T) {
+	var log bytes.Buffer
+	if err := trace.WriteLog(&log, trace.Asia(0.003).Generate()); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := fit(&log, "test", &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "Zipf alpha (MLE)") || !strings.Contains(report, "test:") {
+		t.Fatalf("report:\n%s", report)
+	}
+	// Errors propagate.
+	if err := fit(strings.NewReader("garbage line\n"), "x", &out); err == nil {
+		t.Error("garbage log accepted")
+	}
+	if err := fit(strings.NewReader(""), "x", &out); err == nil {
+		t.Error("empty log accepted (nothing to fit)")
+	}
+}

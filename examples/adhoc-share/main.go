@@ -1,0 +1,83 @@
+// Adhoc-share: the paper's §6.2 airplane scenario — no DHCP, no DNS, no
+// upstream network. Alice allocates a link-local address, shares her browser
+// cache over the ad hoc link, and Bob resolves cnn.com via the mDNS-style
+// fallback and fetches the page from her machine. The link here is a real
+// UDP transport on loopback.
+//
+//	go run ./examples/adhoc-share
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"idicn/internal/idicn/adhoc"
+)
+
+func main() {
+	// Two devices joined to the same link (UDP sockets standing in for the
+	// multicast group).
+	aliceLink, err := adhoc.NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer aliceLink.Close()
+	bobLink, err := adhoc.NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bobLink.Close()
+	must(aliceLink.AddPeer(bobLink.Addr()))
+	must(bobLink.AddPeer(aliceLink.Addr()))
+
+	// Link-local address autoconfiguration (RFC 3927 style).
+	aliceAddr, err := adhoc.AllocateLinkLocal(aliceLink, rand.New(rand.NewSource(1)), 20*time.Millisecond)
+	must(err)
+	bobAddr, err := adhoc.AllocateLinkLocal(bobLink, rand.New(rand.NewSource(2)), 20*time.Millisecond)
+	must(err)
+	fmt.Println("alice:", aliceAddr)
+	fmt.Println("bob:  ", bobAddr)
+
+	// Alice's browser cache has the CNN headlines; she shares it.
+	cache := adhoc.NewBrowserCache()
+	cache.Put("cnn.com", "/", adhoc.CacheEntry{
+		ContentType: "text/html",
+		Body:        []byte("<h1>Headlines</h1><p>Cached before takeoff.</p>"),
+	})
+	responder := adhoc.NewResponder(aliceLink, aliceAddr)
+	defer responder.Close()
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	must(err)
+	shareURL := "http://" + lis.Addr().String()
+	share := adhoc.NewShareProxy(cache, responder, shareURL)
+	go http.Serve(lis, share)
+	must(share.PublishAll())
+	fmt.Println("alice shares", cache.Hosts(), "at", shareURL)
+
+	// Bob types cnn.com; with no DNS server configured, his stack falls
+	// back to the ad hoc link.
+	querier := adhoc.NewQuerier(bobLink, bobAddr, rand.New(rand.NewSource(3)))
+	location, err := querier.Query("cnn.com", time.Second)
+	must(err)
+	fmt.Println("bob resolved cnn.com ->", location)
+
+	req, _ := http.NewRequest(http.MethodGet, location+"/", nil)
+	req.Host = "cnn.com"
+	resp, err := http.DefaultClient.Do(req)
+	must(err)
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Printf("bob fetched: %s\n", body)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+// Cdntraces: regenerate the paper's workload characterization (§2.2) —
+// synthesize the three CDN vantage-point logs, fit their Zipf exponents
+// (Table 2), and print a sampled rank/frequency series (Figure 1).
+//
+//	go run ./examples/cdntraces
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idicn/internal/trace"
+	"idicn/internal/zipfian"
+)
+
+func main() {
+	const scale = 0.02 // 2% of the paper's request volumes: runs in seconds
+
+	fmt.Printf("%-8s %10s %10s %12s %10s %8s\n",
+		"location", "requests", "objects", "alpha(fit)", "alpha(mle)", "r^2")
+	for _, model := range []trace.CDNModel{trace.US(scale), trace.Europe(scale), trace.Asia(scale)} {
+		records := model.Generate()
+		counts := trace.ObjectCounts(records)
+		alphaFit, r2, err := zipfian.FitRankFrequency(counts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alphaMLE, err := zipfian.FitMLE(counts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		distinct := 0
+		for _, c := range counts {
+			if c > 0 {
+				distinct++
+			}
+		}
+		fmt.Printf("%-8s %10d %10d %12.2f %10.2f %8.3f\n",
+			model.Name, len(records), distinct, alphaFit, alphaMLE, r2)
+	}
+	fmt.Println("\npaper's Table 2: US 0.99, Europe 0.92, Asia 1.04")
+
+	// Figure 1's log-log series for the Asia vantage point, decimated.
+	asia := trace.Asia(scale).Generate()
+	rf := trace.RankFrequency(asia)
+	fmt.Println("\nAsia rank -> request count (log-log straight line = Zipf):")
+	for rank := 1; rank <= len(rf); rank *= 4 {
+		fmt.Printf("  rank %6d: %8d requests\n", rank, rf[rank-1])
+	}
+}

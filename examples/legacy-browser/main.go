@@ -1,0 +1,103 @@
+// Legacy-browser: the zero-client-change path through idICN. An unmodified
+// host resolves an idICN name through ordinary DNS (answered by the
+// authoritative bridge for idicn.org), lands at the edge proxy, and gets
+// verified content — no PAC, no new software, exactly the backward
+// compatibility §6.1 promises. A second, WPAD-capable client then does the
+// same through PAC discovery with client-side verification.
+//
+//	go run ./examples/legacy-browser
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"idicn/internal/idicn/client"
+	"idicn/internal/idicn/dnsbridge"
+	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/origin"
+	"idicn/internal/idicn/proxy"
+	"idicn/internal/idicn/resolver"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Deployment: resolver, origin, edge proxy, DNS bridge.
+	registry := resolver.NewRegistry()
+	resolverURL := serve(resolver.NewServer(registry))
+	resolverClient := resolver.NewClient(resolverURL, nil)
+
+	publisher, err := names.NewPrincipal(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var org *origin.Server
+	originURL := serve(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { org.ServeHTTP(w, r) }))
+	org = origin.New(publisher, resolverClient, originURL)
+
+	px := proxy.New(resolverClient)
+	proxyURL := serve(px)
+	proxyHost, proxyPort, _ := strings.Cut(strings.TrimPrefix(proxyURL, "http://"), ":")
+
+	dns, err := dnsbridge.NewServer("127.0.0.1:0", names.Domain, []string{proxyHost}, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dns.Close()
+	fmt.Println("dns bridge at", dns.Addr(), "— authoritative for", names.Domain)
+
+	n, err := org.Publish(ctx, "frontpage", "text/plain", []byte("served to a legacy browser"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("published   ", n.DNS())
+
+	// --- Legacy path: plain DNS + plain HTTP, nothing idICN-aware. ---
+	rcode, addrs, err := dnsbridge.Lookup(dns.Addr(), n.DNS(), 2*time.Second)
+	if err != nil || rcode != dnsbridge.RcodeNoError || len(addrs) == 0 {
+		log.Fatalf("DNS lookup failed: rcode=%d err=%v", rcode, err)
+	}
+	fmt.Printf("legacy DNS resolved %s -> %s\n", n.DNS(), addrs[0])
+
+	// The browser connects to the resolved address (which is the proxy) and
+	// sends an ordinary GET with the name in the Host header.
+	req, _ := http.NewRequest(http.MethodGet, "http://"+addrs[0].String()+":"+proxyPort+"/", nil)
+	req.Host = n.DNS()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("legacy fetch (%s): %q\n", resp.Header.Get("X-Cache"), body)
+
+	// --- WPAD path: PAC discovery plus client-side verification. ---
+	pac, err := client.DiscoverPAC(ctx, nil, client.NetworkConfig{
+		WPADCandidates: []string{proxyURL + "/wpad.dat"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := &client.Client{PAC: pac, VerifyLocally: true}
+	verified, err := c.Fetch(ctx, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("WPAD client fetch (verified locally): %q\n", verified)
+}
+
+func serve(h http.Handler) string {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(lis, h)
+	return "http://" + lis.Addr().String()
+}

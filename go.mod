@@ -1,0 +1,3 @@
+module idicn
+
+go 1.24

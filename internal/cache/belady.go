@@ -1,0 +1,109 @@
+package cache
+
+import "container/heap"
+
+// BeladyHits computes the hit count of Belady's optimal offline replacement
+// policy (MIN) for a single cache of the given capacity over a request
+// sequence: on eviction, discard the resident object whose next use is
+// farthest in the future. This is the upper bound no online policy can
+// beat, used to check the paper's §3 premise that "the LRU policy performs
+// near-optimally in practical scenarios".
+//
+// The implementation is the standard O(n log n) forward scan: precompute
+// next-use indices, keep residents in a max-heap keyed by next use, and
+// lazily discard stale heap entries.
+func BeladyHits(seq []int32, capacity int) (hits int64) {
+	if capacity <= 0 || len(seq) == 0 {
+		return 0
+	}
+	const never = int(^uint(0) >> 1)
+
+	// nextUse[i] = index of the next occurrence of seq[i] after i.
+	nextUse := make([]int, len(seq))
+	last := make(map[int32]int, capacity*2)
+	for i := len(seq) - 1; i >= 0; i-- {
+		if j, ok := last[seq[i]]; ok {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = never
+		}
+		last[seq[i]] = i
+	}
+
+	resident := make(map[int32]int, capacity) // object -> its current next use
+	h := &farthestHeap{}
+	for i, obj := range seq {
+		if _, ok := resident[obj]; ok {
+			hits++
+			resident[obj] = nextUse[i]
+			heap.Push(h, heapEntry{obj: obj, next: nextUse[i]})
+			continue
+		}
+		if len(resident) >= capacity {
+			// Evict the resident with the farthest (stale entries skipped)
+			// next use.
+			for {
+				top := (*h)[0]
+				cur, ok := resident[top.obj]
+				if !ok || cur != top.next {
+					heap.Pop(h) // stale
+					continue
+				}
+				heap.Pop(h)
+				delete(resident, top.obj)
+				break
+			}
+		}
+		resident[obj] = nextUse[i]
+		heap.Push(h, heapEntry{obj: obj, next: nextUse[i]})
+	}
+	return hits
+}
+
+type heapEntry struct {
+	obj  int32
+	next int
+}
+
+// farthestHeap is a max-heap on next-use index.
+type farthestHeap []heapEntry
+
+func (h farthestHeap) Len() int           { return len(h) }
+func (h farthestHeap) Less(i, j int) bool { return h[i].next > h[j].next }
+func (h farthestHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *farthestHeap) Push(x any)        { *h = append(*h, x.(heapEntry)) }
+func (h *farthestHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// LRUHits replays a request sequence against an IntLRU of the given
+// capacity and returns the hit count, for policy comparisons against
+// BeladyHits.
+func LRUHits(seq []int32, capacity int) (hits int64) {
+	c := NewIntLRU(capacity, nil)
+	for _, obj := range seq {
+		if c.Lookup(obj) {
+			hits++
+		} else {
+			c.Insert(obj)
+		}
+	}
+	return hits
+}
+
+// LFUHits is LRUHits for the LFU policy.
+func LFUHits(seq []int32, capacity int) (hits int64) {
+	c := NewLFU[int32, struct{}](capacity, nil)
+	for _, obj := range seq {
+		if _, ok := c.Get(obj); ok {
+			hits++
+		} else {
+			c.Put(obj, struct{}{})
+		}
+	}
+	return hits
+}

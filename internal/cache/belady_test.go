@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"idicn/internal/zipfian"
+)
+
+func TestBeladyHandChecked(t *testing.T) {
+	// Classic example: capacity 2, sequence a b c a b.
+	// a(miss) b(miss) c(miss, evict b: next a=3 < next b=4... MIN evicts the
+	// farthest: b's next is 4, a's next is 3, so evict b) a(hit) b(miss).
+	seq := []int32{0, 1, 2, 0, 1}
+	if got := BeladyHits(seq, 2); got != 1 {
+		t.Errorf("BeladyHits = %d, want 1", got)
+	}
+	// With capacity 3 everything after the first occurrences hits.
+	if got := BeladyHits(seq, 3); got != 2 {
+		t.Errorf("BeladyHits(cap 3) = %d, want 2", got)
+	}
+}
+
+func TestBeladyEdgeCases(t *testing.T) {
+	if BeladyHits(nil, 4) != 0 {
+		t.Error("empty sequence should have 0 hits")
+	}
+	if BeladyHits([]int32{1, 1, 1}, 0) != 0 {
+		t.Error("zero capacity should have 0 hits")
+	}
+	if got := BeladyHits([]int32{7, 7, 7, 7}, 1); got != 3 {
+		t.Errorf("single object repeats: %d hits, want 3", got)
+	}
+}
+
+func TestBeladyAfterEvictionReentry(t *testing.T) {
+	// An object evicted and re-requested later must be handled (stale heap
+	// entries skipped).
+	seq := []int32{0, 1, 2, 3, 0, 1, 2, 3}
+	got := BeladyHits(seq, 2)
+	// Optimal with capacity 2 over this cyclic scan: at most 2 hits
+	// (keep 0 and 1 through the first pass... any policy gets <= 2).
+	if got > 4 {
+		t.Fatalf("BeladyHits = %d, impossible for capacity 2", got)
+	}
+	// And it must not be worse than LRU (which gets 0 on a cyclic scan).
+	if lru := LRUHits(seq, 2); got < lru {
+		t.Fatalf("Belady (%d) worse than LRU (%d)", got, lru)
+	}
+}
+
+// bruteForceOptimal computes the optimal hit count by exhaustive search
+// over eviction choices (exponential; tiny inputs only), under the same
+// demand-fetch rules as BeladyHits and the simulator's caches: every miss
+// admits the object (no bypass). With admission control a policy could do
+// even better on some sequences, but that is a different model.
+func bruteForceOptimal(seq []int32, capacity int) int64 {
+	var rec func(i int, resident map[int32]bool) int64
+	rec = func(i int, resident map[int32]bool) int64 {
+		if i == len(seq) {
+			return 0
+		}
+		obj := seq[i]
+		if resident[obj] {
+			return 1 + rec(i+1, resident)
+		}
+		if len(resident) < capacity {
+			resident[obj] = true
+			v := rec(i+1, resident)
+			delete(resident, obj)
+			return v
+		}
+		// Try evicting each resident.
+		best := int64(0)
+		keys := make([]int32, 0, len(resident))
+		for k := range resident {
+			keys = append(keys, k)
+		}
+		for _, victim := range keys {
+			delete(resident, victim)
+			resident[obj] = true
+			if v := rec(i+1, resident); v > best {
+				best = v
+			}
+			delete(resident, obj)
+			resident[victim] = true
+		}
+		return best
+	}
+	return rec(0, map[int32]bool{})
+}
+
+// Property: BeladyHits matches exhaustive search on tiny inputs and always
+// dominates LRU and LFU.
+func TestBeladyOptimalQuick(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw%3) + 1
+		r := rand.New(rand.NewSource(seed))
+		seq := make([]int32, 10)
+		for i := range seq {
+			seq[i] = int32(r.Intn(5))
+		}
+		got := BeladyHits(seq, capacity)
+		want := bruteForceOptimal(seq, capacity)
+		if got != want {
+			t.Logf("seq=%v cap=%d: belady=%d brute=%d", seq, capacity, got, want)
+			return false
+		}
+		return got >= LRUHits(seq, capacity) && got >= LFUHits(seq, capacity)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLRUNearOptimalOnZipf checks the paper's §3 premise: on a Zipf
+// workload, LRU's hit ratio is close to Belady's offline optimum.
+func TestLRUNearOptimalOnZipf(t *testing.T) {
+	const n, objects, capacity = 50000, 2000, 100
+	d := zipfian.New(1.0, objects)
+	r := rand.New(rand.NewSource(9))
+	seq := make([]int32, n)
+	for i := range seq {
+		seq[i] = int32(d.Sample(r))
+	}
+	opt := float64(BeladyHits(seq, capacity)) / n
+	lru := float64(LRUHits(seq, capacity)) / n
+	lfu := float64(LFUHits(seq, capacity)) / n
+	// Measured on IID Zipf: LRU reaches ~73% of the offline optimum and LFU
+	// ~95% (IID streams have no recency signal, only frequency). With the
+	// temporal locality of real traces LRU closes most of the difference,
+	// which is the regime behind the paper's "near-optimally" remark.
+	if lru < opt*0.7 {
+		t.Errorf("LRU hit ratio %.3f below 70%% of optimal %.3f", lru, opt)
+	}
+	if lfu < opt*0.85 {
+		t.Errorf("LFU hit ratio %.3f below 85%% of optimal %.3f on an IID stream", lfu, opt)
+	}
+	if lru > opt || lfu > opt {
+		t.Errorf("online policy beat the offline optimum (lru %.3f lfu %.3f opt %.3f): Belady is buggy", lru, lfu, opt)
+	}
+}
+
+func BenchmarkBeladyHits(b *testing.B) {
+	d := zipfian.New(1.0, 5000)
+	r := rand.New(rand.NewSource(1))
+	seq := make([]int32, 200000)
+	for i := range seq {
+		seq[i] = int32(d.Sample(r))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BeladyHits(seq, 250)
+	}
+}

@@ -1,0 +1,167 @@
+package cache
+
+// IntLRU is a compact LRU cache over int32 object ids with no values,
+// designed for the simulator, which instantiates thousands of caches (one
+// per router). The recency list is stored in flat prev/next slices indexed
+// by slot number, so an entry costs a few words instead of a heap-allocated
+// list node, and operations perform no allocation after construction.
+//
+// IntLRU is not safe for concurrent use.
+type IntLRU struct {
+	capacity int
+	index    map[int32]int32 // object id -> slot
+	keys     []int32         // slot -> object id
+	prev     []int32         // slot -> previous (more recent) slot, -1 for head
+	next     []int32         // slot -> next (less recent) slot, -1 for tail
+	head     int32           // most recently used slot, -1 if empty
+	tail     int32           // least recently used slot, -1 if empty
+	free     []int32         // unused slots
+	onEvict  func(obj int32)
+
+	hits   int64
+	misses int64
+}
+
+// NewIntLRU returns an IntLRU with the given capacity. onEvict, if non-nil,
+// is invoked with each object displaced by an insertion. A zero capacity is
+// permitted and caches nothing. NewIntLRU panics if capacity is negative.
+func NewIntLRU(capacity int, onEvict func(obj int32)) *IntLRU {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	c := &IntLRU{
+		capacity: capacity,
+		index:    make(map[int32]int32, capacity),
+		keys:     make([]int32, capacity),
+		prev:     make([]int32, capacity),
+		next:     make([]int32, capacity),
+		head:     -1,
+		tail:     -1,
+		free:     make([]int32, capacity),
+		onEvict:  onEvict,
+	}
+	for i := range c.free {
+		c.free[i] = int32(capacity - 1 - i) // pop from the end: slots in order
+	}
+	return c
+}
+
+// Lookup reports whether obj is cached, marking it most recently used and
+// updating hit/miss statistics.
+func (c *IntLRU) Lookup(obj int32) bool {
+	slot, ok := c.index[obj]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.hits++
+	c.moveToFront(slot)
+	return true
+}
+
+// Contains reports whether obj is cached without side effects.
+func (c *IntLRU) Contains(obj int32) bool {
+	_, ok := c.index[obj]
+	return ok
+}
+
+// Insert adds obj, marking it most recently used. Inserting a present object
+// only refreshes recency. It returns true if another object was evicted.
+func (c *IntLRU) Insert(obj int32) (evicted bool) {
+	if c.capacity == 0 {
+		return false
+	}
+	if slot, ok := c.index[obj]; ok {
+		c.moveToFront(slot)
+		return false
+	}
+	if len(c.free) == 0 {
+		c.evictTail()
+		evicted = true
+	}
+	slot := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.keys[slot] = obj
+	c.index[obj] = slot
+	c.pushFront(slot)
+	return evicted
+}
+
+// Remove deletes obj, reporting whether it was present. The eviction hook is
+// not invoked.
+func (c *IntLRU) Remove(obj int32) bool {
+	slot, ok := c.index[obj]
+	if !ok {
+		return false
+	}
+	c.unlink(slot)
+	delete(c.index, obj)
+	c.free = append(c.free, slot)
+	return true
+}
+
+// Len returns the number of cached objects.
+func (c *IntLRU) Len() int { return len(c.index) }
+
+// Cap returns the capacity.
+func (c *IntLRU) Cap() int { return c.capacity }
+
+// Stats returns cumulative hit and miss counts from Lookup calls.
+func (c *IntLRU) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Keys returns cached objects from most to least recently used.
+func (c *IntLRU) Keys() []int32 {
+	out := make([]int32, 0, len(c.index))
+	for s := c.head; s >= 0; s = c.next[s] {
+		out = append(out, c.keys[s])
+	}
+	return out
+}
+
+func (c *IntLRU) pushFront(slot int32) {
+	c.prev[slot] = -1
+	c.next[slot] = c.head
+	if c.head >= 0 {
+		c.prev[c.head] = slot
+	}
+	c.head = slot
+	if c.tail < 0 {
+		c.tail = slot
+	}
+}
+
+func (c *IntLRU) unlink(slot int32) {
+	p, n := c.prev[slot], c.next[slot]
+	if p >= 0 {
+		c.next[p] = n
+	} else {
+		c.head = n
+	}
+	if n >= 0 {
+		c.prev[n] = p
+	} else {
+		c.tail = p
+	}
+}
+
+func (c *IntLRU) moveToFront(slot int32) {
+	if c.head == slot {
+		return
+	}
+	c.unlink(slot)
+	c.pushFront(slot)
+}
+
+func (c *IntLRU) evictTail() {
+	slot := c.tail
+	if slot < 0 {
+		return
+	}
+	obj := c.keys[slot]
+	c.unlink(slot)
+	delete(c.index, obj)
+	c.free = append(c.free, slot)
+	if c.onEvict != nil {
+		c.onEvict(obj)
+	}
+}

@@ -1,0 +1,172 @@
+package cache
+
+import "container/list"
+
+// LFU is a fixed-capacity least-frequently-used cache with O(1) operations,
+// using the frequency-bucket structure of Shah et al. Ties within a
+// frequency bucket break by recency (the least recently touched entry in the
+// lowest-frequency bucket is evicted first). LFU is not safe for concurrent
+// use.
+type LFU[K comparable, V any] struct {
+	capacity int
+	entries  map[K]*lfuEntry[K, V]
+	buckets  *list.List // of *lfuBucket, ascending frequency
+	onEvict  func(K, V)
+
+	hits   int64
+	misses int64
+}
+
+type lfuBucket[K comparable, V any] struct {
+	freq    int64
+	entries *list.List // of *lfuEntry, front = most recently touched
+}
+
+type lfuEntry[K comparable, V any] struct {
+	key    K
+	value  V
+	bucket *list.Element // -> lfuBucket
+	self   *list.Element // position within bucket.entries
+}
+
+// NewLFU returns an LFU cache that holds at most capacity entries. onEvict,
+// if non-nil, is called with each entry displaced by an insertion.
+// NewLFU panics if capacity is negative; zero capacity caches nothing.
+func NewLFU[K comparable, V any](capacity int, onEvict func(K, V)) *LFU[K, V] {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	return &LFU[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*lfuEntry[K, V], capacity),
+		buckets:  list.New(),
+		onEvict:  onEvict,
+	}
+}
+
+// Get returns the value for key, incrementing its access frequency.
+func (c *LFU[K, V]) Get(key K) (V, bool) {
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.bump(e)
+		return e.value, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is cached without side effects.
+func (c *LFU[K, V]) Contains(key K) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Put inserts or updates key. A new entry starts at frequency 1; updating an
+// existing entry increments its frequency. It returns true if an entry was
+// displaced to make room.
+func (c *LFU[K, V]) Put(key K, value V) (evicted bool) {
+	if c.capacity == 0 {
+		return false
+	}
+	if e, ok := c.entries[key]; ok {
+		e.value = value
+		c.bump(e)
+		return false
+	}
+	if len(c.entries) >= c.capacity {
+		c.evictMin()
+		evicted = true
+	}
+	e := &lfuEntry[K, V]{key: key, value: value}
+	c.entries[key] = e
+	b := c.bucketWithFreq(1, nil)
+	e.bucket = b
+	e.self = b.Value.(*lfuBucket[K, V]).entries.PushFront(e)
+	return evicted
+}
+
+// Remove deletes key, reporting whether it was present. The eviction hook is
+// not invoked.
+func (c *LFU[K, V]) Remove(key K) bool {
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.detach(e)
+	delete(c.entries, key)
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *LFU[K, V]) Len() int { return len(c.entries) }
+
+// Cap returns the capacity.
+func (c *LFU[K, V]) Cap() int { return c.capacity }
+
+// Stats returns cumulative hit and miss counts from Get calls.
+func (c *LFU[K, V]) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Freq returns the current access frequency of key, or 0 if absent.
+func (c *LFU[K, V]) Freq(key K) int64 {
+	e, ok := c.entries[key]
+	if !ok {
+		return 0
+	}
+	return e.bucket.Value.(*lfuBucket[K, V]).freq
+}
+
+// bucketWithFreq returns the bucket element with exactly freq, inserting one
+// after `after` (or at the front when after is nil) if missing. It assumes
+// buckets are scanned in ascending order starting from `after`.
+func (c *LFU[K, V]) bucketWithFreq(freq int64, after *list.Element) *list.Element {
+	if after != nil {
+		if b := after.Value.(*lfuBucket[K, V]); b.freq == freq {
+			return after
+		}
+		if next := after.Next(); next != nil && next.Value.(*lfuBucket[K, V]).freq == freq {
+			return next
+		}
+		nb := &lfuBucket[K, V]{freq: freq, entries: list.New()}
+		return c.buckets.InsertAfter(nb, after)
+	}
+	if front := c.buckets.Front(); front != nil && front.Value.(*lfuBucket[K, V]).freq == freq {
+		return front
+	}
+	nb := &lfuBucket[K, V]{freq: freq, entries: list.New()}
+	return c.buckets.PushFront(nb)
+}
+
+func (c *LFU[K, V]) bump(e *lfuEntry[K, V]) {
+	be := e.bucket
+	b := be.Value.(*lfuBucket[K, V])
+	target := c.bucketWithFreq(b.freq+1, be)
+	b.entries.Remove(e.self)
+	if b.entries.Len() == 0 {
+		c.buckets.Remove(be)
+	}
+	e.bucket = target
+	e.self = target.Value.(*lfuBucket[K, V]).entries.PushFront(e)
+}
+
+func (c *LFU[K, V]) detach(e *lfuEntry[K, V]) {
+	b := e.bucket.Value.(*lfuBucket[K, V])
+	b.entries.Remove(e.self)
+	if b.entries.Len() == 0 {
+		c.buckets.Remove(e.bucket)
+	}
+}
+
+func (c *LFU[K, V]) evictMin() {
+	front := c.buckets.Front()
+	if front == nil {
+		return
+	}
+	b := front.Value.(*lfuBucket[K, V])
+	victim := b.entries.Back().Value.(*lfuEntry[K, V])
+	c.detach(victim)
+	delete(c.entries, victim.key)
+	if c.onEvict != nil {
+		c.onEvict(victim.key, victim.value)
+	}
+}

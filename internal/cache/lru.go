@@ -1,0 +1,172 @@
+// Package cache provides the content-store implementations used throughout
+// the repository: LRU and LFU caches with eviction hooks, in both a generic
+// flavor (used by the idICN edge proxy) and compact integer-keyed flavors
+// tuned for the request-level simulator's hot path, plus a size-aware LRU
+// for workloads with heterogeneous object sizes.
+//
+// The paper uses LRU for all simulations ("the LRU policy performs
+// near-optimally in practical scenarios") and reports qualitatively similar
+// results with LFU; both are provided so the comparison can be reproduced.
+package cache
+
+// LRU is a fixed-capacity least-recently-used cache mapping keys to values.
+// The zero value is not usable; construct with NewLRU. LRU is not safe for
+// concurrent use; callers that share one across goroutines must serialize
+// access.
+type LRU[K comparable, V any] struct {
+	capacity int
+	entries  map[K]*lruEntry[K, V]
+	head     *lruEntry[K, V] // most recently used
+	tail     *lruEntry[K, V] // least recently used
+	onEvict  func(K, V)
+
+	hits   int64
+	misses int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key        K
+	value      V
+	prev, next *lruEntry[K, V]
+}
+
+// NewLRU returns an LRU cache that holds at most capacity entries. onEvict,
+// if non-nil, is called with each entry displaced by an insertion (but not
+// for entries overwritten by Put with an existing key, nor for Remove).
+// NewLRU panics if capacity is negative; a zero-capacity cache is permitted
+// and caches nothing, which the simulator uses for cache-less routers.
+func NewLRU[K comparable, V any](capacity int, onEvict func(K, V)) *LRU[K, V] {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*lruEntry[K, V], capacity),
+		onEvict:  onEvict,
+	}
+}
+
+// Get returns the value for key and marks it most recently used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	if e, ok := c.entries[key]; ok {
+		c.moveToFront(e)
+		c.hits++
+		return e.value, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is cached without updating recency or
+// hit/miss statistics.
+func (c *LRU[K, V]) Contains(key K) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Peek returns the value for key without updating recency or statistics.
+func (c *LRU[K, V]) Peek(key K) (V, bool) {
+	if e, ok := c.entries[key]; ok {
+		return e.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or updates key and marks it most recently used. It returns
+// true if an existing entry was displaced to make room.
+func (c *LRU[K, V]) Put(key K, value V) (evicted bool) {
+	if c.capacity == 0 {
+		return false
+	}
+	if e, ok := c.entries[key]; ok {
+		e.value = value
+		c.moveToFront(e)
+		return false
+	}
+	if len(c.entries) >= c.capacity {
+		c.evictTail()
+		evicted = true
+	}
+	e := &lruEntry[K, V]{key: key, value: value}
+	c.entries[key] = e
+	c.pushFront(e)
+	return evicted
+}
+
+// Remove deletes key from the cache, reporting whether it was present.
+// The eviction hook is not invoked.
+func (c *LRU[K, V]) Remove(key K) bool {
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	delete(c.entries, key)
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int { return len(c.entries) }
+
+// Cap returns the capacity.
+func (c *LRU[K, V]) Cap() int { return c.capacity }
+
+// Stats returns the cumulative hit and miss counts from Get calls.
+func (c *LRU[K, V]) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Keys returns the cached keys from most to least recently used.
+func (c *LRU[K, V]) Keys() []K {
+	keys := make([]K, 0, len(c.entries))
+	for e := c.head; e != nil; e = e.next {
+		keys = append(keys, e.key)
+	}
+	return keys
+}
+
+func (c *LRU[K, V]) pushFront(e *lruEntry[K, V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *LRU[K, V]) unlink(e *lruEntry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *LRU[K, V]) moveToFront(e *lruEntry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *LRU[K, V]) evictTail() {
+	e := c.tail
+	if e == nil {
+		return
+	}
+	c.unlink(e)
+	delete(c.entries, e.key)
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.value)
+	}
+}

@@ -1,0 +1,153 @@
+package cache
+
+// SizedIntLRU is an LRU cache over int32 object ids with a byte budget
+// rather than an entry count, used for the paper's heterogeneous object-size
+// sensitivity analysis (§5.1). Inserting an object evicts from the LRU tail
+// until the object fits. Objects larger than the whole budget are rejected.
+//
+// SizedIntLRU is not safe for concurrent use.
+type SizedIntLRU struct {
+	budget  int64
+	used    int64
+	entries map[int32]*sizedEntry
+	head    *sizedEntry
+	tail    *sizedEntry
+	onEvict func(obj int32)
+
+	hits   int64
+	misses int64
+}
+
+type sizedEntry struct {
+	obj        int32
+	size       int64
+	prev, next *sizedEntry
+}
+
+// NewSizedIntLRU returns a SizedIntLRU with the given byte budget. onEvict,
+// if non-nil, is invoked with each object displaced by an insertion.
+// It panics if budget is negative; a zero budget caches nothing.
+func NewSizedIntLRU(budget int64, onEvict func(obj int32)) *SizedIntLRU {
+	if budget < 0 {
+		panic("cache: negative budget")
+	}
+	return &SizedIntLRU{
+		budget:  budget,
+		entries: make(map[int32]*sizedEntry),
+		onEvict: onEvict,
+	}
+}
+
+// Lookup reports whether obj is cached, marking it most recently used.
+func (c *SizedIntLRU) Lookup(obj int32) bool {
+	e, ok := c.entries[obj]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return true
+}
+
+// Contains reports whether obj is cached without side effects.
+func (c *SizedIntLRU) Contains(obj int32) bool {
+	_, ok := c.entries[obj]
+	return ok
+}
+
+// Insert adds obj with the given size, evicting least-recently-used objects
+// until it fits. It reports whether the object is cached on return (false
+// only when size exceeds the whole budget, or size is negative). Inserting a
+// present object refreshes recency and updates its size.
+func (c *SizedIntLRU) Insert(obj int32, size int64) bool {
+	if size < 0 || size > c.budget {
+		return false
+	}
+	if e, ok := c.entries[obj]; ok {
+		c.used += size - e.size
+		e.size = size
+		c.moveToFront(e)
+		c.evictUntilFits()
+		return true
+	}
+	c.used += size
+	e := &sizedEntry{obj: obj, size: size}
+	c.entries[obj] = e
+	c.pushFront(e)
+	c.evictUntilFits()
+	return true
+}
+
+// Remove deletes obj, reporting whether it was present. The eviction hook is
+// not invoked.
+func (c *SizedIntLRU) Remove(obj int32) bool {
+	e, ok := c.entries[obj]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	delete(c.entries, obj)
+	c.used -= e.size
+	return true
+}
+
+// Len returns the number of cached objects.
+func (c *SizedIntLRU) Len() int { return len(c.entries) }
+
+// Used returns the bytes currently cached.
+func (c *SizedIntLRU) Used() int64 { return c.used }
+
+// Budget returns the byte budget.
+func (c *SizedIntLRU) Budget() int64 { return c.budget }
+
+// Stats returns cumulative hit and miss counts from Lookup calls.
+func (c *SizedIntLRU) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+func (c *SizedIntLRU) evictUntilFits() {
+	for c.used > c.budget && c.tail != nil {
+		victim := c.tail
+		// Never evict the entry just made head: if head == tail there is a
+		// single entry which must fit (Insert rejects oversize objects).
+		c.unlink(victim)
+		delete(c.entries, victim.obj)
+		c.used -= victim.size
+		if c.onEvict != nil {
+			c.onEvict(victim.obj)
+		}
+	}
+}
+
+func (c *SizedIntLRU) pushFront(e *sizedEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *SizedIntLRU) unlink(e *sizedEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *SizedIntLRU) moveToFront(e *sizedEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

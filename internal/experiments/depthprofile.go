@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"idicn/internal/sim"
+	"idicn/internal/treemodel"
+)
+
+// DepthProfile reports where requests were served, by tree depth, for one
+// design — the simulated counterpart of the paper's analytical Figure 2.
+type DepthProfile struct {
+	Design string
+	// Fractions[d] is the share served at tree depth d (leaves are the
+	// highest depth); the final entry is the origin's share.
+	Fractions []float64
+}
+
+// ServeDepthProfile runs ICN-SP and EDGE on the standard workload and
+// returns, per design, the fraction of requests served at each tree depth.
+// Alongside it returns the §2.2 analytical prediction for a tree of the
+// same arity and depth with per-node caches of BudgetFraction of the
+// universe, so simulation and model can be compared directly.
+func ServeDepthProfile(p Params) (profiles []DepthProfile, analytic []float64, err error) {
+	tp := p.sweepTopology()
+	cfg, reqs := p.Workload(tp)
+	for _, d := range []sim.Design{sim.ICNSP, sim.EDGE} {
+		res, err := sim.RunConfig(d.Apply(cfg), reqs)
+		if err != nil {
+			return nil, nil, err
+		}
+		fr := make([]float64, len(res.ServedAtDepth))
+		for i, c := range res.ServedAtDepth {
+			fr[i] = float64(c) / float64(res.Requests)
+		}
+		// Reorder so leaves come first (matching Figure 2's level 1 = edge):
+		// engine indexes by depth with origin last; flip the cache depths.
+		flipped := make([]float64, len(fr))
+		cacheLevels := len(fr) - 1
+		for d := 0; d < cacheLevels; d++ {
+			flipped[cacheLevels-1-d] = fr[d]
+		}
+		flipped[cacheLevels] = fr[cacheLevels]
+		profiles = append(profiles, DepthProfile{Design: d.Name, Fractions: flipped})
+	}
+
+	slots := int(p.BudgetFraction * float64(cfg.Objects))
+	if slots < 1 {
+		slots = 1
+	}
+	// The access tree has Depth+1 caching levels (leaves at depth Depth down
+	// to the PoP root at depth 0); the model adds the origin as one level
+	// above, so its level count is Depth+2 and its last fraction aligns with
+	// the simulator's origin column.
+	model := treemodel.Config{
+		Arity:        p.Arity,
+		Levels:       p.Depth + 2,
+		SlotsPerNode: slots,
+		Objects:      cfg.Objects,
+		Alpha:        p.Alpha,
+	}
+	return profiles, model.LevelFractions(), nil
+}
+
+// FormatDepthProfile renders the simulated and analytical level fractions.
+func FormatDepthProfile(profiles []DepthProfile, analytic []float64) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	levels := 0
+	for _, p := range profiles {
+		if len(p.Fractions) > levels {
+			levels = len(p.Fractions)
+		}
+	}
+	fmt.Fprint(w, "Source")
+	for l := 1; l < levels; l++ {
+		fmt.Fprintf(w, "\tL%d", l)
+	}
+	fmt.Fprintln(w, "\torigin")
+	row := func(name string, fr []float64) {
+		fmt.Fprint(w, name)
+		for _, f := range fr {
+			fmt.Fprintf(w, "\t%.3f", f)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, p := range profiles {
+		row(p.Design+" (sim)", p.Fractions)
+	}
+	row("optimal (model)", analytic)
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"idicn/internal/sim"
+	"idicn/internal/topo"
+	"idicn/internal/treemodel"
+)
+
+// Figure2Row is one curve point of the paper's Figure 2: the fraction of
+// requests served at each level of a 6-level binary tree under the optimal
+// static placement.
+type Figure2Row struct {
+	Alpha     float64
+	Fractions []float64 // index i = level i+1; last entry is the origin
+}
+
+// Figure2 reproduces the §2.2 analytical result for alpha in {0.7, 1.1,
+// 1.5}: intermediate levels add little beyond the edge and the origin.
+func Figure2() []Figure2Row {
+	rows := make([]Figure2Row, 0, 3)
+	for _, alpha := range []float64{0.7, 1.1, 1.5} {
+		cfg := treemodel.Config{
+			Arity: 2, Levels: 6, SlotsPerNode: 500, Objects: 10000, Alpha: alpha,
+		}
+		rows = append(rows, Figure2Row{Alpha: alpha, Fractions: cfg.LevelFractions()})
+	}
+	return rows
+}
+
+// FigureRow is one (topology, design) cell of Figures 6 and 7: the percent
+// improvement over no caching on the three metrics.
+type FigureRow struct {
+	Topology string
+	Design   string
+	Imp      sim.Improvement
+}
+
+// Figure6 runs the five representative designs over all eight topologies
+// with population-proportional budgets and origins (paper Figure 6).
+func Figure6(p Params) ([]FigureRow, error) {
+	p.BudgetPolicy = sim.BudgetProportional
+	p.OriginProportional = true
+	return designsOverTopologies(p)
+}
+
+// Figure7 is Figure 6 with uniform budgets and origin assignment
+// (paper Figure 7).
+func Figure7(p Params) ([]FigureRow, error) {
+	p.BudgetPolicy = sim.BudgetUniform
+	p.OriginProportional = false
+	return designsOverTopologies(p)
+}
+
+func designsOverTopologies(p Params) ([]FigureRow, error) {
+	var rows []FigureRow
+	for _, tp := range topo.AllTopologies() {
+		cfg, reqs := p.Workload(tp)
+		results, err := sim.CompareDesigns(cfg, sim.BaselineDesigns(), reqs)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			rows = append(rows, FigureRow{Topology: tp.Name, Design: r.Design.Name, Imp: r.Improvement})
+		}
+	}
+	return rows, nil
+}
+
+// SweepPoint is one x-position of a Figure 8 sensitivity sweep: the ICN-NR
+// over EDGE gap on the three metrics.
+type SweepPoint struct {
+	X   float64
+	Gap sim.Improvement
+}
+
+// Figure8a sweeps the Zipf alpha (paper Figure 8(a)): the gap shrinks as
+// popularity concentrates. Runs on the largest topology (ATT), as §5 does.
+func Figure8a(p Params, alphas []float64) ([]SweepPoint, error) {
+	if alphas == nil {
+		alphas = []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6}
+	}
+	var points []SweepPoint
+	for _, a := range alphas {
+		pc := p
+		pc.Alpha = a
+		cfg, reqs := pc.Workload(pc.sweepTopology())
+		gap, err := GapNRvsEdge(cfg, reqs)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{X: a, Gap: gap})
+	}
+	return points, nil
+}
+
+// Figure8b sweeps the per-router cache budget F (paper Figure 8(b), x-axis
+// "individual cache sizes as percentage of total objects"). The paper finds
+// a non-monotone gap peaking around F=2%.
+func Figure8b(p Params, fractions []float64) ([]SweepPoint, error) {
+	if fractions == nil {
+		fractions = []float64{1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.02, 0.05, 0.1, 0.3, 1}
+	}
+	var points []SweepPoint
+	for _, f := range fractions {
+		pc := p
+		pc.BudgetFraction = f
+		cfg, reqs := pc.Workload(pc.sweepTopology())
+		gap, err := GapNRvsEdge(cfg, reqs)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{X: f * 100, Gap: gap})
+	}
+	return points, nil
+}
+
+// Figure8c sweeps the spatial skew dial (paper Figure 8(c)): the gap grows
+// as per-PoP popularity diverges.
+func Figure8c(p Params, skews []float64) ([]SweepPoint, error) {
+	if skews == nil {
+		skews = []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
+	}
+	var points []SweepPoint
+	for _, s := range skews {
+		pc := p
+		pc.SpatialSkew = s
+		cfg, reqs := pc.Workload(pc.sweepTopology())
+		gap, err := GapNRvsEdge(cfg, reqs)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{X: s, Gap: gap})
+	}
+	return points, nil
+}
+
+// Figure9Step is one bar group of the paper's Figure 9: the ICN-NR over
+// EDGE gap after progressively applying each NR-favoring parameter change.
+type Figure9Step struct {
+	Name string
+	Gap  sim.Improvement
+}
+
+// bestCaseSteps applies the paper's Figure 9 progression to the baseline
+// parameters: Alpha*=0.1, Skew*=1, Budget-Dist*=uniform, Node-Budget*=2%.
+func bestCaseSteps(p Params) []struct {
+	name  string
+	apply func(*Params)
+} {
+	return []struct {
+		name  string
+		apply func(*Params)
+	}{
+		{"Baseline", func(*Params) {}},
+		{"Alpha*", func(q *Params) { q.Alpha = 0.1 }},
+		{"Skew*", func(q *Params) { q.SpatialSkew = 1 }},
+		{"Budget-Dist*", func(q *Params) { q.BudgetPolicy = sim.BudgetUniform }},
+		{"Node-Budget*", func(q *Params) { q.BudgetFraction = 0.02 }},
+	}
+}
+
+// Figure9 progressively sets each configuration parameter to the value most
+// favorable to ICN-NR and reports the resulting gap over EDGE (paper: the
+// fully combined best case reaches at most ~17%).
+func Figure9(p Params) ([]Figure9Step, error) {
+	var steps []Figure9Step
+	cur := p
+	for _, st := range bestCaseSteps(p) {
+		st.apply(&cur)
+		cfg, reqs := cur.Workload(cur.sweepTopology())
+		gap, err := GapNRvsEdge(cfg, reqs)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, Figure9Step{Name: st.name, Gap: gap})
+	}
+	return steps, nil
+}
+
+// BestCaseParams returns the paper's fully combined ICN-NR best case
+// (Figure 9's rightmost configuration).
+func BestCaseParams(p Params) Params {
+	cur := p
+	for _, st := range bestCaseSteps(p) {
+		st.apply(&cur)
+	}
+	return cur
+}
+
+// Figure10Row is one bar group of the paper's Figure 10: the gap between
+// best-case ICN-NR and an EDGE variant.
+type Figure10Row struct {
+	Variant string
+	Gap     sim.Improvement
+}
+
+// Figure10 bridges the best-case gap with simple EDGE extensions: a second
+// caching level, sibling cooperation, normalized budgets, their combinations
+// and a doubled budget, plus the Section-4 baseline and an infinite-budget
+// reference. The paper finds Norm-Coop brings the best case down to ~6% and
+// Double-Budget-Coop makes EDGE win outright.
+func Figure10(p Params) ([]Figure10Row, error) {
+	best := BestCaseParams(p)
+	cfg, reqs := best.Workload(best.sweepTopology())
+
+	variants := []sim.Design{
+		{Name: "Baseline", Placement: sim.PlacementEdge, Routing: sim.RouteShortestPath},
+		{Name: "2-Levels", Placement: sim.PlacementEdgeLevels, EdgeLevels: 2, Routing: sim.RouteShortestPath},
+		{Name: "Coop", Placement: sim.PlacementEdge, Routing: sim.RouteShortestPath, SiblingCoop: true},
+		{Name: "2-Levels-Coop", Placement: sim.PlacementEdgeLevels, EdgeLevels: 2, Routing: sim.RouteShortestPath, SiblingCoop: true},
+		{Name: "Norm", Placement: sim.PlacementEdge, Routing: sim.RouteShortestPath, NormalizeBudget: true},
+		{Name: "Norm-Coop", Placement: sim.PlacementEdge, Routing: sim.RouteShortestPath, SiblingCoop: true, NormalizeBudget: true},
+		{Name: "Double-Budget-Coop", Placement: sim.PlacementEdge, Routing: sim.RouteShortestPath, SiblingCoop: true, NormalizeBudget: true, ExtraBudget: 2},
+	}
+	results, err := sim.CompareDesigns(cfg, append([]sim.Design{sim.ICNNR}, variants...), reqs)
+	if err != nil {
+		return nil, err
+	}
+	nr := results[0].Improvement
+	rows := make([]Figure10Row, 0, len(variants)+2)
+	for _, r := range results[1:] {
+		rows = append(rows, Figure10Row{Variant: r.Design.Name, Gap: sim.Gap(nr, r.Improvement)})
+	}
+
+	// Section-4 reference: the gap under the original §4 configuration.
+	sec4Cfg, sec4Reqs := p.Workload(p.sweepTopology())
+	sec4Gap, err := GapNRvsEdge(sec4Cfg, sec4Reqs)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Figure10Row{Variant: "Section-4", Gap: sec4Gap})
+
+	// Inf-Budget reference: both designs with effectively infinite caches.
+	inf := best
+	inf.BudgetFraction = 1
+	infCfg, infReqs := inf.Workload(inf.sweepTopology())
+	infGap, err := GapNRvsEdge(infCfg, infReqs)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Figure10Row{Variant: "Inf-Budget", Gap: infGap})
+	return rows, nil
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatTable2 renders Table 2 rows as an aligned text table.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "Location\tRequests\tZipf alpha (fit)\talpha (MLE)\tR^2\tpaper")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.3f\t%.2f\n",
+			r.Location, r.Requests, r.AlphaFit, r.AlphaMLE, r.R2, r.PaperAlpha)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatFigure2 renders the Figure 2 level fractions.
+func FormatFigure2(rows []Figure2Row) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprint(w, "alpha")
+	if len(rows) > 0 {
+		for l := 1; l <= len(rows[0].Fractions); l++ {
+			fmt.Fprintf(w, "\tL%d", l)
+		}
+	}
+	fmt.Fprintln(w, "\t(last level = origin)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.1f", r.Alpha)
+		for _, f := range r.Fractions {
+			fmt.Fprintf(w, "\t%.3f", f)
+		}
+		fmt.Fprintln(w, "\t")
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatFigure renders Figure 6/7 rows grouped by topology, one line per
+// design with the three improvement percentages.
+func FormatFigure(rows []FigureRow) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "Topology\tDesign\tLatency%\tCongestion%\tOriginLoad%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%.2f\n",
+			r.Topology, r.Design, r.Imp.Latency, r.Imp.Congestion, r.Imp.OriginLoad)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatSweep renders a Figure 8 sweep with a caller-supplied x-axis label.
+func FormatSweep(xLabel string, points []SweepPoint) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintf(w, "%s\tDelayGap%%\tCongestionGap%%\tOriginGap%%\n", xLabel)
+	for _, pt := range points {
+		fmt.Fprintf(w, "%g\t%.2f\t%.2f\t%.2f\n", pt.X, pt.Gap.Latency, pt.Gap.Congestion, pt.Gap.OriginLoad)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatFigure9 renders the best-case progression.
+func FormatFigure9(steps []Figure9Step) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "Step\tLatencyGap%\tCongestionGap%\tOriginGap%")
+	for _, s := range steps {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", s.Name, s.Gap.Latency, s.Gap.Congestion, s.Gap.OriginLoad)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatFigure10 renders the gap-bridging variants.
+func FormatFigure10(rows []Figure10Row) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "EDGE variant\tLatencyGap%\tCongestionGap%\tOriginGap%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", r.Variant, r.Gap.Latency, r.Gap.Congestion, r.Gap.OriginLoad)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatTable3 renders the trace-versus-synthetic validation.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "Topology\tTrace\tSynthetic\tDifference")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", r.Topology, r.TraceGap, r.SynthGap, r.Difference)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatTable4 renders the arity sweep.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "Arity\tDepth\tLatency gain%\tCongestion gain%\tOrigin load%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%.2f\t%.2f\t%.2f\n", r.Arity, r.Depth, r.LatencyGain, r.CongestionGain, r.OriginGain)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatNamedGaps renders a sensitivity variant list.
+func FormatNamedGaps(title string, rows []NamedGap) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintf(w, "%s\tLatencyGap%%\tCongestionGap%%\tOriginGap%%\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", r.Name, r.Gap.Latency, r.Gap.Congestion, r.Gap.OriginLoad)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatFigure1 renders a downsampled rank/frequency listing per location.
+func FormatFigure1(series map[string][]int64, points int) string {
+	var b strings.Builder
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rf := series[name]
+		fmt.Fprintf(&b, "%s: %d distinct objects; rank->count samples:", name, len(rf))
+		step := len(rf) / points
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(rf); i += step {
+			fmt.Fprintf(&b, " %d:%d", i+1, rf[i])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func newTab(b *strings.Builder) *tabwriter.Writer {
+	return tabwriter.NewWriter(b, 2, 4, 2, ' ', 0)
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import "idicn/internal/sim"
+
+// AblationLookupCost relaxes the paper's conservative zero-cost
+// nearest-replica lookup assumption (§3: "we conservatively assume that
+// routing and lookup have zero cost"): each NR serve that needed the
+// replica lookup pays a fixed latency penalty, expressed here in hops. The
+// sweep shows how quickly ICN-NR's advantage over EDGE erodes once lookup
+// and content-routing overheads are charged at all.
+func AblationLookupCost(p Params, penalties []float64) ([]SweepPoint, error) {
+	if penalties == nil {
+		penalties = []float64{0, 0.5, 1, 2, 4}
+	}
+	var points []SweepPoint
+	for _, pen := range penalties {
+		cfg, reqs := p.Workload(p.sweepTopology())
+		cfg.NRLookupPenalty = pen
+		gap, err := GapNRvsEdge(cfg, reqs)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{X: pen, Gap: gap})
+	}
+	return points, nil
+}
+
+// AblationWarmup measures the NR-over-EDGE gap when the first fraction of
+// the stream is treated as warmup (caches exercised, metrics excluded).
+// Steady-state gaps are smaller than whole-stream gaps because the
+// cold-start period — where nearest-replica routing shines by pooling the
+// network's few warm copies — is removed; the paper's whole-trace
+// methodology corresponds to warmup 0.
+func AblationWarmup(p Params, fractions []float64) ([]SweepPoint, error) {
+	if fractions == nil {
+		fractions = []float64{0, 0.25, 0.5, 0.75}
+	}
+	tp := p.sweepTopology()
+	var points []SweepPoint
+	for _, f := range fractions {
+		cfg, reqs := p.Workload(tp)
+		cfg.WarmupRequests = int(float64(len(reqs)) * f)
+		gap, err := GapNRvsEdge(cfg, reqs)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{X: f, Gap: gap})
+	}
+	return points, nil
+}
+
+// AblationCoopScope sweeps the cooperative search radius of the EDGE design
+// (§3's "cooperative caching within a small search scope"): scope 0 is plain
+// EDGE, scope 2 is the paper's EDGE-Coop (siblings), larger scopes reach
+// cousins and beyond. The gap to ICN-NR shrinks as the scope widens,
+// quantifying how much cooperation substitutes for pervasive caching.
+func AblationCoopScope(p Params, scopes []int) ([]SweepPoint, error) {
+	if scopes == nil {
+		scopes = []int{0, 2, 4, 6}
+	}
+	tp := p.sweepTopology()
+	var points []SweepPoint
+	for _, scope := range scopes {
+		cfg, reqs := p.Workload(tp)
+		variant := sim.Design{
+			Name:      "EDGE-Coop-scope",
+			Placement: sim.PlacementEdge,
+			Routing:   sim.RouteShortestPath,
+			CoopScope: scope,
+		}
+		results, err := sim.CompareDesigns(cfg, []sim.Design{sim.ICNNR, variant}, reqs)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{
+			X:   float64(scope),
+			Gap: sim.Gap(results[0].Improvement, results[1].Improvement),
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,167 @@
+// Package experiments contains one harness per table and figure in the
+// paper's evaluation (§2.2, §4, §5): each produces the same rows or series
+// the paper reports, on synthetic substrates scaled by a single knob.
+//
+// Every harness is deterministic given (Params.Scale, Params.Seed), so the
+// tables in EXPERIMENTS.md regenerate exactly.
+package experiments
+
+import (
+	"idicn/internal/sim"
+	"idicn/internal/topo"
+	"idicn/internal/trace"
+)
+
+// Params carries the simulation configuration shared by the §4/§5
+// experiments. DefaultParams reproduces the paper's baseline setup.
+type Params struct {
+	// Scale shrinks the workload: 1 is paper scale (the 1.8M-request Asia
+	// trace); tests use 0.01-0.02.
+	Scale float64
+	Seed  int64
+
+	Arity int // access-tree arity (paper baseline: 2)
+	Depth int // access-tree depth (paper baseline: 5)
+
+	BudgetFraction     float64 // F, per-router cache fraction (paper: 5%)
+	BudgetPolicy       sim.BudgetPolicy
+	OriginProportional bool // origin assignment proportional to population
+
+	Alpha       float64 // request popularity exponent (Asia best fit: 1.04)
+	SpatialSkew float64
+
+	// TemporalLocality injects per-leaf short-term reuse into the synthetic
+	// stream (see trace.StreamConfig.TemporalLocality). Zero reproduces an
+	// IID Zipf stream; ~0.7 approximates the locality level of the paper's
+	// real CDN traces and recovers its reported gap magnitudes (see
+	// EXPERIMENTS.md and AblationTemporalLocality).
+	TemporalLocality float64
+
+	// ObjectDivisor sets the simulated object universe to
+	// requests/ObjectDivisor (min 200). The default (360) puts caches in
+	// the full-and-churning regime at F=5%, which the paper's results imply
+	// (EDGE-Norm helps, and Figure 8(b) shows budget sensitivity): with a
+	// universe much larger than this, caches never fill, evictions never
+	// happen, and nearest-replica routing enjoys an unrealistically large
+	// advantage. See AblationObjectUniverse for the regime sweep.
+	ObjectDivisor int
+
+	// Objects, when positive, fixes the object-universe size directly and
+	// overrides ObjectDivisor.
+	Objects int
+
+	// SweepTopology names the topology for the §5 sensitivity sweeps
+	// (Figures 8-10, Table 4, the latency/capacity/size checks). The paper
+	// uses the largest topology, ATT (the default); tests use a smaller,
+	// warmer one.
+	SweepTopology string
+
+	// CustomTopology, when set, overrides SweepTopology with a
+	// user-supplied map (see topo.LoadTopology and icnsim -topology-file).
+	CustomTopology *topo.Topology
+
+	// TraceFile names a request log for TraceDrivenDesigns; VarianceSeeds
+	// sets the seed count for SeedVariance. Both are CLI conveniences.
+	TraceFile     string
+	VarianceSeeds int
+}
+
+// DefaultParams returns the §4 baseline configuration: binary depth-5 access
+// trees, F=5%, population-proportional budgets and origins, the Asia trace's
+// best-fit Zipf exponent, and no spatial skew.
+func DefaultParams(scale float64) Params {
+	return Params{
+		Scale:              scale,
+		Seed:               20130812, // SIGCOMM'13 opening day
+		Arity:              2,
+		Depth:              5,
+		BudgetFraction:     0.05,
+		BudgetPolicy:       sim.BudgetProportional,
+		OriginProportional: true,
+		Alpha:              1.04,
+		SpatialSkew:        0,
+		ObjectDivisor:      360,
+		SweepTopology:      "ATT",
+	}
+}
+
+// sweepTopology resolves the topology used by the §5 sweeps.
+func (p Params) sweepTopology() *topo.Topology {
+	if p.CustomTopology != nil {
+		return p.CustomTopology
+	}
+	tp := topo.ByName(p.SweepTopology)
+	if tp == nil {
+		tp = topo.ATT()
+	}
+	return tp
+}
+
+// workloadSize returns the request and object counts for the paper's Asia
+// workload at the configured scale (1.8M requests at scale 1; see
+// ObjectDivisor for the object-universe sizing).
+func (p Params) workloadSize() (requests, objects int) {
+	requests = int(1_800_000 * p.Scale)
+	if requests < 1000 {
+		requests = 1000
+	}
+	if p.Objects > 0 {
+		return requests, p.Objects
+	}
+	div := p.ObjectDivisor
+	if div <= 0 {
+		div = 360
+	}
+	objects = requests / div
+	if objects < 200 {
+		objects = 200
+	}
+	return requests, objects
+}
+
+// buildNetAndSizes resolves the network and workload dimensions for a
+// topology without materializing requests.
+func (p Params) buildNet(tp *topo.Topology) (*topo.Network, int, int) {
+	net := topo.NewNetwork(tp, p.Arity, p.Depth)
+	requests, objects := p.workloadSize()
+	return net, requests, objects
+}
+
+// Workload materializes the simulation inputs for one topology: the network,
+// a base simulator config (placement/routing fields unset; stamp a Design
+// onto it), and the request stream.
+func (p Params) Workload(tp *topo.Topology) (sim.Config, []sim.Request) {
+	net := topo.NewNetwork(tp, p.Arity, p.Depth)
+	requests, objects := p.workloadSize()
+	weights := tp.PopulationWeights()
+	origins := trace.OriginAssignment(objects, weights, p.OriginProportional, p.Seed+1)
+	reqs := trace.NewSyntheticRequests(trace.StreamConfig{
+		Requests:         requests,
+		Objects:          objects,
+		Alpha:            p.Alpha,
+		SpatialSkew:      p.SpatialSkew,
+		PoPWeights:       weights,
+		Leaves:           net.LeavesPerTree(),
+		Seed:             p.Seed + 2,
+		TemporalLocality: p.TemporalLocality,
+	})
+	cfg := sim.Config{
+		Network:        net,
+		Objects:        objects,
+		Origins:        origins,
+		BudgetFraction: p.BudgetFraction,
+		BudgetPolicy:   p.BudgetPolicy,
+	}
+	return cfg, reqs
+}
+
+// GapNRvsEdge runs ICN-NR and EDGE on the same workload and returns
+// RelImprov(ICN-NR) - RelImprov(EDGE) per metric, the sensitivity-analysis
+// measure of §5.
+func GapNRvsEdge(cfg sim.Config, reqs []sim.Request) (sim.Improvement, error) {
+	results, err := sim.CompareDesigns(cfg, []sim.Design{sim.ICNNR, sim.EDGE}, reqs)
+	if err != nil {
+		return sim.Improvement{}, err
+	}
+	return sim.Gap(results[0].Improvement, results[1].Improvement), nil
+}

@@ -1,0 +1,267 @@
+// Package adhoc implements idICN's infrastructure-free mode (paper §6.2,
+// "Content sharing in ad hoc mode"): Zeroconf-style link-local address
+// allocation and an mDNS-like name publishing/resolution protocol, over
+// which a user can expose a browser-cache sharing proxy so nearby peers
+// fetch content with no DHCP, DNS, or upstream connectivity — the paper's
+// Alice-and-Bob-on-a-plane scenario.
+//
+// The link itself is abstracted by Transport: tests and examples use the
+// in-process Segment (a broadcast domain), and a UDP transport provides the
+// same protocol over real sockets.
+package adhoc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates protocol message types.
+type Kind string
+
+const (
+	// KindProbe asks whether an address is already claimed (address
+	// autoconfiguration, RFC 3927 style).
+	KindProbe Kind = "probe"
+	// KindClaim announces a claimed address.
+	KindClaim Kind = "claim"
+	// KindQuery asks who can serve a name (mDNS query).
+	KindQuery Kind = "query"
+	// KindAnswer answers a query with a location.
+	KindAnswer Kind = "answer"
+	// KindAnnounce proactively advertises a name (mDNS announcement).
+	KindAnnounce Kind = "announce"
+)
+
+// Message is one protocol datagram.
+type Message struct {
+	Kind   Kind   `json:"kind"`
+	From   string `json:"from"`             // sender address
+	Name   string `json:"name,omitempty"`   // domain or idICN name
+	Target string `json:"target,omitempty"` // answer location (URL) or probed address
+	ID     uint64 `json:"id,omitempty"`     // query correlation id
+}
+
+// Transport is a broadcast link: Send delivers the message to every attached
+// handler except (implementation permitting) the sender's own.
+type Transport interface {
+	// Send broadcasts a message to the link.
+	Send(Message) error
+	// Attach registers a handler for incoming messages and returns a
+	// detach function. Handlers must be quick and must not block.
+	Attach(func(Message)) (detach func())
+}
+
+// Segment is an in-process broadcast domain implementing Transport. It is
+// safe for concurrent use. Delivery is synchronous in the sender's
+// goroutine, like a small LAN without queueing.
+type Segment struct {
+	mu       sync.RWMutex
+	handlers map[int]func(Message)
+	next     int
+}
+
+// NewSegment creates an empty broadcast domain.
+func NewSegment() *Segment {
+	return &Segment{handlers: make(map[int]func(Message))}
+}
+
+// Attach implements Transport.
+func (s *Segment) Attach(h func(Message)) func() {
+	s.mu.Lock()
+	id := s.next
+	s.next++
+	s.handlers[id] = h
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.handlers, id)
+		s.mu.Unlock()
+	}
+}
+
+// Send implements Transport: every attached handler receives the message,
+// including the sender's (receivers filter on From as real multicast sockets
+// do).
+func (s *Segment) Send(m Message) error {
+	s.mu.RLock()
+	hs := make([]func(Message), 0, len(s.handlers))
+	for _, h := range s.handlers {
+		hs = append(hs, h)
+	}
+	s.mu.RUnlock()
+	for _, h := range hs {
+		h(m)
+	}
+	return nil
+}
+
+// AllocateLinkLocal claims a 169.254.x.y address on the link by probing:
+// it proposes seeded-random candidates, listens for conflicting claims, and
+// announces the first unopposed one, mirroring IPv4 link-local
+// autoconfiguration. probeWait bounds how long each probe listens (keep it
+// a few milliseconds in tests).
+func AllocateLinkLocal(t Transport, rng *rand.Rand, probeWait time.Duration) (string, error) {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	// Probes are sent from a unique token rather than the tentative address
+	// (the RFC 3927 analogue of ARP-probing with sender IP 0.0.0.0), so
+	// defenders can tell foreign probes from their own traffic and the
+	// prober can tell defenses from its own looped-back probe.
+	token := fmt.Sprintf("probe-%016x", rng.Uint64())
+	for attempt := 0; attempt < 20; attempt++ {
+		// RFC 3927: 169.254.1.0 - 169.254.254.255.
+		addr := fmt.Sprintf("169.254.%d.%d", 1+rng.Intn(254), rng.Intn(256))
+		conflict := make(chan struct{}, 1)
+		detach := t.Attach(func(m Message) {
+			claimed := m.Kind == KindClaim && m.Target == addr
+			rivalProbe := m.Kind == KindProbe && m.Target == addr && m.From != token
+			if claimed || rivalProbe {
+				select {
+				case conflict <- struct{}{}:
+				default:
+				}
+			}
+		})
+		if err := t.Send(Message{Kind: KindProbe, From: token, Target: addr}); err != nil {
+			detach()
+			return "", err
+		}
+		select {
+		case <-conflict:
+			detach()
+			continue
+		case <-time.After(probeWait):
+		}
+		detach()
+		if err := t.Send(Message{Kind: KindClaim, From: addr, Target: addr}); err != nil {
+			return "", err
+		}
+		return addr, nil
+	}
+	return "", errors.New("adhoc: could not allocate a link-local address")
+}
+
+// Responder answers name queries for the content its owner shares, like an
+// mDNS responder. It also defends its claimed address against probes.
+type Responder struct {
+	transport Transport
+	addr      string
+
+	mu     sync.RWMutex
+	names  map[string]string // lowercase name -> location URL
+	detach func()
+}
+
+// NewResponder attaches a responder at the given address.
+func NewResponder(t Transport, addr string) *Responder {
+	r := &Responder{transport: t, addr: addr, names: make(map[string]string)}
+	r.detach = t.Attach(r.handle)
+	return r
+}
+
+// Publish announces that name is served at location (paper: "The proxy
+// publishes an alias for the machine for each domain name with content in
+// the cache").
+func (r *Responder) Publish(name, location string) error {
+	name = strings.ToLower(name)
+	r.mu.Lock()
+	r.names[name] = location
+	r.mu.Unlock()
+	return r.transport.Send(Message{Kind: KindAnnounce, From: r.addr, Name: name, Target: location})
+}
+
+// Unpublish withdraws a name.
+func (r *Responder) Unpublish(name string) {
+	r.mu.Lock()
+	delete(r.names, strings.ToLower(name))
+	r.mu.Unlock()
+}
+
+// Names returns the published names.
+func (r *Responder) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.names))
+	for n := range r.names {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Close detaches the responder from the link.
+func (r *Responder) Close() {
+	if r.detach != nil {
+		r.detach()
+		r.detach = nil
+	}
+}
+
+func (r *Responder) handle(m Message) {
+	switch m.Kind {
+	case KindQuery:
+		r.mu.RLock()
+		loc, ok := r.names[strings.ToLower(m.Name)]
+		r.mu.RUnlock()
+		if !ok {
+			return
+		}
+		r.transport.Send(Message{Kind: KindAnswer, From: r.addr, Name: m.Name, Target: loc, ID: m.ID})
+	case KindProbe:
+		if m.Target == r.addr && m.From != r.addr {
+			// Defend the address.
+			r.transport.Send(Message{Kind: KindClaim, From: r.addr, Target: r.addr})
+		}
+	}
+}
+
+// ErrNoAnswer is returned by Query when nobody on the link serves the name.
+var ErrNoAnswer = errors.New("adhoc: no answer for name")
+
+// Querier resolves names over the link, the "mDNS as a fallback name
+// resolution mechanism" of §6.2.
+type Querier struct {
+	transport Transport
+	addr      string
+	rng       *rand.Rand
+	mu        sync.Mutex
+}
+
+// NewQuerier creates a querier sending from the given address.
+func NewQuerier(t Transport, addr string, rng *rand.Rand) *Querier {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return &Querier{transport: t, addr: addr, rng: rng}
+}
+
+// Query broadcasts a query for name and returns the first answer's location
+// within the timeout.
+func (q *Querier) Query(name string, timeout time.Duration) (string, error) {
+	q.mu.Lock()
+	id := q.rng.Uint64()
+	q.mu.Unlock()
+	answer := make(chan string, 1)
+	detach := q.transport.Attach(func(m Message) {
+		if m.Kind == KindAnswer && m.ID == id && strings.EqualFold(m.Name, name) {
+			select {
+			case answer <- m.Target:
+			default:
+			}
+		}
+	})
+	defer detach()
+	if err := q.transport.Send(Message{Kind: KindQuery, From: q.addr, Name: name, ID: id}); err != nil {
+		return "", err
+	}
+	select {
+	case loc := <-answer:
+		return loc, nil
+	case <-time.After(timeout):
+		return "", fmt.Errorf("%w: %s", ErrNoAnswer, name)
+	}
+}

@@ -1,0 +1,236 @@
+package adhoc
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const probeWait = 2 * time.Millisecond
+
+func TestAllocateLinkLocal(t *testing.T) {
+	seg := NewSegment()
+	rng := rand.New(rand.NewSource(1))
+	addr, err := AllocateLinkLocal(seg, rng, probeWait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(addr, "169.254.") {
+		t.Fatalf("allocated %q, want 169.254.0.0/16", addr)
+	}
+	parts := strings.Split(addr, ".")
+	if len(parts) != 4 || parts[2] == "0" || parts[2] == "255" {
+		t.Fatalf("allocated %q outside RFC 3927 host range", addr)
+	}
+}
+
+func TestAllocateAvoidsDefendedAddress(t *testing.T) {
+	seg := NewSegment()
+	// Occupy the exact address the seeded allocator would pick first.
+	occupied, err := AllocateLinkLocal(seg, rand.New(rand.NewSource(7)), probeWait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defender := NewResponder(seg, occupied)
+	defer defender.Close()
+
+	// Same seed: first candidate collides, defense forces a different pick.
+	addr, err := AllocateLinkLocal(seg, rand.New(rand.NewSource(7)), probeWait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == occupied {
+		t.Fatalf("allocator reused defended address %s", addr)
+	}
+}
+
+func TestPublishQueryAnswer(t *testing.T) {
+	seg := NewSegment()
+	resp := NewResponder(seg, "169.254.1.1")
+	defer resp.Close()
+	if err := resp.Publish("cnn.com", "http://169.254.1.1:8080"); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuerier(seg, "169.254.2.2", rand.New(rand.NewSource(2)))
+	loc, err := q.Query("CNN.com", 50*time.Millisecond) // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc != "http://169.254.1.1:8080" {
+		t.Fatalf("answer = %q", loc)
+	}
+	// Unknown names time out with ErrNoAnswer.
+	if _, err := q.Query("nyt.com", 10*time.Millisecond); err == nil {
+		t.Fatal("unknown name answered")
+	}
+	resp.Unpublish("cnn.com")
+	if _, err := q.Query("cnn.com", 10*time.Millisecond); err == nil {
+		t.Fatal("unpublished name still answered")
+	}
+}
+
+func TestResponderNames(t *testing.T) {
+	seg := NewSegment()
+	r := NewResponder(seg, "a")
+	defer r.Close()
+	r.Publish("x.com", "http://a")
+	r.Publish("y.com", "http://a")
+	names := r.Names()
+	if len(names) != 2 {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	seg := NewSegment()
+	resp := NewResponder(seg, "169.254.1.1")
+	defer resp.Close()
+	resp.Publish("site.com", "http://here")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := NewQuerier(seg, "peer", rand.New(rand.NewSource(int64(i))))
+			if loc, err := q.Query("site.com", 100*time.Millisecond); err != nil || loc != "http://here" {
+				t.Errorf("query %d: %v %q", i, err, loc)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestUDPTransport(t *testing.T) {
+	a, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.AddPeer(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Responder on b, querier on a, across real sockets.
+	resp := NewResponder(b, "node-b")
+	defer resp.Close()
+	if err := resp.Publish("shared.example", "http://node-b:9"); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuerier(a, "node-a", rand.New(rand.NewSource(3)))
+	loc, err := q.Query("shared.example", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc != "http://node-b:9" {
+		t.Fatalf("answer over UDP = %q", loc)
+	}
+}
+
+func TestUDPTransportBadPeer(t *testing.T) {
+	tr, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.AddPeer("not an address"); err == nil {
+		t.Error("bad peer accepted")
+	}
+}
+
+func TestBrowserCache(t *testing.T) {
+	bc := NewBrowserCache()
+	bc.Put("CNN.com", "index.html", CacheEntry{ContentType: "text/html", Body: []byte("hi")})
+	if _, ok := bc.Get("cnn.com", "/index.html"); !ok {
+		t.Fatal("case/slash normalization failed")
+	}
+	if _, ok := bc.Get("cnn.com", "/other"); ok {
+		t.Fatal("phantom entry")
+	}
+	bc.Put("cnn.com", "/sports", CacheEntry{Body: []byte("x")})
+	bc.Put("bbc.co.uk", "/", CacheEntry{Body: []byte("y")})
+	hosts := bc.Hosts()
+	if len(hosts) != 2 {
+		t.Fatalf("Hosts = %v", hosts)
+	}
+}
+
+// TestAliceAndBob reproduces the paper's §6.2 scenario end to end: Alice has
+// CNN headlines in her browser cache and shares them; Bob, with no DNS or
+// upstream network, resolves cnn.com over the ad hoc link and fetches the
+// page from Alice's machine.
+func TestAliceAndBob(t *testing.T) {
+	link := NewSegment()
+
+	// Alice: link-local address, shared browser cache, share proxy.
+	aliceAddr, err := AllocateLinkLocal(link, rand.New(rand.NewSource(10)), probeWait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceCache := NewBrowserCache()
+	aliceCache.Put("cnn.com", "/", CacheEntry{ContentType: "text/html", Body: []byte("<h1>Headlines</h1>")})
+	aliceResponder := NewResponder(link, aliceAddr)
+	defer aliceResponder.Close()
+
+	share := NewShareProxy(aliceCache, aliceResponder, "")
+	aliceSrv := httptest.NewServer(share)
+	defer aliceSrv.Close()
+	*share = *NewShareProxy(aliceCache, aliceResponder, aliceSrv.URL)
+	if err := share.PublishAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob: joins the link, resolves cnn.com via the mDNS fallback.
+	bobAddr, err := AllocateLinkLocal(link, rand.New(rand.NewSource(11)), probeWait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob := NewQuerier(link, bobAddr, rand.New(rand.NewSource(12)))
+	loc, err := bob.Query("cnn.com", 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Bob could not resolve cnn.com: %v", err)
+	}
+	if loc != aliceSrv.URL {
+		t.Fatalf("resolved %q, want %q", loc, aliceSrv.URL)
+	}
+
+	// Bob's browser issues GET / with Host: cnn.com to Alice's proxy.
+	req, _ := http.NewRequest(http.MethodGet, loc+"/", nil)
+	req.Host = "cnn.com"
+	resp, err := aliceSrv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "<h1>Headlines</h1>" {
+		t.Fatalf("Bob got %q", body)
+	}
+	if resp.Header.Get("X-Adhoc-Share") != "hit" {
+		t.Error("response not marked as ad hoc share")
+	}
+
+	// Content Alice never cached is a 404, not an error.
+	req2, _ := http.NewRequest(http.MethodGet, loc+"/missing", nil)
+	req2.Host = "cnn.com"
+	resp2, err := aliceSrv.Client().Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("missing path status = %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,111 @@
+package adhoc
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// CacheEntry is one item of a shared browser cache.
+type CacheEntry struct {
+	ContentType string
+	Body        []byte
+}
+
+// BrowserCache models a browser's HTTP cache keyed by "host/path". It is
+// safe for concurrent use.
+type BrowserCache struct {
+	mu      sync.RWMutex
+	entries map[string]CacheEntry
+}
+
+// NewBrowserCache returns an empty cache.
+func NewBrowserCache() *BrowserCache {
+	return &BrowserCache{entries: make(map[string]CacheEntry)}
+}
+
+// Put stores an entry for host+path.
+func (b *BrowserCache) Put(host, path string, e CacheEntry) {
+	b.mu.Lock()
+	b.entries[key(host, path)] = e
+	b.mu.Unlock()
+}
+
+// Get retrieves an entry.
+func (b *BrowserCache) Get(host, path string) (CacheEntry, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	e, ok := b.entries[key(host, path)]
+	return e, ok
+}
+
+// Hosts returns the distinct hosts with cached content.
+func (b *BrowserCache) Hosts() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	for k := range b.entries {
+		host, _, _ := strings.Cut(k, "/")
+		if !seen[host] {
+			seen[host] = true
+			out = append(out, host)
+		}
+	}
+	return out
+}
+
+func key(host, path string) string {
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	return strings.ToLower(host) + path
+}
+
+// ShareProxy exposes a browser cache over HTTP and publishes each cached
+// host over the ad hoc link, reproducing the paper's prototype ("a simple
+// HTTP proxy ... to expose Chrome browser's cache over the network when the
+// IP address is link-local"). A peer that resolves cnn.com over mDNS to
+// this machine fetches straight out of the shared cache.
+type ShareProxy struct {
+	cache     *BrowserCache
+	responder *Responder
+	baseURL   string
+}
+
+// NewShareProxy wires a browser cache to a responder; baseURL is the HTTP
+// location peers should fetch from (this proxy's listener).
+func NewShareProxy(cache *BrowserCache, responder *Responder, baseURL string) *ShareProxy {
+	return &ShareProxy{cache: cache, responder: responder, baseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// PublishAll announces every cached host on the link.
+func (s *ShareProxy) PublishAll() error {
+	for _, host := range s.cache.Hosts() {
+		if err := s.responder.Publish(host, s.baseURL); err != nil {
+			return fmt.Errorf("adhoc: publishing %s: %w", host, err)
+		}
+	}
+	return nil
+}
+
+// ServeHTTP serves cached content: the request's Host header selects the
+// original site, the path selects the object — exactly what a browser does
+// after mDNS resolves the site's name to this machine.
+func (s *ShareProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	host := r.Host
+	if h, _, ok := strings.Cut(host, ":"); ok {
+		host = h
+	}
+	e, ok := s.cache.Get(host, r.URL.Path)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	if e.ContentType != "" {
+		w.Header().Set("Content-Type", e.ContentType)
+	}
+	w.Header().Set("X-Adhoc-Share", "hit")
+	w.Write(e.Body)
+}

@@ -1,0 +1,129 @@
+package adhoc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// UDPTransport runs the ad hoc protocol over real UDP sockets. True
+// multicast is not always available (containers, test sandboxes), so the
+// broadcast domain is emulated: each node unicasts every message to its
+// known peers, which is behaviorally equivalent on a small link. Peers are
+// learned statically via AddPeer (examples) — on a real LAN this would be
+// the 224.0.0.251 multicast group.
+type UDPTransport struct {
+	conn *net.UDPConn
+
+	mu       sync.RWMutex
+	peers    []*net.UDPAddr
+	handlers map[int]func(Message)
+	next     int
+	closed   bool
+}
+
+// NewUDPTransport binds a UDP socket on addr (use "127.0.0.1:0" for tests)
+// and starts its receive loop.
+func NewUDPTransport(addr string) (*UDPTransport, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("adhoc: resolving %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("adhoc: listening on %s: %w", addr, err)
+	}
+	t := &UDPTransport{conn: conn, handlers: make(map[int]func(Message))}
+	go t.receiveLoop()
+	return t, nil
+}
+
+// Addr returns the bound socket address.
+func (t *UDPTransport) Addr() string { return t.conn.LocalAddr().String() }
+
+// AddPeer adds a link member to unicast to.
+func (t *UDPTransport) AddPeer(addr string) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("adhoc: resolving peer %s: %w", addr, err)
+	}
+	t.mu.Lock()
+	t.peers = append(t.peers, udpAddr)
+	t.mu.Unlock()
+	return nil
+}
+
+// Send implements Transport: the message goes to every peer and is also
+// looped back to local handlers (like a multicast socket with loopback on).
+func (t *UDPTransport) Send(m Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("adhoc: encoding message: %w", err)
+	}
+	t.mu.RLock()
+	peers := append([]*net.UDPAddr(nil), t.peers...)
+	t.mu.RUnlock()
+	for _, p := range peers {
+		if _, err := t.conn.WriteToUDP(data, p); err != nil {
+			return fmt.Errorf("adhoc: sending to %s: %w", p, err)
+		}
+	}
+	t.deliver(m)
+	return nil
+}
+
+// Attach implements Transport.
+func (t *UDPTransport) Attach(h func(Message)) func() {
+	t.mu.Lock()
+	id := t.next
+	t.next++
+	t.handlers[id] = h
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		delete(t.handlers, id)
+		t.mu.Unlock()
+	}
+}
+
+// Close shuts the socket down; the receive loop exits.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	return t.conn.Close()
+}
+
+func (t *UDPTransport) receiveLoop() {
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			t.mu.RLock()
+			closed := t.closed
+			t.mu.RUnlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		var m Message
+		if err := json.Unmarshal(buf[:n], &m); err != nil {
+			continue // ignore malformed datagrams, as an mDNS stack would
+		}
+		t.deliver(m)
+	}
+}
+
+func (t *UDPTransport) deliver(m Message) {
+	t.mu.RLock()
+	hs := make([]func(Message), 0, len(t.handlers))
+	for _, h := range t.handlers {
+		hs = append(hs, h)
+	}
+	t.mu.RUnlock()
+	for _, h := range hs {
+		h(m)
+	}
+}

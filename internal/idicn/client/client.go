@@ -1,0 +1,234 @@
+// Package client is the end-host side of idICN (paper §6.2): WPAD-style
+// discovery of the Proxy Auto-Config file, a PAC evaluator sufficient for
+// the PAC files idICN proxies serve, and a fetch-by-name API that routes
+// idICN names through the discovered proxy and optionally re-verifies
+// content locally ("the client or the proxy should authenticate the
+// content; ... the former would require software changes" — this package is
+// that software change).
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"idicn/internal/idicn/metalink"
+	"idicn/internal/idicn/names"
+)
+
+// NetworkConfig is what a host learns from its network at attach time. WPAD
+// finds the PAC URL either from DHCP option 252 or by probing the
+// wpad.<domain> convention; both are modelled as candidate URLs here.
+type NetworkConfig struct {
+	// DHCPPACURL is DHCP option 252 (may be empty).
+	DHCPPACURL string
+	// WPADCandidates are well-known PAC locations to probe in order
+	// (http://wpad.<domain>/wpad.dat and friends).
+	WPADCandidates []string
+}
+
+// ErrNoPAC is returned when no PAC file could be discovered.
+var ErrNoPAC = errors.New("client: WPAD found no PAC file")
+
+// DiscoverPAC fetches the first reachable PAC file, DHCP-supplied location
+// first, then the WPAD candidates — the paper's step 1.
+func DiscoverPAC(ctx context.Context, hc *http.Client, cfg NetworkConfig) (*PAC, error) {
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Second}
+	}
+	candidates := make([]string, 0, 1+len(cfg.WPADCandidates))
+	if cfg.DHCPPACURL != "" {
+		candidates = append(candidates, cfg.DHCPPACURL)
+	}
+	candidates = append(candidates, cfg.WPADCandidates...)
+	var lastErr error = ErrNoPAC
+	for _, u := range candidates {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || readErr != nil {
+			lastErr = fmt.Errorf("client: %s: status %s", u, resp.Status)
+			continue
+		}
+		pac, err := ParsePAC(string(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return pac, nil
+	}
+	return nil, lastErr
+}
+
+// PAC is a parsed Proxy Auto-Config policy. Full PAC files are JavaScript;
+// idICN proxies emit a single canonical shape (dnsDomainIs checks routing a
+// domain suffix to one proxy, DIRECT otherwise), and this evaluator handles
+// exactly that shape, which is all a pure-Go host needs.
+type PAC struct {
+	// Rules map domain suffixes (with leading dot) or exact hosts to proxy
+	// addresses ("host:port").
+	Rules []PACRule
+}
+
+// PACRule routes hosts matching Suffix (leading dot = suffix match,
+// otherwise exact) to Proxy.
+type PACRule struct {
+	Suffix string
+	Proxy  string
+}
+
+// ErrBadPAC is returned for PAC files outside the supported shape.
+var ErrBadPAC = errors.New("client: unsupported PAC file")
+
+// ParsePAC extracts the domain->proxy rules from an idICN-shaped PAC file.
+func ParsePAC(src string) (*PAC, error) {
+	if !strings.Contains(src, "FindProxyForURL") {
+		return nil, fmt.Errorf("%w: no FindProxyForURL", ErrBadPAC)
+	}
+	pac := &PAC{}
+	// Find every dnsDomainIs(host, ".suffix") / host == "name" condition and
+	// the PROXY directive it guards.
+	rest := src
+	for {
+		proxyIdx := strings.Index(rest, `return "PROXY `)
+		if proxyIdx < 0 {
+			break
+		}
+		head := rest[:proxyIdx]
+		proxyPart := rest[proxyIdx+len(`return "PROXY `):]
+		end := strings.IndexByte(proxyPart, '"')
+		if end < 0 {
+			return nil, fmt.Errorf("%w: unterminated PROXY directive", ErrBadPAC)
+		}
+		proxy := strings.TrimSuffix(strings.TrimSpace(proxyPart[:end]), ";")
+		for _, suffix := range pacConditions(head) {
+			pac.Rules = append(pac.Rules, PACRule{Suffix: suffix, Proxy: proxy})
+		}
+		rest = proxyPart[end:]
+	}
+	if len(pac.Rules) == 0 {
+		return nil, fmt.Errorf("%w: no proxy rules found", ErrBadPAC)
+	}
+	return pac, nil
+}
+
+// pacConditions extracts domain conditions from the text preceding a PROXY
+// return: dnsDomainIs(host, ".x") and host == "x".
+func pacConditions(src string) []string {
+	var out []string
+	for i := 0; ; {
+		j := strings.Index(src[i:], "dnsDomainIs(")
+		if j < 0 {
+			break
+		}
+		i += j + len("dnsDomainIs(")
+		open := strings.IndexByte(src[i:], '"')
+		if open < 0 {
+			break
+		}
+		close1 := strings.IndexByte(src[i+open+1:], '"')
+		if close1 < 0 {
+			break
+		}
+		out = append(out, src[i+open+1:i+open+1+close1])
+		i += open + 1 + close1
+	}
+	for i := 0; ; {
+		j := strings.Index(src[i:], `host == "`)
+		if j < 0 {
+			break
+		}
+		i += j + len(`host == "`)
+		end := strings.IndexByte(src[i:], '"')
+		if end < 0 {
+			break
+		}
+		out = append(out, src[i:i+end])
+		i += end
+	}
+	return out
+}
+
+// ProxyFor returns the proxy address for a host, or "" for DIRECT.
+func (p *PAC) ProxyFor(host string) string {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	for _, r := range p.Rules {
+		if strings.HasPrefix(r.Suffix, ".") {
+			if strings.HasSuffix(host, r.Suffix) {
+				return r.Proxy
+			}
+			continue
+		}
+		if host == strings.ToLower(r.Suffix) {
+			return r.Proxy
+		}
+	}
+	return ""
+}
+
+// Client fetches idICN content the way a PAC-configured browser would:
+// names route through the discovered proxy; VerifyLocally additionally
+// re-checks the self-certification on the client ("the latter would put
+// trust on proxies" — setting this removes even that trust).
+type Client struct {
+	PAC           *PAC
+	HTTP          *http.Client
+	VerifyLocally bool
+}
+
+// ErrNoProxy is returned when the PAC routes a name DIRECT (idICN names
+// cannot be fetched without a proxy or resolver).
+var ErrNoProxy = errors.New("client: PAC routes idICN name DIRECT")
+
+// Fetch retrieves and (optionally locally) verifies the content for a name.
+func (c *Client) Fetch(ctx context.Context, n names.Name) ([]byte, error) {
+	hc := c.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	host := n.DNS()
+	proxyAddr := c.PAC.ProxyFor(host)
+	if proxyAddr == "" {
+		return nil, fmt.Errorf("%w: %s", ErrNoProxy, host)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+proxyAddr+"/", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Host = host
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: fetching %s via %s: %w", n, proxyAddr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<28))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: %s: status %s: %s", n, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if c.VerifyLocally {
+		v, err := metalink.VerifyResponse(resp.Header, body)
+		if err != nil {
+			return nil, fmt.Errorf("client: local verification of %s failed: %w", n, err)
+		}
+		if v.Name != n {
+			return nil, fmt.Errorf("client: proxy returned %s, requested %s", v.Name, n)
+		}
+	}
+	return body, nil
+}

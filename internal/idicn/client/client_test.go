@@ -1,0 +1,178 @@
+package client
+
+import (
+	"context"
+	"crypto/ed25519"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/origin"
+	"idicn/internal/idicn/proxy"
+	"idicn/internal/idicn/resolver"
+)
+
+const samplePAC = `function FindProxyForURL(url, host) {
+  if (dnsDomainIs(host, ".idicn.org") || host == "idicn.org")
+    return "PROXY 127.0.0.1:3128";
+  return "DIRECT";
+}
+`
+
+func TestParsePAC(t *testing.T) {
+	pac, err := ParsePAC(samplePAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pac.ProxyFor("video.abc.idicn.org"); got != "127.0.0.1:3128" {
+		t.Errorf("ProxyFor(name) = %q", got)
+	}
+	if got := pac.ProxyFor("idicn.org"); got != "127.0.0.1:3128" {
+		t.Errorf("ProxyFor(apex) = %q", got)
+	}
+	if got := pac.ProxyFor("example.com"); got != "" {
+		t.Errorf("ProxyFor(legacy) = %q, want DIRECT", got)
+	}
+	// Trailing dots and case are normalized.
+	if got := pac.ProxyFor("X.IDICN.ORG."); got != "127.0.0.1:3128" {
+		t.Errorf("ProxyFor(normalized) = %q", got)
+	}
+}
+
+func TestParsePACRejectsGarbage(t *testing.T) {
+	for name, src := range map[string]string{
+		"empty":    "",
+		"no-func":  "return \"PROXY x:1\";",
+		"no-rules": "function FindProxyForURL(url, host) { return \"DIRECT\"; }",
+		"unclosed": "function FindProxyForURL(u,h){ if (dnsDomainIs(h, \".x\")) return \"PROXY ",
+	} {
+		if _, err := ParsePAC(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDiscoverPAC(t *testing.T) {
+	pacSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/wpad.dat" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(samplePAC))
+	}))
+	defer pacSrv.Close()
+	dead := httptest.NewServer(nil)
+	dead.Close()
+
+	ctx := context.Background()
+	// DHCP wins when present.
+	pac, err := DiscoverPAC(ctx, pacSrv.Client(), NetworkConfig{DHCPPACURL: pacSrv.URL + "/wpad.dat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pac.Rules) == 0 {
+		t.Fatal("no rules")
+	}
+	// Falls back across dead candidates.
+	pac2, err := DiscoverPAC(ctx, pacSrv.Client(), NetworkConfig{
+		WPADCandidates: []string{dead.URL + "/wpad.dat", pacSrv.URL + "/missing", pacSrv.URL + "/wpad.dat"},
+	})
+	if err != nil {
+		t.Fatalf("fallback discovery failed: %v", err)
+	}
+	if len(pac2.Rules) == 0 {
+		t.Fatal("no rules from fallback")
+	}
+	// Nothing reachable.
+	if _, err := DiscoverPAC(ctx, pacSrv.Client(), NetworkConfig{}); err == nil {
+		t.Error("empty config succeeded")
+	}
+}
+
+// full stack: resolver + origin + proxy, then a PAC-discovering client.
+func TestClientEndToEnd(t *testing.T) {
+	registry := resolver.NewRegistry()
+	resSrv := httptest.NewServer(resolver.NewServer(registry))
+	defer resSrv.Close()
+	resClient := resolver.NewClient(resSrv.URL, resSrv.Client())
+
+	seed := make([]byte, ed25519.SeedSize)
+	seed[0] = 90
+	pub, err := names.PrincipalFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var org *origin.Server
+	orgSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		org.ServeHTTP(w, r)
+	}))
+	defer orgSrv.Close()
+	org = origin.New(pub, resClient, orgSrv.URL)
+
+	px := proxy.New(resClient)
+	pxSrv := httptest.NewServer(px)
+	defer pxSrv.Close()
+
+	ctx := context.Background()
+	body := []byte("client-side verification works")
+	n, err := org.Publish(ctx, "page", "text/plain", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// WPAD against the real proxy's PAC endpoint.
+	pac, err := DiscoverPAC(ctx, pxSrv.Client(), NetworkConfig{DHCPPACURL: pxSrv.URL + "/wpad.dat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyAddr := strings.TrimPrefix(pxSrv.URL, "http://")
+	if got := pac.ProxyFor(n.DNS()); got != proxyAddr {
+		t.Fatalf("PAC routes %s to %q, want %q", n.DNS(), got, proxyAddr)
+	}
+
+	c := &Client{PAC: pac, HTTP: pxSrv.Client(), VerifyLocally: true}
+	got, err := c.Fetch(ctx, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(body) {
+		t.Fatalf("fetched %q", got)
+	}
+
+	// A name under a domain the PAC routes DIRECT is refused.
+	other := &Client{PAC: &PAC{Rules: []PACRule{{Suffix: ".elsewhere.example", Proxy: "x:1"}}}}
+	if _, err := other.Fetch(ctx, n); err == nil {
+		t.Error("DIRECT-routed idICN name fetched")
+	}
+}
+
+func TestClientLocalVerificationCatchesBadProxy(t *testing.T) {
+	// A compromised proxy returns unauthenticated bytes; a locally-verifying
+	// client must reject them.
+	badProxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("lies"))
+	}))
+	defer badProxy.Close()
+
+	seed := make([]byte, ed25519.SeedSize)
+	seed[0] = 91
+	pub, _ := names.PrincipalFromSeed(seed)
+	n, _ := pub.Name("truth")
+	addr := strings.TrimPrefix(badProxy.URL, "http://")
+	c := &Client{
+		PAC:           &PAC{Rules: []PACRule{{Suffix: "." + names.Domain, Proxy: addr}}},
+		HTTP:          badProxy.Client(),
+		VerifyLocally: true,
+	}
+	if _, err := c.Fetch(context.Background(), n); err == nil {
+		t.Fatal("unauthenticated proxy response accepted")
+	}
+	// Without local verification the client (trusting the proxy) accepts.
+	c.VerifyLocally = false
+	got, err := c.Fetch(context.Background(), n)
+	if err != nil || string(got) != "lies" {
+		t.Fatalf("trusting client: %q %v", got, err)
+	}
+}

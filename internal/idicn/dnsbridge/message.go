@@ -1,0 +1,272 @@
+// Package dnsbridge implements the DNS compatibility layer of idICN
+// (paper §6.1): names are DNS-compatible (L.P.idicn.org) precisely so that
+// unmodified clients can reach content through ordinary name resolution.
+// The bridge is an authoritative mini-server for the idicn.org zone that
+// answers every (cryptographically well-formed) name with the address of a
+// nearby edge proxy, so a legacy browser's GET lands at the proxy with the
+// name in the Host header — no client changes at all.
+//
+// The wire format implementation covers exactly what an authoritative
+// A-record responder needs from RFC 1035: query parsing (single question,
+// no compression in QNAME as queries never need it) and response building
+// with a compression pointer to the question name.
+package dnsbridge
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// DNS constants (RFC 1035).
+const (
+	TypeA    = 1
+	TypeAAAA = 28
+	ClassIN  = 1
+
+	// RCODEs.
+	RcodeNoError  = 0
+	RcodeFormErr  = 1
+	RcodeNXDomain = 3
+	RcodeRefused  = 5
+
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagRD = 1 << 8
+
+	headerLen = 12
+	maxName   = 255
+	maxLabel  = 63
+)
+
+// Question is the single question of a query.
+type Question struct {
+	Name  string // lowercase, no trailing dot
+	Type  uint16
+	Class uint16
+}
+
+// Errors from query parsing.
+var (
+	ErrTruncatedMessage = errors.New("dnsbridge: truncated message")
+	ErrNotAQuery        = errors.New("dnsbridge: message is not a query")
+	ErrBadQuestion      = errors.New("dnsbridge: malformed question")
+)
+
+// ParseQuery extracts the ID, recursion-desired bit, and question from a
+// DNS query. Exactly one question is required, as every real stub resolver
+// sends.
+func ParseQuery(msg []byte) (id uint16, rd bool, q Question, err error) {
+	if len(msg) < headerLen {
+		return 0, false, q, ErrTruncatedMessage
+	}
+	id = binary.BigEndian.Uint16(msg[0:2])
+	flags := binary.BigEndian.Uint16(msg[2:4])
+	if flags&flagQR != 0 {
+		return id, false, q, ErrNotAQuery
+	}
+	rd = flags&flagRD != 0
+	if qd := binary.BigEndian.Uint16(msg[4:6]); qd != 1 {
+		return id, rd, q, fmt.Errorf("%w: %d questions", ErrBadQuestion, qd)
+	}
+	name, off, err := parseName(msg, headerLen)
+	if err != nil {
+		return id, rd, q, err
+	}
+	if off+4 > len(msg) {
+		return id, rd, q, ErrTruncatedMessage
+	}
+	q.Name = name
+	q.Type = binary.BigEndian.Uint16(msg[off : off+2])
+	q.Class = binary.BigEndian.Uint16(msg[off+2 : off+4])
+	return id, rd, q, nil
+}
+
+// parseName decodes an uncompressed domain name starting at off, returning
+// the lowercase dotted name and the offset past it.
+func parseName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	total := 0
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedMessage
+		}
+		l := int(msg[off])
+		if l == 0 {
+			off++
+			break
+		}
+		if l > maxLabel {
+			return "", 0, fmt.Errorf("%w: label length %d", ErrBadQuestion, l)
+		}
+		off++
+		if off+l > len(msg) {
+			return "", 0, ErrTruncatedMessage
+		}
+		total += l + 1
+		if total > maxName {
+			return "", 0, fmt.Errorf("%w: name too long", ErrBadQuestion)
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte('.')
+		}
+		for _, c := range msg[off : off+l] {
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			// Restrict to hostname characters so the dotted string form is
+			// unambiguous (a label containing '.' would alias another name).
+			// An authoritative server for the idICN zone never needs more.
+			if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '*') {
+				return "", 0, fmt.Errorf("%w: unsupported character %q in label", ErrBadQuestion, c)
+			}
+			sb.WriteByte(c)
+		}
+		off += l
+	}
+	return sb.String(), off, nil
+}
+
+// appendName encodes a dotted name in wire format.
+func appendName(dst []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > maxLabel {
+				return nil, fmt.Errorf("%w: label %q", ErrBadQuestion, label)
+			}
+			dst = append(dst, byte(len(label)))
+			dst = append(dst, label...)
+		}
+	}
+	return append(dst, 0), nil
+}
+
+// BuildResponse assembles an authoritative response to q: the question
+// echoed, then one A record per address (answers are ignored for rcode !=
+// NoError). The answer name uses a compression pointer to the question.
+func BuildResponse(id uint16, rd bool, q Question, rcode int, ttl uint32, addrs []net.IP) ([]byte, error) {
+	flags := uint16(flagQR | flagAA)
+	if rd {
+		flags |= flagRD
+	}
+	flags |= uint16(rcode) & 0x000F
+
+	answers := addrs
+	if rcode != RcodeNoError {
+		answers = nil
+	}
+	msg := make([]byte, headerLen, headerLen+64+len(answers)*16)
+	binary.BigEndian.PutUint16(msg[0:2], id)
+	binary.BigEndian.PutUint16(msg[2:4], flags)
+	binary.BigEndian.PutUint16(msg[4:6], 1) // QDCOUNT
+	binary.BigEndian.PutUint16(msg[6:8], uint16(len(answers)))
+
+	var err error
+	msg, err = appendName(msg, q.Name)
+	if err != nil {
+		return nil, err
+	}
+	msg = binary.BigEndian.AppendUint16(msg, q.Type)
+	msg = binary.BigEndian.AppendUint16(msg, q.Class)
+
+	for _, ip := range answers {
+		v4 := ip.To4()
+		if v4 == nil {
+			return nil, fmt.Errorf("dnsbridge: %v is not an IPv4 address", ip)
+		}
+		// Compression pointer to the question name at offset 12.
+		msg = append(msg, 0xC0, headerLen)
+		msg = binary.BigEndian.AppendUint16(msg, TypeA)
+		msg = binary.BigEndian.AppendUint16(msg, ClassIN)
+		msg = binary.BigEndian.AppendUint32(msg, ttl)
+		msg = binary.BigEndian.AppendUint16(msg, 4)
+		msg = append(msg, v4...)
+	}
+	return msg, nil
+}
+
+// BuildQuery assembles a query for name/type, for the test client and the
+// Lookup helper.
+func BuildQuery(id uint16, name string, qtype uint16) ([]byte, error) {
+	msg := make([]byte, headerLen, headerLen+len(name)+6)
+	binary.BigEndian.PutUint16(msg[0:2], id)
+	binary.BigEndian.PutUint16(msg[2:4], flagRD)
+	binary.BigEndian.PutUint16(msg[4:6], 1)
+	var err error
+	msg, err = appendName(msg, strings.ToLower(name))
+	if err != nil {
+		return nil, err
+	}
+	msg = binary.BigEndian.AppendUint16(msg, qtype)
+	msg = binary.BigEndian.AppendUint16(msg, ClassIN)
+	return msg, nil
+}
+
+// ParseResponse extracts the rcode and A-record addresses from a response
+// to a single-question query (compression pointers in answer names are
+// skipped, not followed — only the RDATA matters here).
+func ParseResponse(msg []byte) (id uint16, rcode int, addrs []net.IP, err error) {
+	if len(msg) < headerLen {
+		return 0, 0, nil, ErrTruncatedMessage
+	}
+	id = binary.BigEndian.Uint16(msg[0:2])
+	flags := binary.BigEndian.Uint16(msg[2:4])
+	if flags&flagQR == 0 {
+		return id, 0, nil, errors.New("dnsbridge: not a response")
+	}
+	rcode = int(flags & 0x000F)
+	qd := int(binary.BigEndian.Uint16(msg[4:6]))
+	an := int(binary.BigEndian.Uint16(msg[6:8]))
+	off := headerLen
+	for i := 0; i < qd; i++ {
+		_, next, err := parseName(msg, off)
+		if err != nil {
+			return id, rcode, nil, err
+		}
+		off = next + 4
+	}
+	for i := 0; i < an; i++ {
+		off, err = skipName(msg, off)
+		if err != nil {
+			return id, rcode, nil, err
+		}
+		if off+10 > len(msg) {
+			return id, rcode, nil, ErrTruncatedMessage
+		}
+		typ := binary.BigEndian.Uint16(msg[off : off+2])
+		rdlen := int(binary.BigEndian.Uint16(msg[off+8 : off+10]))
+		off += 10
+		if off+rdlen > len(msg) {
+			return id, rcode, nil, ErrTruncatedMessage
+		}
+		if typ == TypeA && rdlen == 4 {
+			addrs = append(addrs, net.IP(append([]byte(nil), msg[off:off+4]...)))
+		}
+		off += rdlen
+	}
+	return id, rcode, addrs, nil
+}
+
+// skipName advances past a possibly-compressed name.
+func skipName(msg []byte, off int) (int, error) {
+	for {
+		if off >= len(msg) {
+			return 0, ErrTruncatedMessage
+		}
+		l := int(msg[off])
+		switch {
+		case l == 0:
+			return off + 1, nil
+		case l&0xC0 == 0xC0:
+			if off+2 > len(msg) {
+				return 0, ErrTruncatedMessage
+			}
+			return off + 2, nil
+		default:
+			off += 1 + l
+		}
+	}
+}

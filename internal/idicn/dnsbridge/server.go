@@ -1,0 +1,187 @@
+package dnsbridge
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idicn/internal/idicn/names"
+)
+
+// Server is an authoritative UDP DNS responder for the idICN zone. For any
+// syntactically valid self-certifying name under the zone — and for
+// wpad.<zone>, so WPAD discovery works too — it answers with the configured
+// edge-proxy addresses. Well-formed queries for junk under the zone get
+// NXDOMAIN; queries outside the zone are REFUSED (this server is
+// authoritative only).
+type Server struct {
+	conn    *net.UDPConn
+	zone    string // lowercase, no trailing dot (e.g. "idicn.org")
+	ttl     uint32
+	proxyA  []net.IP
+	answers atomic.Int64
+	nx      atomic.Int64
+	refused atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer binds a UDP DNS server on addr (use "127.0.0.1:0" in tests)
+// answering for zone with the given proxy IPv4 addresses.
+func NewServer(addr, zone string, proxyIPs []string, ttl uint32) (*Server, error) {
+	if len(proxyIPs) == 0 {
+		return nil, fmt.Errorf("dnsbridge: no proxy addresses")
+	}
+	var ips []net.IP
+	for _, s := range proxyIPs {
+		ip := net.ParseIP(s)
+		if ip == nil || ip.To4() == nil {
+			return nil, fmt.Errorf("dnsbridge: %q is not an IPv4 address", s)
+		}
+		ips = append(ips, ip.To4())
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsbridge: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsbridge: %w", err)
+	}
+	s := &Server{
+		conn:   conn,
+		zone:   strings.ToLower(strings.TrimSuffix(zone, ".")),
+		ttl:    ttl,
+		proxyA: ips,
+	}
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's UDP address.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Stats returns cumulative (answered, nxdomain, refused) counts.
+func (s *Server) Stats() (answered, nxdomain, refused int64) {
+	return s.answers.Load(), s.nx.Load(), s.refused.Load()
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.conn.Close()
+}
+
+func (s *Server) serve() {
+	buf := make([]byte, 4096)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		if resp := s.handle(buf[:n]); resp != nil {
+			s.conn.WriteToUDP(resp, peer)
+		}
+	}
+}
+
+func (s *Server) handle(msg []byte) []byte {
+	id, rd, q, err := ParseQuery(msg)
+	if err != nil {
+		// Malformed packets that at least carried a header get FORMERR;
+		// shorter garbage is dropped.
+		if len(msg) >= headerLen {
+			resp, _ := BuildResponse(id, false, Question{Name: "", Type: 0, Class: ClassIN}, RcodeFormErr, 0, nil)
+			return resp
+		}
+		return nil
+	}
+	rcode, addrs := s.answer(q)
+	resp, err := BuildResponse(id, rd, q, rcode, s.ttl, addrs)
+	if err != nil {
+		resp, _ = BuildResponse(id, rd, q, RcodeFormErr, 0, nil)
+	}
+	return resp
+}
+
+// answer decides the response for one question.
+func (s *Server) answer(q Question) (rcode int, addrs []net.IP) {
+	if q.Class != ClassIN {
+		s.refused.Add(1)
+		return RcodeRefused, nil
+	}
+	name := strings.TrimSuffix(q.Name, ".")
+	if name != s.zone && !strings.HasSuffix(name, "."+s.zone) {
+		s.refused.Add(1)
+		return RcodeRefused, nil
+	}
+	// The zone apex and wpad.<zone> resolve to the proxies (the latter is
+	// what makes WPAD's well-known-name probing work).
+	inZoneHost := name == s.zone || name == "wpad."+s.zone
+	if !inZoneHost {
+		// Anything else must be a well-formed self-certifying name.
+		if _, err := names.Parse(name); err != nil {
+			s.nx.Add(1)
+			return RcodeNXDomain, nil
+		}
+	}
+	switch q.Type {
+	case TypeA:
+		s.answers.Add(1)
+		return RcodeNoError, s.proxyA
+	case TypeAAAA:
+		// Name exists, no AAAA records: NOERROR with zero answers.
+		s.answers.Add(1)
+		return RcodeNoError, nil
+	default:
+		s.answers.Add(1)
+		return RcodeNoError, nil
+	}
+}
+
+// Lookup is a stub-resolver helper: it queries server (host:port) for
+// name's A records.
+func Lookup(server, name string, timeout time.Duration) (rcode int, addrs []net.IP, err error) {
+	conn, err := net.Dial("udp", server)
+	if err != nil {
+		return 0, nil, fmt.Errorf("dnsbridge: %w", err)
+	}
+	defer conn.Close()
+	id := uint16(rand.Int())
+	query, err := BuildQuery(id, name, TypeA)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, nil, err
+	}
+	if _, err := conn.Write(query); err != nil {
+		return 0, nil, fmt.Errorf("dnsbridge: %w", err)
+	}
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return 0, nil, fmt.Errorf("dnsbridge: %w", err)
+	}
+	gotID, rcode, addrs, err := ParseResponse(buf[:n])
+	if err != nil {
+		return 0, nil, err
+	}
+	if gotID != id {
+		return 0, nil, fmt.Errorf("dnsbridge: response ID mismatch")
+	}
+	return rcode, addrs, nil
+}

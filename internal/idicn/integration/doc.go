@@ -1,0 +1,5 @@
+// Package integration holds cross-package end-to-end tests for the idICN
+// stack: the complete Figure 11 pipeline (publish, resolve, proxy fetch,
+// authentication, caching), proxy cooperation, consortium resolvers with
+// delegation, mobility, and ad hoc sharing, all over loopback HTTP.
+package integration

@@ -1,0 +1,293 @@
+package integration
+
+import (
+	"context"
+	"crypto/ed25519"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"idicn/internal/idicn/adhoc"
+	"idicn/internal/idicn/mobility"
+	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/origin"
+	"idicn/internal/idicn/proxy"
+	"idicn/internal/idicn/resolver"
+)
+
+func principal(t testing.TB, b byte) *names.Principal {
+	t.Helper()
+	seed := make([]byte, ed25519.SeedSize)
+	for i := range seed {
+		seed[i] = b
+	}
+	p, err := names.PrincipalFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// deployment is a complete idICN installation: a resolver, one publisher's
+// origin, and two cooperating edge proxies ("AD east" and "AD west").
+type deployment struct {
+	registry  *resolver.Registry
+	resClient *resolver.Client
+	publisher *names.Principal
+	org       *origin.Server
+	east      *proxy.Proxy
+	eastSrv   *httptest.Server
+	west      *proxy.Proxy
+	westSrv   *httptest.Server
+}
+
+func newDeployment(t *testing.T) *deployment {
+	t.Helper()
+	d := &deployment{registry: resolver.NewRegistry()}
+	resSrv := httptest.NewServer(resolver.NewServer(d.registry))
+	t.Cleanup(resSrv.Close)
+	d.resClient = resolver.NewClient(resSrv.URL, resSrv.Client())
+
+	d.publisher = principal(t, 101)
+	orgSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d.org.ServeHTTP(w, r)
+	}))
+	t.Cleanup(orgSrv.Close)
+	d.org = origin.New(d.publisher, d.resClient, orgSrv.URL)
+
+	d.east = proxy.New(d.resClient)
+	d.eastSrv = httptest.NewServer(d.east)
+	t.Cleanup(d.eastSrv.Close)
+	d.west = proxy.New(d.resClient)
+	d.westSrv = httptest.NewServer(d.west)
+	t.Cleanup(d.westSrv.Close)
+	proxy.WithPeers(d.westSrv.URL)(d.east)
+	proxy.WithPeers(d.eastSrv.URL)(d.west)
+	return d
+}
+
+// browse simulates a PAC-configured browser: GET / with the name as Host,
+// via the given proxy.
+func browse(t *testing.T, srv *httptest.Server, n names.Name) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Host = n.DNS()
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestFigure11Pipeline walks the paper's Figure 11 numbered steps across a
+// two-proxy deployment: publish (P1, P2), client auto-configuration (1),
+// request by name (2), resolution (3), fetch with metadata (4-6), verified
+// serve and caching (7), then cooperation between administrative domains.
+func TestFigure11Pipeline(t *testing.T) {
+	d := newDeployment(t)
+	ctx := context.Background()
+
+	// P1 + P2: publish and register.
+	content := []byte("incremental deployment beats forklift upgrades")
+	n, err := d.org.Publish(ctx, "thesis", "text/plain", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.registry.Len() != 1 {
+		t.Fatalf("registry holds %d records after publish", d.registry.Len())
+	}
+
+	// Step 1: the PAC file routes idicn.org through the proxy.
+	pacResp, err := d.eastSrv.Client().Get(d.eastSrv.URL + "/wpad.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pac, _ := io.ReadAll(pacResp.Body)
+	pacResp.Body.Close()
+	if !strings.Contains(string(pac), "idicn.org") {
+		t.Fatalf("PAC file does not cover idicn.org:\n%s", pac)
+	}
+
+	// Steps 2-7 via the east proxy: first fetch misses and verifies.
+	resp1, body1 := browse(t, d.eastSrv, n)
+	if string(body1) != string(content) || resp1.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("first fetch: %q, X-Cache=%s", body1, resp1.Header.Get("X-Cache"))
+	}
+	if resp1.Header.Get("X-Idicn-Name") != n.String() {
+		t.Errorf("metadata name header = %q", resp1.Header.Get("X-Idicn-Name"))
+	}
+
+	// Repeat via east: cache hit, origin untouched.
+	originHits := d.org.OriginHits()
+	resp2, _ := browse(t, d.eastSrv, n)
+	if resp2.Header.Get("X-Cache") != "HIT" {
+		t.Errorf("second fetch X-Cache = %s", resp2.Header.Get("X-Cache"))
+	}
+	if d.org.OriginHits() != originHits {
+		t.Error("cache hit reached the origin")
+	}
+
+	// Cross-domain cooperation: west misses locally but pulls from east's
+	// cache, still without touching the origin.
+	resp3, body3 := browse(t, d.westSrv, n)
+	if string(body3) != string(content) {
+		t.Fatalf("west fetch body = %q", body3)
+	}
+	_ = resp3
+	if d.org.OriginHits() != originHits {
+		t.Error("cooperative fetch reached the origin")
+	}
+	if cs := d.west.CoopStats(); cs.PeerHits != 1 {
+		t.Errorf("west coop stats = %+v", cs)
+	}
+
+	// And the proxies always verified: zero rejections, zero failures.
+	if st := d.east.Stats(); st.Rejected != 0 {
+		t.Errorf("east rejected %d objects", st.Rejected)
+	}
+}
+
+// TestConsortiumWithDelegation runs the two-tier resolution arrangement end
+// to end: the proxy uses a consortium client; the top-level resolvers hold
+// only a publisher delegation pointing at the publisher's own fine-grained
+// resolver.
+func TestConsortiumWithDelegation(t *testing.T) {
+	ctx := context.Background()
+	pub := principal(t, 102)
+
+	// Fine-grained resolver operated by the publisher.
+	fineReg := resolver.NewRegistry()
+	fineSrv := httptest.NewServer(resolver.NewServer(fineReg))
+	defer fineSrv.Close()
+
+	// Two consortium members, both holding only the delegation.
+	var consortium []string
+	for i := 0; i < 2; i++ {
+		reg := resolver.NewRegistry()
+		srv := httptest.NewServer(resolver.NewServer(reg))
+		defer srv.Close()
+		consortium = append(consortium, srv.URL)
+		del, err := resolver.NewRegistration(pub, "", 1, []string{resolver.Delegation(fineSrv.URL)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Register(del); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The origin registers content with its own resolver only.
+	var org *origin.Server
+	orgSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		org.ServeHTTP(w, r)
+	}))
+	defer orgSrv.Close()
+	org = origin.New(pub, resolver.NewClient(fineSrv.URL, fineSrv.Client()), orgSrv.URL)
+	n, err := org.Publish(ctx, "deep", "text/plain", []byte("found via delegation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A client resolving through the consortium finds the content.
+	mc := resolver.NewMultiClient(consortium, nil)
+	res, err := mc.Resolve(ctx, n.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(res.Locations[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "found via delegation" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+// TestMobileContentThroughProxy: content published by a mobile host is
+// fetched through an edge proxy; after the host moves, a fresh client
+// (bypassing the proxy cache via a second proxy) still reaches it.
+func TestMobileContentThroughProxy(t *testing.T) {
+	d := newDeployment(t)
+	ctx := context.Background()
+
+	host := mobility.NewHost(d.publisher, d.resClient)
+	if err := host.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	n, err := host.Publish(ctx, "onthego", "text/plain", []byte("mobile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// East proxy serves it (resolves to the host's first location).
+	_, body := browse(t, d.eastSrv, n)
+	if string(body) != "mobile" {
+		t.Fatalf("pre-move fetch = %q", body)
+	}
+
+	// The host moves; the west proxy (cold cache, and its peer east holds a
+	// verified copy) must still serve the content — either from the peer's
+	// cache or by re-resolving to the new location. Both are correct idICN
+	// behavior; the content verifies either way.
+	if err := host.Move(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, body2 := browse(t, d.westSrv, n)
+	if string(body2) != "mobile" {
+		t.Fatalf("post-move fetch = %q", body2)
+	}
+}
+
+// TestAdhocFallbackWhenResolverUnreachable: with no resolver, content still
+// flows over the ad hoc link (the paper's point that idICN's modes are
+// independent).
+func TestAdhocFallbackWhenResolverUnreachable(t *testing.T) {
+	link := adhoc.NewSegment()
+	addr, err := adhoc.AllocateLinkLocal(link, rand.New(rand.NewSource(5)), 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := adhoc.NewBrowserCache()
+	cache.Put("docs.example", "/guide", adhoc.CacheEntry{ContentType: "text/plain", Body: []byte("offline guide")})
+	responder := adhoc.NewResponder(link, addr)
+	defer responder.Close()
+
+	srv := httptest.NewServer(adhoc.NewShareProxy(cache, responder, ""))
+	defer srv.Close()
+	share := adhoc.NewShareProxy(cache, responder, srv.URL)
+	if err := share.PublishAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := adhoc.NewQuerier(link, "peer", rand.New(rand.NewSource(6)))
+	loc, err := q.Query("docs.example", 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodGet, loc+"/guide", nil)
+	req.Host = "docs.example"
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "offline guide" {
+		t.Fatalf("ad hoc fetch = %q", body)
+	}
+}

@@ -1,0 +1,320 @@
+// Package mobility implements idICN's mobility support (paper §6.3):
+// servers announce location changes through dynamic name updates (the
+// resolver's sequence-numbered re-registrations play the role of dynamic
+// DNS), and clients resume interrupted transfers with HTTP byte ranges —
+// "with session management, applications can seamlessly work upon
+// reconnection".
+package mobility
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"idicn/internal/idicn/metalink"
+	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/resolver"
+)
+
+// Host is a mobile content server: it can publish named content, then move
+// to a new network location and re-register every name with a bumped
+// sequence number so clients re-resolve to the new address.
+type Host struct {
+	principal *names.Principal
+	resolver  *resolver.Client
+
+	mu      sync.Mutex
+	content map[string]hostObject
+	seq     map[string]uint64
+	srv     *http.Server
+	lis     net.Listener
+	moved   time.Time
+}
+
+type hostObject struct {
+	contentType string
+	body        []byte
+	meta        metalink.File
+}
+
+// NewHost creates a mobile host for a principal. It is not listening until
+// Start.
+func NewHost(p *names.Principal, res *resolver.Client) *Host {
+	return &Host{
+		principal: p,
+		resolver:  res,
+		content:   make(map[string]hostObject),
+		seq:       make(map[string]uint64),
+	}
+}
+
+// Start begins listening on a fresh loopback port.
+func (h *Host) Start() error {
+	return h.listen()
+}
+
+func (h *Host) listen() error {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("mobility: listen: %w", err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(h.serve)}
+	h.mu.Lock()
+	h.lis = lis
+	h.srv = srv
+	h.moved = time.Now()
+	h.mu.Unlock()
+	go srv.Serve(lis)
+	return nil
+}
+
+// BaseURL returns the host's current location.
+func (h *Host) BaseURL() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lis == nil {
+		return ""
+	}
+	return "http://" + h.lis.Addr().String()
+}
+
+// Close stops the host.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	srv := h.srv
+	h.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// Publish signs and registers content at the current location.
+func (h *Host) Publish(ctx context.Context, label, contentType string, body []byte) (names.Name, error) {
+	n, err := h.principal.Name(label)
+	if err != nil {
+		return names.Name{}, err
+	}
+	sig := h.principal.SignContent(label, body)
+	h.mu.Lock()
+	h.content[label] = hostObject{
+		contentType: contentType,
+		body:        append([]byte(nil), body...),
+		meta:        metalink.BuildFile(n, h.principal.PublicKey(), body, sig, nil),
+	}
+	h.mu.Unlock()
+	return n, h.register(ctx, label)
+}
+
+// Move simulates the device changing networks: the old listener dies
+// (in-flight transfers break), a new one starts, and every published name
+// is re-registered at the new location — the dynamic-update step of §6.3.
+func (h *Host) Move(ctx context.Context) error {
+	h.mu.Lock()
+	old := h.srv
+	h.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	if err := h.listen(); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	labels := make([]string, 0, len(h.content))
+	for l := range h.content {
+		labels = append(labels, l)
+	}
+	h.mu.Unlock()
+	for _, l := range labels {
+		if err := h.register(ctx, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Host) register(ctx context.Context, label string) error {
+	if h.resolver == nil {
+		return nil
+	}
+	h.mu.Lock()
+	h.seq[label]++
+	seq := h.seq[label]
+	loc := "http://" + h.lis.Addr().String() + "/content/" + label
+	h.mu.Unlock()
+	reg, err := resolver.NewRegistration(h.principal, label, seq, []string{loc})
+	if err != nil {
+		return err
+	}
+	if err := h.resolver.Register(ctx, reg); err != nil {
+		return fmt.Errorf("mobility: registering %s: %w", label, err)
+	}
+	return nil
+}
+
+func (h *Host) serve(w http.ResponseWriter, r *http.Request) {
+	label := strings.TrimPrefix(r.URL.Path, "/content/")
+	h.mu.Lock()
+	obj, ok := h.content[label]
+	moved := h.moved
+	h.mu.Unlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	metalink.SetHeaders(w.Header(), obj.meta)
+	if obj.contentType != "" {
+		w.Header().Set("Content-Type", obj.contentType)
+	}
+	http.ServeContent(w, r, label, moved, bytes.NewReader(obj.body))
+}
+
+// Fetcher downloads named content and transparently survives server moves:
+// on a broken transfer it re-resolves the name and resumes with a Range
+// request from the bytes it already has, then verifies the assembled
+// content against the name.
+type Fetcher struct {
+	Resolver *resolver.Client
+	Client   *http.Client
+	// MaxAttempts bounds reconnect attempts (default 5).
+	MaxAttempts int
+	// RetryDelay waits between attempts (default 10ms).
+	RetryDelay time.Duration
+
+	// Resumes counts how many times transfers were resumed mid-stream.
+	resumes int
+	mu      sync.Mutex
+}
+
+// Resumes reports how many mid-transfer resumptions occurred.
+func (f *Fetcher) Resumes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.resumes
+}
+
+// ErrIncomplete is returned when the transfer could not be completed within
+// MaxAttempts.
+var ErrIncomplete = errors.New("mobility: transfer incomplete")
+
+// Fetch downloads and verifies the content for a name.
+func (f *Fetcher) Fetch(ctx context.Context, n names.Name) ([]byte, error) {
+	attempts := f.MaxAttempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	delay := f.RetryDelay
+	if delay <= 0 {
+		delay = 10 * time.Millisecond
+	}
+	hc := f.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+
+	var buf []byte
+	total := int64(-1)
+	var lastHeader http.Header
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		res, err := f.Resolver.Resolve(ctx, n.String())
+		if err != nil {
+			continue // the host may be mid-move; retry
+		}
+		progressed := false
+		for _, loc := range res.Locations {
+			n2, hdr, done, err := f.fetchOnce(ctx, hc, loc, &buf, &total)
+			if hdr != nil {
+				lastHeader = hdr
+			}
+			if n2 > 0 {
+				progressed = true
+			}
+			if err != nil {
+				continue
+			}
+			if done {
+				if _, err := metalink.VerifyResponse(lastHeader, buf); err != nil {
+					return nil, fmt.Errorf("mobility: assembled content failed verification: %w", err)
+				}
+				return buf, nil
+			}
+		}
+		if progressed && len(buf) > 0 {
+			f.mu.Lock()
+			f.resumes++
+			f.mu.Unlock()
+		}
+	}
+	return nil, fmt.Errorf("%w: got %d bytes after %d attempts", ErrIncomplete, len(buf), attempts)
+}
+
+// fetchOnce issues one (possibly ranged) request, appending received bytes
+// to buf. done reports whether the full object has been assembled.
+func (f *Fetcher) fetchOnce(ctx context.Context, hc *http.Client, loc string, buf *[]byte, total *int64) (n int, hdr http.Header, done bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, loc, nil)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if len(*buf) > 0 {
+		req.Header.Set("Range", "bytes="+strconv.Itoa(len(*buf))+"-")
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Server ignored the range (or fresh fetch): restart from scratch.
+		*buf = (*buf)[:0]
+		*total = resp.ContentLength
+	case http.StatusPartialContent:
+		if t, ok := parseTotal(resp.Header.Get("Content-Range")); ok {
+			*total = t
+		}
+	case http.StatusRequestedRangeNotSatisfiable:
+		// Already have everything (or the object shrank; verification will
+		// catch that).
+		return 0, resp.Header, *total >= 0 && int64(len(*buf)) >= *total, nil
+	default:
+		return 0, resp.Header, false, fmt.Errorf("mobility: %s: status %s", loc, resp.Status)
+	}
+	chunk, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<28))
+	*buf = append(*buf, chunk...)
+	if readErr != nil {
+		return len(chunk), resp.Header, false, fmt.Errorf("mobility: interrupted reading %s: %w", loc, readErr)
+	}
+	if *total < 0 {
+		*total = int64(len(*buf))
+	}
+	return len(chunk), resp.Header, int64(len(*buf)) >= *total, nil
+}
+
+// parseTotal extracts the complete length from a Content-Range header
+// ("bytes 5-15/16").
+func parseTotal(v string) (int64, bool) {
+	i := strings.LastIndexByte(v, '/')
+	if i < 0 || i+1 >= len(v) || v[i+1:] == "*" {
+		return 0, false
+	}
+	t, err := strconv.ParseInt(v[i+1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return t, true
+}

@@ -1,0 +1,266 @@
+package mobility
+
+import (
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"idicn/internal/idicn/metalink"
+	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/resolver"
+)
+
+func newResolver(t *testing.T) (*resolver.Registry, *resolver.Client) {
+	t.Helper()
+	reg := resolver.NewRegistry()
+	srv := httptest.NewServer(resolver.NewServer(reg))
+	t.Cleanup(srv.Close)
+	return reg, resolver.NewClient(srv.URL, srv.Client())
+}
+
+func principal(t testing.TB, b byte) *names.Principal {
+	t.Helper()
+	seed := make([]byte, ed25519.SeedSize)
+	for i := range seed {
+		seed[i] = b
+	}
+	p, err := names.PrincipalFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestHostPublishAndFetch(t *testing.T) {
+	_, rc := newResolver(t)
+	h := NewHost(principal(t, 1), rc)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ctx := context.Background()
+	body := []byte(strings.Repeat("mobile content ", 100))
+	n, err := h.Publish(ctx, "notes", "text/plain", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Fetcher{Resolver: rc}
+	got, err := f.Fetch(ctx, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(body) {
+		t.Fatalf("fetched %d bytes, want %d", len(got), len(body))
+	}
+	if f.Resumes() != 0 {
+		t.Errorf("unexpected resumes: %d", f.Resumes())
+	}
+}
+
+func TestHostMoveReRegisters(t *testing.T) {
+	reg, rc := newResolver(t)
+	h := NewHost(principal(t, 2), rc)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ctx := context.Background()
+	n, err := h.Publish(ctx, "doc", "text/plain", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := h.BaseURL()
+
+	if err := h.Move(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after := h.BaseURL()
+	if before == after {
+		t.Fatal("Move did not change address")
+	}
+	res, err := reg.Resolve(n.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Locations[0], after) {
+		t.Errorf("registered location %q does not match new address %q", res.Locations[0], after)
+	}
+	if res.Seq != 2 {
+		t.Errorf("seq = %d, want 2 after one move", res.Seq)
+	}
+
+	// The content is fetchable at the new location.
+	f := &Fetcher{Resolver: rc}
+	got, err := f.Fetch(ctx, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFetchSurvivesMidTransferMove(t *testing.T) {
+	_, rc := newResolver(t)
+	h := NewHost(principal(t, 3), rc)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ctx := context.Background()
+	body := []byte(strings.Repeat("0123456789", 2000)) // 20 KB
+	n, err := h.Publish(ctx, "video", "application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A chopping reverse proxy in front of the host's first location: it
+	// serves only a prefix then kills the connection, then the host moves.
+	direct := h.BaseURL()
+	var chopped atomic.Bool
+	chopper := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if chopped.Load() {
+			http.Error(w, "gone", http.StatusServiceUnavailable)
+			return
+		}
+		chopped.Store(true)
+		// Claim the full length but send only a prefix, then abort.
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.Header().Set("X-Idicn-Name", n.String())
+		w.WriteHeader(http.StatusOK)
+		w.Write(body[:5000])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}))
+	defer chopper.Close()
+
+	// Point the resolver at the chopper first (seq 2 overrides publish).
+	regRec, err := resolver.NewRegistration(principal(t, 3), "video", 2, []string{chopper.URL + "/content/video"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Register(ctx, regRec); err != nil {
+		t.Fatal(err)
+	}
+
+	f := &Fetcher{Resolver: rc, MaxAttempts: 6, RetryDelay: time.Millisecond}
+	fetchDone := make(chan struct{})
+	var got []byte
+	var fetchErr error
+	go func() {
+		got, fetchErr = f.Fetch(ctx, n)
+		close(fetchDone)
+	}()
+
+	// While the fetch is failing against the chopper, the host "moves":
+	// re-registers its real location with seq 3.
+	time.Sleep(5 * time.Millisecond)
+	regBack, err := resolver.NewRegistration(principal(t, 3), "video", 3, []string{direct + "/content/video"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Register(ctx, regBack); err != nil {
+		t.Fatal(err)
+	}
+
+	<-fetchDone
+	if fetchErr != nil {
+		t.Fatalf("fetch did not survive the move: %v", fetchErr)
+	}
+	if string(got) != string(body) {
+		t.Fatalf("assembled %d bytes, want %d", len(got), len(body))
+	}
+	if f.Resumes() == 0 {
+		t.Error("transfer completed without any resume; chopper was bypassed")
+	}
+}
+
+func TestFetchVerifiesAssembledContent(t *testing.T) {
+	_, rc := newResolver(t)
+	p := principal(t, 4)
+	n, _ := p.Name("fake")
+	// A server with valid headers for DIFFERENT content.
+	realBody := []byte("genuine")
+	sig := p.SignContent("fake", realBody)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := metalink.BuildFile(n, p.PublicKey(), realBody, sig, nil)
+		metalink.SetHeaders(w.Header(), f)
+		w.Write([]byte("imposter"))
+	}))
+	defer srv.Close()
+	reg, _ := resolver.NewRegistration(p, "fake", 1, []string{srv.URL})
+	if err := rc.Register(context.Background(), reg); err != nil {
+		t.Fatal(err)
+	}
+	f := &Fetcher{Resolver: rc, MaxAttempts: 2, RetryDelay: time.Millisecond}
+	if _, err := f.Fetch(context.Background(), n); err == nil {
+		t.Fatal("forged content accepted")
+	}
+}
+
+func TestFetchUnknownName(t *testing.T) {
+	_, rc := newResolver(t)
+	p := principal(t, 5)
+	n, _ := p.Name("ghost")
+	f := &Fetcher{Resolver: rc, MaxAttempts: 2, RetryDelay: time.Millisecond}
+	if _, err := f.Fetch(context.Background(), n); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestParseTotal(t *testing.T) {
+	for v, want := range map[string]struct {
+		total int64
+		ok    bool
+	}{
+		"bytes 5-15/16":  {16, true},
+		"bytes 0-0/1":    {1, true},
+		"bytes 5-15/*":   {0, false},
+		"":               {0, false},
+		"bytes 5-15/abc": {0, false},
+	} {
+		got, ok := parseTotal(v)
+		if ok != want.ok || (ok && got != want.total) {
+			t.Errorf("parseTotal(%q) = %d,%v want %d,%v", v, got, ok, want.total, want.ok)
+		}
+	}
+}
+
+func TestHostServesRange(t *testing.T) {
+	_, rc := newResolver(t)
+	h := NewHost(principal(t, 6), rc)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.Publish(context.Background(), "blob", "application/octet-stream", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodGet, h.BaseURL()+"/content/blob", nil)
+	req.Header.Set("Range", "bytes=4-")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "456789" {
+		t.Errorf("range body = %q", sb.String())
+	}
+}

@@ -1,0 +1,29 @@
+package names
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures name parsing never panics and that every accepted name
+// round-trips through its two encodings.
+func FuzzParse(f *testing.F) {
+	f.Add("label.aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+	f.Add("x.y.idicn.org")
+	f.Add("")
+	f.Add(strings.Repeat(".", 300))
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(n.String())
+		if err != nil || back != n {
+			t.Fatalf("flat round trip broke: %v %v", back, err)
+		}
+		backDNS, err := Parse(n.DNS())
+		if err != nil || backDNS != n {
+			t.Fatalf("DNS round trip broke: %v %v", backDNS, err)
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package names
+
+import (
+	"crypto/ed25519"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testPrincipal(t testing.TB, seedByte byte) *Principal {
+	t.Helper()
+	seed := make([]byte, ed25519.SeedSize)
+	for i := range seed {
+		seed[i] = seedByte
+	}
+	p, err := PrincipalFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	p := testPrincipal(t, 1)
+	n, err := p.Name("video-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := n.String()
+	if !strings.HasPrefix(flat, "video-42.") {
+		t.Fatalf("flat form %q", flat)
+	}
+	parsed, err := Parse(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != n {
+		t.Fatalf("Parse(String()) = %+v, want %+v", parsed, n)
+	}
+	dns := n.DNS()
+	if !strings.HasSuffix(dns, ".idicn.org") {
+		t.Fatalf("DNS form %q", dns)
+	}
+	parsedDNS, err := Parse(dns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsedDNS != n {
+		t.Fatalf("Parse(DNS()) = %+v, want %+v", parsedDNS, n)
+	}
+}
+
+func TestKeyHashFitsDNSLabel(t *testing.T) {
+	p := testPrincipal(t, 2)
+	s := p.KeyHash().String()
+	if len(s) > 63 {
+		t.Fatalf("key hash label %d chars, exceeds DNS limit", len(s))
+	}
+	if len(s) != 52 {
+		t.Errorf("key hash label %d chars, want 52 (SHA-256 in base32)", len(s))
+	}
+	for _, c := range s {
+		if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9') {
+			t.Fatalf("non-DNS character %q in key hash", c)
+		}
+	}
+}
+
+func TestParseRejectsBadNames(t *testing.T) {
+	p := testPrincipal(t, 3)
+	n, _ := p.Name("ok")
+	for _, bad := range []string{
+		"",
+		"nolabel",
+		".leadingdot" + "." + n.Key.String(),
+		"under_score." + n.Key.String(),
+		"-dash." + n.Key.String(),
+		"dash-." + n.Key.String(),
+		"lab.shortkey",
+		"lab." + n.Key.String() + ".extra.parts",
+		"lab..double",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidLabel(t *testing.T) {
+	for label, want := range map[string]bool{
+		"a":                     true,
+		"abc-123":               true,
+		"":                      false,
+		"-abc":                  false,
+		"abc-":                  false,
+		"a_b":                   false,
+		"ABC":                   false,
+		"with space":            false,
+		strings.Repeat("a", 63): true,
+		strings.Repeat("a", 64): false,
+	} {
+		if got := ValidLabel(label); got != want {
+			t.Errorf("ValidLabel(%q) = %v, want %v", label, got, want)
+		}
+	}
+}
+
+func TestVerifyContent(t *testing.T) {
+	p := testPrincipal(t, 4)
+	content := []byte("the content body")
+	n, _ := p.Name("doc")
+	sig := p.SignContent("doc", content)
+	if err := VerifyContent(n, p.PublicKey(), content, sig); err != nil {
+		t.Fatalf("valid content rejected: %v", err)
+	}
+	// Tampered content fails.
+	if err := VerifyContent(n, p.PublicKey(), []byte("tampered"), sig); err != ErrBadSignature {
+		t.Errorf("tampered content: err = %v, want ErrBadSignature", err)
+	}
+	// Signature over a different label fails (label binding).
+	sigOther := p.SignContent("other", content)
+	if err := VerifyContent(n, p.PublicKey(), content, sigOther); err != ErrBadSignature {
+		t.Errorf("cross-label signature: err = %v, want ErrBadSignature", err)
+	}
+	// A different publisher's key fails the hash check even with a valid
+	// signature by that key.
+	other := testPrincipal(t, 5)
+	sig2 := other.SignContent("doc", content)
+	if err := VerifyContent(n, other.PublicKey(), content, sig2); err != ErrKeyMismatch {
+		t.Errorf("wrong key: err = %v, want ErrKeyMismatch", err)
+	}
+	// Garbage key length.
+	if err := VerifyContent(n, []byte{1, 2, 3}, content, sig); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestPrincipalDeterministicFromSeed(t *testing.T) {
+	a := testPrincipal(t, 7)
+	b := testPrincipal(t, 7)
+	if a.KeyHash() != b.KeyHash() {
+		t.Fatal("same seed produced different principals")
+	}
+	if _, err := PrincipalFromSeed([]byte("short")); err == nil {
+		t.Error("short seed accepted")
+	}
+}
+
+func TestNewPrincipalRandom(t *testing.T) {
+	a, err := NewPrincipal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPrincipal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.KeyHash() == b.KeyHash() {
+		t.Fatal("two random principals collided")
+	}
+}
+
+func TestNewRejectsBadLabel(t *testing.T) {
+	p := testPrincipal(t, 8)
+	if _, err := New("Bad Label", p.PublicKey()); err == nil {
+		t.Error("invalid label accepted")
+	}
+}
+
+// Property: every minted name round-trips through both encodings, and
+// signatures verify for the matching (label, content) only.
+func TestNameSignRoundTripQuick(t *testing.T) {
+	p := testPrincipal(t, 9)
+	f := func(labelRaw uint16, content []byte) bool {
+		label := "obj-" + strings.ToLower(strings.TrimLeft(strings.Repeat("x", int(labelRaw%10)+1), ""))
+		n, err := p.Name(label)
+		if err != nil {
+			return false
+		}
+		back, err := Parse(n.DNS())
+		if err != nil || back != n {
+			return false
+		}
+		sig := p.SignContent(label, content)
+		if VerifyContent(n, p.PublicKey(), content, sig) != nil {
+			return false
+		}
+		// Appending a byte must break the signature.
+		return VerifyContent(n, p.PublicKey(), append(append([]byte{}, content...), 0), sig) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSignContent(b *testing.B) {
+	p := testPrincipal(b, 10)
+	content := make([]byte, 64<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SignContent("bench", content)
+	}
+}
+
+func BenchmarkVerifyContent(b *testing.B) {
+	p := testPrincipal(b, 11)
+	content := make([]byte, 64<<10)
+	n, _ := p.Name("bench")
+	sig := p.SignContent("bench", content)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyContent(n, p.PublicKey(), content, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package proxy implements the idICN edge proxy cache (paper §6, Figure 11,
+// steps 1, 2, 3, 4, and 7): the cache near the client's access gateway that
+// clients are pointed at via WPAD/PAC auto-configuration.
+//
+// The proxy serves named content from its LRU cache when fresh (step 7),
+// otherwise resolves the name (step 3), fetches from the origin's reverse
+// proxy or a mirror (step 4), authenticates the content against its
+// self-certifying name before caching or serving it, and falls through to
+// plain HTTP for legacy hosts so deployment never breaks non-idICN traffic.
+package proxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idicn/internal/cache"
+	"idicn/internal/idicn/metalink"
+	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/resolver"
+)
+
+// CachedObject is a verified content object held by the proxy.
+type CachedObject struct {
+	Name        names.Name
+	ContentType string
+	Body        []byte
+	Meta        metalink.Verified
+	Fetched     time.Time
+}
+
+// Stats counts proxy outcomes.
+type Stats struct {
+	Hits          int64 // served from cache
+	Misses        int64 // fetched from origin/mirror
+	Rejected      int64 // fetched but failed verification
+	LegacyFetches int64 // passed through to non-idICN hosts
+}
+
+// Proxy is the edge proxy. It is safe for concurrent use.
+type Proxy struct {
+	resolver *resolver.Client
+	client   *http.Client
+
+	mu    sync.Mutex
+	cache *cache.LRU[string, *CachedObject]
+
+	// AllowLegacy enables pass-through fetching for non-idICN hosts.
+	AllowLegacy bool
+	// TTL bounds cache freshness; zero means objects never expire (content
+	// is immutable under self-certifying names, so this is safe; a TTL
+	// merely bounds staleness after republication).
+	TTL time.Duration
+
+	peers   []string // sibling proxies for scoped cooperative lookup
+	flights flightGroup
+
+	hits, misses, rejected, legacy   atomic.Int64
+	peerHits, peerProbes, peerServed atomic.Int64
+	clock                            func() time.Time
+}
+
+// Option configures a Proxy.
+type Option func(*Proxy)
+
+// WithCacheEntries bounds the content cache (default 4096 objects).
+func WithCacheEntries(n int) Option {
+	return func(p *Proxy) { p.cache = cache.NewLRU[string, *CachedObject](n, nil) }
+}
+
+// WithHTTPClient overrides the upstream HTTP client.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(p *Proxy) { p.client = hc }
+}
+
+// WithClock overrides time.Now, for tests.
+func WithClock(now func() time.Time) Option {
+	return func(p *Proxy) { p.clock = now }
+}
+
+// New creates an edge proxy using the given resolver.
+func New(res *resolver.Client, opts ...Option) *Proxy {
+	p := &Proxy{
+		resolver: res,
+		client:   &http.Client{Timeout: 10 * time.Second},
+		cache:    cache.NewLRU[string, *CachedObject](4096, nil),
+		clock:    time.Now,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Hits:          p.hits.Load(),
+		Misses:        p.misses.Load(),
+		Rejected:      p.rejected.Load(),
+		LegacyFetches: p.legacy.Load(),
+	}
+}
+
+// ErrVerification is returned when fetched content fails self-certification.
+var ErrVerification = errors.New("proxy: content failed verification")
+
+// ServeHTTP handles:
+//
+//	GET /wpad.dat and /proxy.pac     the PAC file (step 1)
+//	any request whose Host (or absolute-form URL) is under idicn.org:
+//	    served by name (steps 2-7)
+//	other hosts: transparent pass-through when AllowLegacy is set
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/wpad.dat" || r.URL.Path == "/proxy.pac" {
+		p.servePAC(w, r)
+		return
+	}
+	host := r.Host
+	if r.URL.Host != "" { // absolute-form request line (proxy-style)
+		host = r.URL.Host
+	}
+	if h, _, ok := strings.Cut(host, ":"); ok {
+		host = h
+	}
+	if strings.HasSuffix(strings.ToLower(host), names.Domain) {
+		p.serveName(w, r, host)
+		return
+	}
+	if p.AllowLegacy {
+		p.serveLegacy(w, r)
+		return
+	}
+	http.Error(w, "proxy: refusing non-idICN host "+host, http.StatusForbidden)
+}
+
+// servePAC returns the Proxy Auto-Config file (step 1). Clients discover
+// its URL via WPAD (DHCP option 252 or the wpad.<domain> convention) and
+// route *.idicn.org through this proxy, everything else direct.
+func (p *Proxy) servePAC(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ns-proxy-autoconfig")
+	fmt.Fprintf(w, `function FindProxyForURL(url, host) {
+  if (dnsDomainIs(host, ".%s") || host == "%s")
+    return "PROXY %s";
+  return "DIRECT";
+}
+`, names.Domain, names.Domain, r.Host)
+}
+
+func (p *Proxy) serveName(w http.ResponseWriter, r *http.Request, host string) {
+	n, err := names.Parse(host)
+	if err != nil {
+		http.Error(w, "proxy: bad idICN name: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if r.Header.Get(coopHeader) != "" {
+		// A sibling's scoped lookup: answer from cache only, never recurse.
+		p.serveCoopLookup(w, n)
+		return
+	}
+	obj, fromCache, err := p.Get(r.Context(), n)
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, resolver.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		if errors.Is(err, ErrVerification) {
+			status = http.StatusBadGateway
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	metalink.SetHeaders(w.Header(), metalink.BuildFile(obj.Name, obj.Meta.PublicKey, obj.Body, obj.Meta.Signature, obj.Meta.Mirrors))
+	if obj.ContentType != "" {
+		w.Header().Set("Content-Type", obj.ContentType)
+	}
+	if fromCache {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	http.ServeContent(w, r, obj.Name.Label, obj.Fetched, strings.NewReader(string(obj.Body)))
+}
+
+// Get returns the verified object for a name, from cache when fresh
+// (fromCache true), otherwise via resolution and fetch. All content is
+// authenticated against the name before being cached or returned,
+// implementing the paper's "the proxy authenticates the content using
+// enclosed digital signatures" (step 7).
+func (p *Proxy) Get(ctx context.Context, n names.Name) (*CachedObject, bool, error) {
+	key := n.String()
+	p.mu.Lock()
+	obj, ok := p.cache.Get(key)
+	p.mu.Unlock()
+	if ok && (p.TTL == 0 || p.clock().Sub(obj.Fetched) < p.TTL) {
+		p.hits.Add(1)
+		return obj, true, nil
+	}
+
+	// Scoped cooperation before the resolution system: ask sibling proxies
+	// for a cached copy (the application-layer EDGE-Coop).
+	if len(p.peers) > 0 {
+		if obj := p.lookupPeers(ctx, n); obj != nil {
+			p.mu.Lock()
+			p.cache.Put(key, obj)
+			p.mu.Unlock()
+			return obj, false, nil
+		}
+	}
+
+	res, err := p.resolver.Resolve(ctx, key)
+	if err != nil {
+		return nil, false, err
+	}
+	var lastErr error
+	for _, loc := range res.Locations {
+		obj, err := p.fetchVerified(ctx, n, loc)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		p.misses.Add(1)
+		p.mu.Lock()
+		p.cache.Put(key, obj)
+		p.mu.Unlock()
+		return obj, false, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("proxy: no locations for %s", key)
+	}
+	return nil, false, lastErr
+}
+
+func (p *Proxy) fetchVerified(ctx context.Context, n names.Name, loc string) (*CachedObject, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, loc, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: fetching %s: %w", loc, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("proxy: fetching %s: status %s", loc, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<28))
+	if err != nil {
+		return nil, fmt.Errorf("proxy: reading %s: %w", loc, err)
+	}
+	v, err := metalink.VerifyResponse(resp.Header, body)
+	if err != nil {
+		p.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrVerification, err)
+	}
+	if v.Name != n {
+		p.rejected.Add(1)
+		return nil, fmt.Errorf("%w: response is for %s, requested %s", ErrVerification, v.Name, n)
+	}
+	return &CachedObject{
+		Name:        n,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        body,
+		Meta:        v,
+		Fetched:     p.clock(),
+	}, nil
+}
+
+// serveLegacy passes a request through to its host unchanged (no caching:
+// legacy content has no self-certifying identity to cache under safely).
+func (p *Proxy) serveLegacy(w http.ResponseWriter, r *http.Request) {
+	p.legacy.Add(1)
+	target := *r.URL
+	if target.Scheme == "" {
+		target.Scheme = "http"
+	}
+	if target.Host == "" {
+		target.Host = r.Host
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target.String(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// CacheLen returns the number of cached objects.
+func (p *Proxy) CacheLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cache.Len()
+}

@@ -1,0 +1,72 @@
+package proxy
+
+import (
+	"context"
+	"sync"
+
+	"idicn/internal/idicn/names"
+)
+
+// Request coalescing: when a popular object misses, many clients may ask
+// for it at once; without coalescing each would trigger its own resolve +
+// origin fetch (a thundering herd the origin's flood protection exists to
+// avoid). flightGroup deduplicates concurrent fetches of the same name so
+// exactly one upstream fetch runs and every waiter shares its result.
+
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	obj  *CachedObject
+	err  error
+}
+
+// do runs fn once per concurrent set of callers with the same key. The
+// leader executes fn; followers block until it finishes and share the
+// outcome. Followers report shared=true.
+func (g *flightGroup) do(key string, fn func() (*CachedObject, error)) (obj *CachedObject, shared bool, err error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.obj, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.obj, f.err = fn()
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.obj, false, f.err
+}
+
+// GetCoalesced is Get with request coalescing: concurrent misses on the
+// same name share one upstream fetch. The cache fast path is identical to
+// Get.
+func (p *Proxy) GetCoalesced(ctx context.Context, n names.Name) (*CachedObject, bool, error) {
+	key := n.String()
+	p.mu.Lock()
+	obj, ok := p.cache.Get(key)
+	p.mu.Unlock()
+	if ok && (p.TTL == 0 || p.clock().Sub(obj.Fetched) < p.TTL) {
+		p.hits.Add(1)
+		return obj, true, nil
+	}
+	obj, shared, err := p.flights.do(key, func() (*CachedObject, error) {
+		o, _, err := p.Get(ctx, n)
+		return o, err
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return obj, shared, nil
+}

@@ -1,0 +1,134 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Delegation support (paper §6.1): "the entries can point to other
+// resolvers that can provide more fine-grained resolution (e.g., the basic
+// resolver might only have an entry for P, which then points to a resolver
+// that has entries for individual L.P names)."
+//
+// A location of the form "resolver:<base-url>" in a publisher-level record
+// is a delegation: clients follow it by re-resolving the full name at the
+// referenced resolver. Content locations and delegations may be mixed; a
+// consortium of top-level resolvers is modelled by MultiClient.
+
+// DelegationPrefix marks a location entry as a referral to another
+// resolver rather than a content location.
+const DelegationPrefix = "resolver:"
+
+// Delegation wraps a resolver base URL as a location entry.
+func Delegation(baseURL string) string { return DelegationPrefix + baseURL }
+
+// IsDelegation reports whether a location entry is a referral, returning
+// the target resolver's base URL.
+func IsDelegation(loc string) (string, bool) {
+	if rest, ok := strings.CutPrefix(loc, DelegationPrefix); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// ErrDelegationLoop is returned when referral chasing exceeds the depth
+// limit.
+var ErrDelegationLoop = errors.New("resolver: delegation chain too deep")
+
+// maxDelegationDepth bounds referral chasing; the paper's two-tier design
+// (coarse consortium resolver -> publisher's fine-grained resolver) needs
+// depth 1.
+const maxDelegationDepth = 3
+
+// ResolveFollowing resolves a name and chases resolver delegations until a
+// record with concrete content locations is found. The final result's
+// Locations contain no referral entries.
+func (c *Client) ResolveFollowing(ctx context.Context, name string) (Result, error) {
+	return resolveFollowing(ctx, c, name, 0)
+}
+
+func resolveFollowing(ctx context.Context, c *Client, name string, depth int) (Result, error) {
+	if depth > maxDelegationDepth {
+		return Result{}, fmt.Errorf("%w: %s", ErrDelegationLoop, name)
+	}
+	res, err := c.Resolve(ctx, name)
+	if err != nil {
+		return Result{}, err
+	}
+	var content []string
+	var referrals []string
+	for _, loc := range res.Locations {
+		if target, ok := IsDelegation(loc); ok {
+			referrals = append(referrals, target)
+		} else {
+			content = append(content, loc)
+		}
+	}
+	if len(content) > 0 {
+		res.Locations = content
+		return res, nil
+	}
+	var lastErr error = fmt.Errorf("%w: %s (delegations only, none answered)", ErrNotFound, name)
+	for _, target := range referrals {
+		sub := NewClient(target, c.hc)
+		out, err := resolveFollowing(ctx, sub, name, depth+1)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+	}
+	return Result{}, lastErr
+}
+
+// MultiClient queries a consortium of resolvers ("Google, Yahoo!,
+// Microsoft, Akamai, and Verisign" in the paper's sketch) in order,
+// returning the first successful resolution and following delegations.
+type MultiClient struct {
+	clients []*Client
+}
+
+// NewMultiClient builds a consortium client from resolver base URLs. hc may
+// be nil for a default client.
+func NewMultiClient(urls []string, hc *http.Client) *MultiClient {
+	m := &MultiClient{}
+	for _, u := range urls {
+		m.clients = append(m.clients, NewClient(u, hc))
+	}
+	return m
+}
+
+// Resolve tries each consortium member until one answers.
+func (m *MultiClient) Resolve(ctx context.Context, name string) (Result, error) {
+	var lastErr error = fmt.Errorf("%w: %s (no resolvers configured)", ErrNotFound, name)
+	for _, c := range m.clients {
+		res, err := c.ResolveFollowing(ctx, name)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	return Result{}, lastErr
+}
+
+// Register submits a registration to every consortium member, succeeding if
+// at least one accepts (stale-sequence answers count as success: the record
+// is already at least as new).
+func (m *MultiClient) Register(ctx context.Context, reg Registration) error {
+	var lastErr error = errors.New("resolver: no resolvers configured")
+	accepted := false
+	for _, c := range m.clients {
+		err := c.Register(ctx, reg)
+		if err == nil || errors.Is(err, ErrStaleSeq) {
+			accepted = true
+			continue
+		}
+		lastErr = err
+	}
+	if accepted {
+		return nil
+	}
+	return lastErr
+}

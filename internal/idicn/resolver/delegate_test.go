@@ -1,0 +1,143 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"idicn/internal/idicn/names"
+)
+
+func TestDelegationHelpers(t *testing.T) {
+	loc := Delegation("http://fine.example")
+	target, ok := IsDelegation(loc)
+	if !ok || target != "http://fine.example" {
+		t.Fatalf("IsDelegation(%q) = %q,%v", loc, target, ok)
+	}
+	if _, ok := IsDelegation("http://content.example/x"); ok {
+		t.Fatal("content location treated as delegation")
+	}
+}
+
+// twoTier builds the paper's two-tier arrangement: a coarse consortium
+// resolver holding only a publisher-level record that delegates to a
+// fine-grained resolver holding the L.P records.
+func twoTier(t *testing.T) (coarse *Client, pr *names.Principal) {
+	t.Helper()
+	pr = principal(t, 20)
+
+	fineReg := NewRegistry()
+	fineSrv := httptest.NewServer(NewServer(fineReg))
+	t.Cleanup(fineSrv.Close)
+
+	coarseReg := NewRegistry()
+	coarseSrv := httptest.NewServer(NewServer(coarseReg))
+	t.Cleanup(coarseSrv.Close)
+
+	// Publisher-level record on the coarse resolver: "ask my resolver".
+	pubRec, err := NewRegistration(pr, "", 1, []string{Delegation(fineSrv.URL)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coarseReg.Register(pubRec); err != nil {
+		t.Fatal(err)
+	}
+	// Fine-grained record for a specific name.
+	fineRec, err := NewRegistration(pr, "article", 1, []string{"http://origin.example/article"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fineReg.Register(fineRec); err != nil {
+		t.Fatal(err)
+	}
+	return NewClient(coarseSrv.URL, coarseSrv.Client()), pr
+}
+
+func TestResolveFollowingChasesDelegation(t *testing.T) {
+	coarse, pr := twoTier(t)
+	n, _ := pr.Name("article")
+	res, err := coarse.ResolveFollowing(context.Background(), n.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Locations) != 1 || res.Locations[0] != "http://origin.example/article" {
+		t.Fatalf("locations = %v", res.Locations)
+	}
+	if !res.Exact {
+		t.Error("fine-grained answer not marked exact")
+	}
+}
+
+func TestResolveFollowingUnknownAtFineResolver(t *testing.T) {
+	coarse, pr := twoTier(t)
+	n, _ := pr.Name("missing")
+	if _, err := coarse.ResolveFollowing(context.Background(), n.String()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestResolveFollowingLoopBounded(t *testing.T) {
+	// A resolver whose publisher record delegates to itself.
+	reg := NewRegistry()
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+	pr := principal(t, 21)
+	rec, err := NewRegistration(pr, "", 1, []string{Delegation(srv.URL)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(rec); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := pr.Name("loopy")
+	_, err = NewClient(srv.URL, srv.Client()).ResolveFollowing(context.Background(), n.String())
+	if !errors.Is(err, ErrDelegationLoop) {
+		t.Fatalf("err = %v, want ErrDelegationLoop", err)
+	}
+}
+
+func TestMultiClientFailover(t *testing.T) {
+	pr := principal(t, 22)
+	regA := NewRegistry()
+	srvA := httptest.NewServer(NewServer(regA))
+	defer srvA.Close()
+	regB := NewRegistry()
+	srvB := httptest.NewServer(NewServer(regB))
+	defer srvB.Close()
+	dead := httptest.NewServer(nil)
+	dead.Close() // a consortium member that is down
+
+	rec, err := NewRegistration(pr, "page", 1, []string{"http://x.example/page"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regB.Register(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	mc := NewMultiClient([]string{dead.URL, srvA.URL, srvB.URL}, nil)
+	n, _ := pr.Name("page")
+	res, err := mc.Resolve(context.Background(), n.String())
+	if err != nil {
+		t.Fatalf("consortium resolve failed: %v", err)
+	}
+	if res.Locations[0] != "http://x.example/page" {
+		t.Fatalf("locations = %v", res.Locations)
+	}
+
+	// Registration goes to every live member.
+	rec2, err := NewRegistration(pr, "page2", 1, []string{"http://x.example/page2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Register(context.Background(), rec2); err != nil {
+		t.Fatalf("consortium register: %v", err)
+	}
+	if _, err := regA.Resolve(rec2.Name()); err != nil {
+		t.Errorf("member A missing record: %v", err)
+	}
+	if _, err := regB.Resolve(rec2.Name()); err != nil {
+		t.Errorf("member B missing record: %v", err)
+	}
+}

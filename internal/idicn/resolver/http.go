@@ -1,0 +1,154 @@
+package resolver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Server exposes a Registry over HTTP:
+//
+//	POST /register      body: JSON Registration
+//	GET  /resolve?name=L.P
+//	GET  /names
+//	GET  /healthz
+//
+// The paper envisions a consortium of well-provisioned operators hosting
+// these resolvers; the API is deliberately tiny and stateless beyond the
+// registry itself.
+type Server struct {
+	Registry *Registry
+	mux      *http.ServeMux
+}
+
+// NewServer wraps a registry in an HTTP handler.
+func NewServer(reg *Registry) *Server {
+	s := &Server{Registry: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /register", s.handleRegister)
+	s.mux.HandleFunc("GET /resolve", s.handleResolve)
+	s.mux.HandleFunc("GET /names", s.handleNames)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	var reg Registration
+	if err := json.Unmarshal(body, &reg); err != nil {
+		http.Error(w, "bad registration JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch err := s.Registry.Register(reg); {
+	case err == nil:
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "registered\n")
+	case errors.Is(err, ErrStaleSeq):
+		http.Error(w, err.Error(), http.StatusConflict)
+	default:
+		http.Error(w, err.Error(), http.StatusForbidden)
+	}
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		http.Error(w, "missing name parameter", http.StatusBadRequest)
+		return
+	}
+	res, err := s.Registry.Resolve(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+func (s *Server) handleNames(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Registry.Names())
+}
+
+// Client talks to a resolver Server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the resolver at baseURL. hc may be nil for
+// a default client with a short timeout.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// Register submits a signed registration.
+func (c *Client) Register(ctx context.Context, reg Registration) error {
+	body, err := json.Marshal(reg)
+	if err != nil {
+		return fmt.Errorf("resolver: encoding registration: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/register", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("resolver: register: %w", err)
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", ErrStaleSeq, strings.TrimSpace(string(msg)))
+	default:
+		return fmt.Errorf("%w: %s", ErrBadRegistration, strings.TrimSpace(string(msg)))
+	}
+}
+
+// Resolve looks up a flat or DNS-form name.
+func (c *Client) Resolve(ctx context.Context, name string) (Result, error) {
+	u := c.base + "/resolve?name=" + url.QueryEscape(name)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Result{}, fmt.Errorf("resolver: resolve: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return Result{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Result{}, fmt.Errorf("resolver: resolve: unexpected status %s", resp.Status)
+	}
+	var res Result
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&res); err != nil {
+		return Result{}, fmt.Errorf("resolver: decoding result: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,198 @@
+// Package resolver implements idICN's name resolution system (paper §6,
+// steps 3 and P2): an SFR-like registry mapping self-certifying names L.P to
+// content locations.
+//
+// Registration requires no external trust: the registry only checks
+// cryptographic correctness — the supplied public key must hash to the P
+// component of the name, and the registration must be signed by that key.
+// Sequence numbers make updates (e.g., mobility re-registrations, §6.3)
+// replayproof. Resolution first looks for an exact L.P match and falls back
+// to a publisher-level P record, which can delegate to a finer-grained
+// resolver, exactly as §6.1 describes.
+package resolver
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"idicn/internal/idicn/names"
+)
+
+// Registration is a signed binding of a name to locations. Label may be
+// empty for a publisher-level (P-only) record, which acts as a delegation
+// target for any of the publisher's names.
+type Registration struct {
+	Label     string   `json:"label,omitempty"` // L; empty for publisher records
+	KeyHash   string   `json:"key"`             // P, base32
+	Locations []string `json:"locations"`       // URLs, in preference order
+	Seq       uint64   `json:"seq"`
+	PublicKey []byte   `json:"public_key"` // must hash to P
+	Signature []byte   `json:"signature"`  // by PublicKey over Payload()
+}
+
+// Name returns the registration's flat name: "L.P" or just "P" for
+// publisher records.
+func (r Registration) Name() string {
+	if r.Label == "" {
+		return r.KeyHash
+	}
+	return r.Label + "." + r.KeyHash
+}
+
+// Payload returns the canonical byte string covered by the signature: a
+// domain-separation tag, the name, the sequence number, and the location
+// list.
+func (r Registration) Payload() []byte {
+	var b []byte
+	b = append(b, "idicn registration v1\n"...)
+	b = append(b, r.Name()...)
+	b = append(b, '\n')
+	b = binary.BigEndian.AppendUint64(b, r.Seq)
+	for _, loc := range r.Locations {
+		b = append(b, '\n')
+		b = append(b, loc...)
+	}
+	return b
+}
+
+// Registry errors.
+var (
+	ErrBadRegistration = errors.New("resolver: registration failed verification")
+	ErrStaleSeq        = errors.New("resolver: stale sequence number")
+	ErrNotFound        = errors.New("resolver: name not found")
+)
+
+// Result is a successful resolution.
+type Result struct {
+	// Exact is true when an L.P record matched; false when the publisher
+	// fallback record answered.
+	Exact     bool     `json:"exact"`
+	Locations []string `json:"locations"`
+	PublicKey []byte   `json:"public_key"`
+	Seq       uint64   `json:"seq"`
+}
+
+// Registry is the in-memory name store. It is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	records map[string]Registration // key: flat name ("L.P" or "P")
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{records: make(map[string]Registration)}
+}
+
+// Register verifies and stores a registration. It returns ErrStaleSeq when
+// an existing record for the same name has an equal or newer sequence
+// number, and ErrBadRegistration (wrapped with detail) when cryptographic
+// checks fail.
+func (g *Registry) Register(r Registration) error {
+	if err := verify(r); err != nil {
+		return err
+	}
+	name := r.Name()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if old, ok := g.records[name]; ok && old.Seq >= r.Seq {
+		return fmt.Errorf("%w: have seq %d, got %d", ErrStaleSeq, old.Seq, r.Seq)
+	}
+	g.records[name] = r
+	return nil
+}
+
+func verify(r Registration) error {
+	if r.Label != "" && !names.ValidLabel(r.Label) {
+		return fmt.Errorf("%w: bad label %q", ErrBadRegistration, r.Label)
+	}
+	key, err := names.ParseKeyHash(r.KeyHash)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRegistration, err)
+	}
+	if len(r.PublicKey) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: public key has %d bytes", ErrBadRegistration, len(r.PublicKey))
+	}
+	if !key.Matches(ed25519.PublicKey(r.PublicKey)) {
+		return fmt.Errorf("%w: public key does not hash to %s", ErrBadRegistration, r.KeyHash)
+	}
+	if len(r.Locations) == 0 {
+		return fmt.Errorf("%w: no locations", ErrBadRegistration)
+	}
+	for _, loc := range r.Locations {
+		if strings.TrimSpace(loc) == "" {
+			return fmt.Errorf("%w: empty location", ErrBadRegistration)
+		}
+	}
+	if !ed25519.Verify(ed25519.PublicKey(r.PublicKey), r.Payload(), r.Signature) {
+		return fmt.Errorf("%w: bad signature", ErrBadRegistration)
+	}
+	return nil
+}
+
+// Resolve looks up a flat name "L.P" (or bare "P"). Exact matches win;
+// otherwise the publisher-level P record answers with Exact=false.
+func (g *Registry) Resolve(name string) (Result, error) {
+	name = strings.ToLower(strings.TrimSuffix(name, "."+names.Domain))
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if rec, ok := g.records[name]; ok {
+		return result(rec, true), nil
+	}
+	// Publisher fallback: strip the label.
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		if rec, ok := g.records[name[i+1:]]; ok {
+			return result(rec, false), nil
+		}
+	}
+	return Result{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+}
+
+func result(rec Registration, exact bool) Result {
+	return Result{
+		Exact:     exact,
+		Locations: append([]string(nil), rec.Locations...),
+		PublicKey: append([]byte(nil), rec.PublicKey...),
+		Seq:       rec.Seq,
+	}
+}
+
+// Len returns the number of stored records.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.records)
+}
+
+// Names returns all registered flat names, sorted.
+func (g *Registry) Names() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.records))
+	for n := range g.records {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewRegistration builds and signs a registration for one of the
+// principal's names. An empty label produces a publisher-level record.
+func NewRegistration(p *names.Principal, label string, seq uint64, locations []string) (Registration, error) {
+	if label != "" && !names.ValidLabel(label) {
+		return Registration{}, fmt.Errorf("%w: bad label %q", ErrBadRegistration, label)
+	}
+	r := Registration{
+		Label:     label,
+		KeyHash:   p.KeyHash().String(),
+		Locations: append([]string(nil), locations...),
+		Seq:       seq,
+		PublicKey: append([]byte(nil), p.PublicKey()...),
+	}
+	r.Signature = p.Sign(r.Payload())
+	return r, nil
+}

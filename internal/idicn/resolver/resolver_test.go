@@ -1,0 +1,288 @@
+package resolver
+
+import (
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"idicn/internal/idicn/names"
+)
+
+func principal(t testing.TB, b byte) *names.Principal {
+	t.Helper()
+	seed := make([]byte, ed25519.SeedSize)
+	for i := range seed {
+		seed[i] = b
+	}
+	p, err := names.PrincipalFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRegisterAndResolve(t *testing.T) {
+	reg := NewRegistry()
+	p := principal(t, 1)
+	r, err := NewRegistration(p, "movie", 1, []string{"http://origin.example/movie"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(r); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := p.Name("movie")
+	res, err := reg.Resolve(n.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || len(res.Locations) != 1 || res.Locations[0] != "http://origin.example/movie" {
+		t.Fatalf("Resolve = %+v", res)
+	}
+	// DNS-form lookup works too.
+	if _, err := reg.Resolve(n.DNS()); err != nil {
+		t.Fatalf("DNS-form resolve: %v", err)
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("Len = %d", reg.Len())
+	}
+}
+
+func TestPublisherFallback(t *testing.T) {
+	reg := NewRegistry()
+	p := principal(t, 2)
+	pubRec, err := NewRegistration(p, "", 1, []string{"http://coarse.example/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(pubRec); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := p.Name("anything")
+	res, err := reg.Resolve(n.String())
+	if err != nil {
+		t.Fatalf("fallback resolve: %v", err)
+	}
+	if res.Exact {
+		t.Error("fallback marked exact")
+	}
+	if res.Locations[0] != "http://coarse.example/" {
+		t.Errorf("fallback locations = %v", res.Locations)
+	}
+	// Exact records shadow the fallback.
+	exact, _ := NewRegistration(p, "anything", 1, []string{"http://fine.example/x"})
+	if err := reg.Register(exact); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := reg.Resolve(n.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Exact || res2.Locations[0] != "http://fine.example/x" {
+		t.Errorf("exact record did not shadow fallback: %+v", res2)
+	}
+}
+
+func TestRegisterRejectsForgeries(t *testing.T) {
+	reg := NewRegistry()
+	p := principal(t, 3)
+	attacker := principal(t, 4)
+
+	good, _ := NewRegistration(p, "doc", 1, []string{"http://x.example/"})
+
+	// Attacker substitutes locations without re-signing.
+	evil := good
+	evil.Locations = []string{"http://evil.example/"}
+	if err := reg.Register(evil); !errors.Is(err, ErrBadRegistration) {
+		t.Errorf("location tampering: err = %v", err)
+	}
+
+	// Attacker signs for someone else's key hash.
+	forged, _ := NewRegistration(attacker, "doc", 1, []string{"http://evil.example/"})
+	forged.KeyHash = p.KeyHash().String()
+	forged.Signature = attacker.Sign(forged.Payload())
+	if err := reg.Register(forged); !errors.Is(err, ErrBadRegistration) {
+		t.Errorf("key substitution: err = %v", err)
+	}
+
+	// Bad label.
+	badLabel := good
+	badLabel.Label = "Bad Label"
+	if err := reg.Register(badLabel); !errors.Is(err, ErrBadRegistration) {
+		t.Errorf("bad label: err = %v", err)
+	}
+
+	// Empty locations.
+	if _, err := NewRegistration(p, "x", 1, nil); err == nil {
+		// NewRegistration doesn't validate locations; Register must.
+		empty, _ := NewRegistration(p, "x", 1, nil)
+		if err := reg.Register(empty); !errors.Is(err, ErrBadRegistration) {
+			t.Errorf("empty locations: err = %v", err)
+		}
+	}
+
+	// Whitespace location.
+	ws, _ := NewRegistration(p, "y", 1, []string{"  "})
+	if err := reg.Register(ws); !errors.Is(err, ErrBadRegistration) {
+		t.Errorf("blank location: err = %v", err)
+	}
+
+	// Nothing should have been stored.
+	if reg.Len() != 0 {
+		t.Fatalf("registry stored %d forged records", reg.Len())
+	}
+}
+
+func TestSeqReplayProtection(t *testing.T) {
+	reg := NewRegistry()
+	p := principal(t, 5)
+	r1, _ := NewRegistration(p, "mobile", 5, []string{"http://home.example/"})
+	if err := reg.Register(r1); err != nil {
+		t.Fatal(err)
+	}
+	// Replay and stale updates rejected.
+	if err := reg.Register(r1); !errors.Is(err, ErrStaleSeq) {
+		t.Errorf("replay: err = %v", err)
+	}
+	r0, _ := NewRegistration(p, "mobile", 4, []string{"http://old.example/"})
+	if err := reg.Register(r0); !errors.Is(err, ErrStaleSeq) {
+		t.Errorf("stale: err = %v", err)
+	}
+	// A newer seq (mobility move) replaces the record.
+	r2, _ := NewRegistration(p, "mobile", 6, []string{"http://away.example/"})
+	if err := reg.Register(r2); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := p.Name("mobile")
+	res, _ := reg.Resolve(n.String())
+	if res.Locations[0] != "http://away.example/" || res.Seq != 6 {
+		t.Errorf("update not applied: %+v", res)
+	}
+}
+
+func TestResolveNotFound(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Resolve("ghost.aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestConcurrentRegistryAccess(t *testing.T) {
+	reg := NewRegistry()
+	p := principal(t, 6)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				label := "obj-" + string(rune('a'+w))
+				r, _ := NewRegistration(p, label, uint64(i+1), []string{"http://x.example/"})
+				reg.Register(r)
+				n, _ := p.Name(label)
+				reg.Resolve(n.String())
+				reg.Names()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if reg.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", reg.Len())
+	}
+}
+
+func TestHTTPServerAndClient(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+	client := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+
+	p := principal(t, 7)
+	r, _ := NewRegistration(p, "page", 1, []string{"http://origin.example/page"})
+	if err := client.Register(ctx, r); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := p.Name("page")
+	res, err := client.Resolve(ctx, n.DNS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Locations[0] != "http://origin.example/page" {
+		t.Fatalf("Resolve over HTTP = %+v", res)
+	}
+
+	// Stale seq maps to ErrStaleSeq over the wire.
+	if err := client.Register(ctx, r); !errors.Is(err, ErrStaleSeq) {
+		t.Errorf("HTTP replay: err = %v", err)
+	}
+	// Forgery maps to ErrBadRegistration.
+	bad := r
+	bad.Locations = []string{"http://evil.example/"}
+	if err := client.Register(ctx, bad); !errors.Is(err, ErrBadRegistration) {
+		t.Errorf("HTTP forgery: err = %v", err)
+	}
+	// Unknown name maps to ErrNotFound.
+	if _, err := client.Resolve(ctx, "nope."+p.KeyHash().String()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("HTTP miss: err = %v", err)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	srv := httptest.NewServer(NewServer(NewRegistry()))
+	defer srv.Close()
+	hc := srv.Client()
+
+	resp, err := hc.Post(srv.URL+"/register", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("empty register status = %d", resp.StatusCode)
+	}
+
+	resp2, err := hc.Get(srv.URL + "/resolve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 400 {
+		t.Errorf("missing name status = %d", resp2.StatusCode)
+	}
+
+	resp3, err := hc.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != 200 {
+		t.Errorf("healthz status = %d", resp3.StatusCode)
+	}
+}
+
+// Property: any registration produced by NewRegistration for a valid label
+// verifies; any single-bit corruption of its signature fails.
+func TestRegistrationSignatureQuick(t *testing.T) {
+	p := principal(t, 8)
+	f := func(seq uint64, flip uint8) bool {
+		r, err := NewRegistration(p, "prop", seq, []string{"http://a.example/", "http://b.example/"})
+		if err != nil {
+			return false
+		}
+		if verify(r) != nil {
+			return false
+		}
+		bad := r
+		bad.Signature = append([]byte(nil), r.Signature...)
+		bad.Signature[int(flip)%len(bad.Signature)] ^= 1
+		return verify(bad) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

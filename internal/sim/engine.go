@@ -1,0 +1,784 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"idicn/internal/cache"
+	"idicn/internal/topo"
+)
+
+// Engine executes a configured simulation over a request stream. Create one
+// with New for each run; an Engine carries cache state and is not reusable
+// across independent experiments. Engines are not safe for concurrent use.
+type Engine struct {
+	cfg Config
+	net *topo.Network
+
+	caches   []store // indexed by NodeID; nil where the placement has no cache
+	replicas *replicaIndex
+
+	// Load accounting (object transfers, or bytes when Sizes are given).
+	treeLoad []int64
+	coreLoad []int64
+
+	originServed []int64 // per PoP
+	served       []int64 // per node, within the current capacity window
+	nearestOK    func(topo.NodeID) bool
+
+	totalLatency float64
+	popLatency   []float64 // per arrival PoP
+	popRequests  []int64
+	transfers    int64
+	stats        ServeStats
+	servedDepth  []int64 // histogram by serving-node tree depth; origin last
+
+	steps []step // scratch: request path
+	resp  []step // scratch: response path for NR
+}
+
+type step struct {
+	pop   int32
+	local int32
+}
+
+// ServeStats breaks down where requests were served.
+type ServeStats struct {
+	Leaf    int64 // at the arrival leaf's own cache
+	Sibling int64 // via scoped sibling cooperation
+	Tree    int64 // at another cache within an access tree
+	Core    int64 // at a backbone (PoP root) cache of another PoP
+	Origin  int64 // at the origin server
+}
+
+// Result summarizes one run.
+type Result struct {
+	Requests      int64
+	MeanLatency   float64 // mean request cost under the latency model
+	MaxLinkLoad   int64   // max transfers (or bytes) on any single link
+	MaxOriginLoad int64   // requests served by the busiest origin PoP
+	TotalOrigin   int64   // requests served by any origin
+	Transfers     int64   // total link crossings by responses
+	Stats         ServeStats
+
+	// PoPLatency and PoPRequests break mean latency down by the PoP a
+	// request arrived at, supporting the incremental-deployment analysis.
+	PoPLatency  []float64 // summed latency per arrival PoP
+	PoPRequests []int64
+
+	// ServedAtDepth[d] counts requests served by a cache at tree depth d
+	// (index Depth = leaves, 0 = PoP roots); the final extra entry counts
+	// origin serves. This is the simulated counterpart of the paper's
+	// Figure 2 level fractions.
+	ServedAtDepth []int64
+}
+
+// PoPMeanLatency returns the mean latency of requests arriving at pop, or
+// 0 if it received none.
+func (r Result) PoPMeanLatency(pop int) float64 {
+	if pop < 0 || pop >= len(r.PoPRequests) || r.PoPRequests[pop] == 0 {
+		return 0
+	}
+	return r.PoPLatency[pop] / float64(r.PoPRequests[pop])
+}
+
+// Improvement holds the paper's three normalized metrics: percent
+// improvement over the no-caching baseline in mean latency, max link
+// congestion, and max origin-server load. Higher is better.
+type Improvement struct {
+	Latency    float64
+	Congestion float64
+	OriginLoad float64
+}
+
+// Improvements computes percent improvements of run over base.
+func Improvements(base, run Result) Improvement {
+	pct := func(b, x float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return (b - x) / b * 100
+	}
+	return Improvement{
+		Latency:    pct(base.MeanLatency, run.MeanLatency),
+		Congestion: pct(float64(base.MaxLinkLoad), float64(run.MaxLinkLoad)),
+		OriginLoad: pct(float64(base.MaxOriginLoad), float64(run.MaxOriginLoad)),
+	}
+}
+
+// Gap returns a - b componentwise: the paper's RelImprov_A - RelImprov_B
+// comparison measure (§5).
+func Gap(a, b Improvement) Improvement {
+	return Improvement{
+		Latency:    a.Latency - b.Latency,
+		Congestion: a.Congestion - b.Congestion,
+		OriginLoad: a.OriginLoad - b.OriginLoad,
+	}
+}
+
+// New validates cfg and builds an Engine with freshly provisioned caches.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("sim: nil network")
+	}
+	if cfg.Objects <= 0 {
+		return nil, fmt.Errorf("sim: non-positive object count %d", cfg.Objects)
+	}
+	if len(cfg.Origins) != cfg.Objects {
+		return nil, fmt.Errorf("sim: %d origins for %d objects", len(cfg.Origins), cfg.Objects)
+	}
+	for o, p := range cfg.Origins {
+		if p < 0 || int(p) >= cfg.Network.PoPs() {
+			return nil, fmt.Errorf("sim: object %d has origin PoP %d out of range", o, p)
+		}
+	}
+	if cfg.Sizes != nil && len(cfg.Sizes) != cfg.Objects {
+		return nil, fmt.Errorf("sim: %d sizes for %d objects", len(cfg.Sizes), cfg.Objects)
+	}
+	if cfg.BudgetFraction < 0 {
+		return nil, fmt.Errorf("sim: negative budget fraction")
+	}
+	if cfg.Placement == PlacementEdgeLevels && (cfg.EdgeLevels < 1 || cfg.EdgeLevels > cfg.Network.Depth+1) {
+		return nil, fmt.Errorf("sim: EdgeLevels %d out of range", cfg.EdgeLevels)
+	}
+	if cfg.Latency == LatencyCoreMultiplier && cfg.CoreFactor <= 0 {
+		cfg.CoreFactor = 1
+	}
+	if cfg.Capacity < 0 {
+		return nil, fmt.Errorf("sim: negative capacity")
+	}
+	if cfg.Capacity > 0 && cfg.CapacityWindow <= 0 {
+		return nil, fmt.Errorf("sim: Capacity set without a positive CapacityWindow")
+	}
+	if cfg.WarmupRequests < 0 {
+		return nil, fmt.Errorf("sim: negative WarmupRequests")
+	}
+	if cfg.Deployed != nil && len(cfg.Deployed) != cfg.Network.PoPs() {
+		return nil, fmt.Errorf("sim: Deployed has %d entries for %d PoPs", len(cfg.Deployed), cfg.Network.PoPs())
+	}
+	if cfg.EdgeBudgetMultiplier == 0 {
+		cfg.EdgeBudgetMultiplier = 1
+	}
+	if cfg.CoopScope < 0 {
+		return nil, fmt.Errorf("sim: negative CoopScope")
+	}
+	if cfg.SiblingCoop && cfg.CoopScope == 0 {
+		cfg.CoopScope = 2 // sibling via the shared parent
+	}
+
+	net := cfg.Network
+	e := &Engine{
+		cfg:          cfg,
+		net:          net,
+		caches:       make([]store, net.NodeCount()),
+		treeLoad:     make([]int64, net.TreeLinks()),
+		coreLoad:     make([]int64, net.CoreLinks()),
+		originServed: make([]int64, net.PoPs()),
+		popLatency:   make([]float64, net.PoPs()),
+		popRequests:  make([]int64, net.PoPs()),
+		servedDepth:  make([]int64, net.Depth+2),
+	}
+	if cfg.Routing == RouteNearestReplica {
+		e.replicas = newReplicaIndex(cfg.Objects)
+	}
+	if cfg.Capacity > 0 {
+		e.served = make([]int64, net.NodeCount())
+	}
+	e.nearestOK = func(n topo.NodeID) bool { return e.admissible(n) }
+	e.provisionCaches()
+	return e, nil
+}
+
+// hasCacheLocal reports whether the placement puts a cache at a tree-local
+// index.
+func (e *Engine) hasCacheLocal(local int32) bool {
+	switch e.cfg.Placement {
+	case PlacementPervasive:
+		return true
+	case PlacementEdge:
+		return e.net.IsLeaf(local)
+	case PlacementEdgeLevels:
+		return e.net.DepthOf(local) > e.net.Depth-e.cfg.EdgeLevels
+	}
+	return false
+}
+
+func (e *Engine) provisionCaches() {
+	net := e.net
+	cfg := e.cfg
+	weights := net.Topo.PopulationWeights()
+	var meanSize float64
+	if cfg.Sizes != nil {
+		var sum int64
+		for _, s := range cfg.Sizes {
+			sum += s
+		}
+		meanSize = float64(sum) / float64(cfg.Objects)
+	}
+	for pop := 0; pop < net.PoPs(); pop++ {
+		if cfg.Deployed != nil && !cfg.Deployed[pop] {
+			continue
+		}
+		// Per-router budget in object slots, before the edge multiplier.
+		var perRouter float64
+		switch cfg.BudgetPolicy {
+		case BudgetUniform:
+			perRouter = cfg.BudgetFraction * float64(cfg.Objects)
+		case BudgetProportional:
+			total := cfg.BudgetFraction * float64(net.NodeCount()) * float64(cfg.Objects)
+			perRouter = total * weights[pop] / float64(net.TreeSize())
+		}
+		for local := int32(0); local < int32(net.TreeSize()); local++ {
+			if !e.hasCacheLocal(local) {
+				continue
+			}
+			slots := perRouter * cfg.EdgeBudgetMultiplier
+			capEntries := int(math.Round(slots))
+			if capEntries > cfg.Objects || cfg.BudgetFraction >= 1 {
+				capEntries = cfg.Objects
+			}
+			node := net.Node(pop, local)
+			e.caches[node] = e.newStore(node, capEntries, slots, meanSize)
+		}
+	}
+}
+
+func (e *Engine) newStore(node topo.NodeID, capEntries int, slots, meanSize float64) store {
+	var onEvict func(int32)
+	if e.replicas != nil {
+		ri := e.replicas
+		onEvict = func(obj int32) { ri.remove(obj, node) }
+	}
+	if e.cfg.Sizes != nil {
+		budget := int64(math.Round(slots * meanSize))
+		return sizedStore{c: cache.NewSizedIntLRU(budget, onEvict), sizes: e.cfg.Sizes}
+	}
+	switch e.cfg.Policy {
+	case PolicyLFU:
+		var hook func(int32, struct{})
+		if onEvict != nil {
+			ev := onEvict
+			hook = func(k int32, _ struct{}) { ev(k) }
+		}
+		return lfuStore{c: cache.NewLFU[int32, struct{}](capEntries, hook)}
+	default:
+		return lruStore{c: cache.NewIntLRU(capEntries, onEvict)}
+	}
+}
+
+// admissible reports whether a cache node may serve right now (exists and is
+// under its capacity limit).
+func (e *Engine) admissible(n topo.NodeID) bool {
+	if e.caches[n] == nil {
+		return false
+	}
+	if e.served == nil {
+		return true
+	}
+	return e.served[n] < e.cfg.Capacity
+}
+
+// edgeCost returns the latency cost of one hop under the configured model.
+// For tree hops, childDepth is the depth of the lower endpoint; core hops
+// pass childDepth < 0.
+func (e *Engine) edgeCost(childDepth int) float64 {
+	switch e.cfg.Latency {
+	case LatencyArithmetic:
+		if childDepth < 0 {
+			return float64(e.net.Depth + 1)
+		}
+		return float64(e.net.Depth - childDepth + 1)
+	case LatencyCoreMultiplier:
+		if childDepth < 0 {
+			return e.cfg.CoreFactor
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// loadOf returns the congestion weight of transferring obj across one link.
+func (e *Engine) loadOf(obj int32) int64 {
+	if e.cfg.Sizes != nil {
+		return e.cfg.Sizes[obj]
+	}
+	return 1
+}
+
+// Run simulates the request stream and returns the run's metrics. When
+// Config.WarmupRequests is set, the first that many requests exercise the
+// caches but are excluded from every reported metric. Run may be called
+// once per Engine; cache state is cumulative.
+func (e *Engine) Run(reqs []Request) Result {
+	warmup := e.cfg.WarmupRequests
+	if warmup > len(reqs) {
+		warmup = len(reqs)
+	}
+	var snap *snapshot
+	for i, q := range reqs {
+		if i == warmup && warmup > 0 {
+			snap = e.snapshot()
+		}
+		if e.served != nil && i%e.cfg.CapacityWindow == 0 {
+			clear(e.served)
+		}
+		e.serveRequest(q)
+	}
+	if warmup > 0 && snap == nil {
+		// The whole stream was warmup.
+		snap = e.snapshot()
+	}
+	return e.result(int64(len(reqs)-warmup), snap)
+}
+
+// snapshot captures every metric counter so post-warmup deltas can be
+// reported. Per-link and per-origin arrays are copied because maxima must
+// be taken over differences, not differenced maxima.
+type snapshot struct {
+	totalLatency float64
+	popLatency   []float64
+	popRequests  []int64
+	transfers    int64
+	stats        ServeStats
+	servedDepth  []int64
+	treeLoad     []int64
+	coreLoad     []int64
+	originServed []int64
+}
+
+func (e *Engine) snapshot() *snapshot {
+	return &snapshot{
+		totalLatency: e.totalLatency,
+		popLatency:   append([]float64(nil), e.popLatency...),
+		popRequests:  append([]int64(nil), e.popRequests...),
+		transfers:    e.transfers,
+		stats:        e.stats,
+		servedDepth:  append([]int64(nil), e.servedDepth...),
+		treeLoad:     append([]int64(nil), e.treeLoad...),
+		coreLoad:     append([]int64(nil), e.coreLoad...),
+		originServed: append([]int64(nil), e.originServed...),
+	}
+}
+
+func (e *Engine) result(n int64, snap *snapshot) Result {
+	if snap == nil {
+		snap = &snapshot{
+			popLatency:   make([]float64, len(e.popLatency)),
+			popRequests:  make([]int64, len(e.popRequests)),
+			servedDepth:  make([]int64, len(e.servedDepth)),
+			treeLoad:     make([]int64, len(e.treeLoad)),
+			coreLoad:     make([]int64, len(e.coreLoad)),
+			originServed: make([]int64, len(e.originServed)),
+		}
+	}
+	res := Result{
+		Requests:  n,
+		Transfers: e.transfers - snap.transfers,
+		Stats: ServeStats{
+			Leaf:    e.stats.Leaf - snap.stats.Leaf,
+			Sibling: e.stats.Sibling - snap.stats.Sibling,
+			Tree:    e.stats.Tree - snap.stats.Tree,
+			Core:    e.stats.Core - snap.stats.Core,
+			Origin:  e.stats.Origin - snap.stats.Origin,
+		},
+		PoPLatency:    make([]float64, len(e.popLatency)),
+		PoPRequests:   make([]int64, len(e.popRequests)),
+		ServedAtDepth: make([]int64, len(e.servedDepth)),
+	}
+	for i := range e.popLatency {
+		res.PoPLatency[i] = e.popLatency[i] - snap.popLatency[i]
+		res.PoPRequests[i] = e.popRequests[i] - snap.popRequests[i]
+	}
+	for i := range e.servedDepth {
+		res.ServedAtDepth[i] = e.servedDepth[i] - snap.servedDepth[i]
+	}
+	if n > 0 {
+		res.MeanLatency = (e.totalLatency - snap.totalLatency) / float64(n)
+	}
+	for i, l := range e.treeLoad {
+		if d := l - snap.treeLoad[i]; d > res.MaxLinkLoad {
+			res.MaxLinkLoad = d
+		}
+	}
+	for i, l := range e.coreLoad {
+		if d := l - snap.coreLoad[i]; d > res.MaxLinkLoad {
+			res.MaxLinkLoad = d
+		}
+	}
+	for i, s := range e.originServed {
+		d := s - snap.originServed[i]
+		res.TotalOrigin += d
+		if d > res.MaxOriginLoad {
+			res.MaxOriginLoad = d
+		}
+	}
+	return res
+}
+
+// addLatency charges a request's latency to the totals and its arrival PoP.
+func (e *Engine) addLatency(pop int32, v float64) {
+	e.totalLatency += v
+	e.popLatency[pop] += v
+	e.popRequests[pop]++
+}
+
+func (e *Engine) serveRequest(q Request) {
+	if e.cfg.Routing == RouteNearestReplica {
+		e.serveNearestReplica(q)
+		return
+	}
+	e.serveShortestPath(q)
+}
+
+// serveShortestPath walks the request up its access tree and across the
+// backbone toward the origin, serving from the first admissible cache hit
+// (with optional sibling cooperation), else from the origin.
+func (e *Engine) serveShortestPath(q Request) {
+	net := e.net
+	pop := int(q.PoP)
+	origin := int(e.cfg.Origins[q.Object])
+	// Build the request path: up the tree, then across the core.
+	e.steps = e.steps[:0]
+	for l := net.LeafStart() + q.Leaf; l != 0; l = net.Parent(l) {
+		e.steps = append(e.steps, step{pop: q.PoP, local: l})
+	}
+	e.steps = append(e.steps, step{pop: q.PoP, local: 0})
+	if pop != origin {
+		for p := pop; p != origin; {
+			p = net.CoreNextHop(p, origin)
+			e.steps = append(e.steps, step{pop: int32(p), local: 0})
+		}
+	}
+
+	latency := 0.0
+	for i, st := range e.steps {
+		node := net.Node(int(st.pop), st.local)
+		atOrigin := i == len(e.steps)-1
+		if !atOrigin && e.admissible(node) && e.caches[node].Lookup(q.Object) {
+			e.recordServe(node, i, q)
+			e.deliver(i, q.Object)
+			e.addLatency(q.PoP, latency)
+			return
+		}
+		// Scoped cooperation: a caching node that missed checks every cache
+		// within CoopScope tree hops (nearest first) before forwarding
+		// upward (§3's "cooperative caching within a small search scope").
+		if e.cfg.CoopScope > 0 && !atOrigin && st.local > 0 && e.caches[node] != nil {
+			if peer, path, ok := e.lookupScope(int(st.pop), st.local, q.Object); ok {
+				peerNode := net.Node(int(st.pop), peer)
+				e.stats.Sibling++
+				e.markServed(peerNode)
+				detour := 0.0
+				for k := 1; k < len(path); k++ {
+					detour += e.treeEdgeCost(path[k-1], path[k])
+				}
+				e.addLatency(q.PoP, latency+detour)
+				e.deliverVia(i, path, q)
+				return
+			}
+		}
+		if atOrigin {
+			e.originServed[origin]++
+			e.stats.Origin++
+			e.servedDepth[len(e.servedDepth)-1]++
+			e.deliver(i, q.Object)
+			e.addLatency(q.PoP, latency)
+			return
+		}
+		// Advance one hop toward the origin.
+		next := e.steps[i+1]
+		if st.pop == next.pop {
+			latency += e.edgeCost(net.DepthOf(st.local))
+		} else {
+			latency += e.edgeCost(-1)
+		}
+	}
+}
+
+// lookupScope breadth-first searches the access tree around local, out to
+// CoopScope hops, for an admissible cache holding obj. Ancestors of local
+// are traversed but not used as candidates (the shortest-path walk checks
+// them anyway). On a hit it returns the serving node and the tree path from
+// it back to local, and touches the serving cache.
+func (e *Engine) lookupScope(pop int, local int32, obj int32) (int32, []int32, bool) {
+	net := e.net
+	type visit struct {
+		node int32
+		dist int
+	}
+	// Ancestors of local are excluded as candidates.
+	ancestor := map[int32]bool{}
+	for a := local; ; a = net.Parent(a) {
+		ancestor[a] = true
+		if a == 0 {
+			break
+		}
+	}
+	prev := map[int32]int32{local: -1}
+	queue := []visit{{node: local, dist: 0}}
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		if v.node != local && !ancestor[v.node] {
+			node := net.Node(pop, v.node)
+			if e.admissible(node) && e.caches[node].Contains(obj) {
+				e.caches[node].Lookup(obj) // touch recency on the serving cache
+				// Reconstruct the path serving -> ... -> local.
+				var path []int32
+				for n := v.node; n != -1; n = prev[n] {
+					path = append(path, n)
+				}
+				return v.node, path, true
+			}
+		}
+		if v.dist == e.cfg.CoopScope {
+			continue
+		}
+		// Deterministic neighbor order: parent first, then children.
+		if p := net.Parent(v.node); p >= 0 {
+			if _, seen := prev[p]; !seen {
+				prev[p] = v.node
+				queue = append(queue, visit{node: p, dist: v.dist + 1})
+			}
+		}
+		if c := net.FirstChild(v.node); c >= 0 {
+			for k := int32(0); k < int32(net.Arity); k++ {
+				child := c + k
+				if int(child) >= net.TreeSize() {
+					break
+				}
+				if _, seen := prev[child]; !seen {
+					prev[child] = v.node
+					queue = append(queue, visit{node: child, dist: v.dist + 1})
+				}
+			}
+		}
+	}
+	return 0, nil, false
+}
+
+// treeEdgeCost returns the latency cost of the tree edge between two
+// adjacent locals.
+func (e *Engine) treeEdgeCost(a, b int32) float64 {
+	child := a
+	if e.net.DepthOf(b) > e.net.DepthOf(a) {
+		child = b
+	}
+	return e.edgeCost(e.net.DepthOf(child))
+}
+
+// recordServe updates serve statistics for a cache hit at request-path index
+// i and charges the node's capacity.
+func (e *Engine) recordServe(node topo.NodeID, i int, q Request) {
+	e.markServed(node)
+	_, local := e.net.Split(node)
+	switch {
+	case i == 0:
+		e.stats.Leaf++
+	case local != 0 || e.steps[i].pop == q.PoP:
+		e.stats.Tree++
+	default:
+		e.stats.Core++
+	}
+}
+
+func (e *Engine) markServed(node topo.NodeID) {
+	if e.served != nil {
+		e.served[node]++
+	}
+	_, local := e.net.Split(node)
+	e.servedDepth[e.net.DepthOf(local)]++
+}
+
+// deliver ships the object from request-path index srcIdx back to the leaf
+// (index 0), charging each link crossed and inserting the object at every
+// caching node on the way (the serving node itself was already touched).
+func (e *Engine) deliver(srcIdx int, obj int32) {
+	load := e.loadOf(obj)
+	for i := srcIdx - 1; i >= 0; i-- {
+		a, b := e.steps[i], e.steps[i+1] // a is nearer the leaf
+		e.chargeLink(a, b, load)
+		node := e.net.Node(int(a.pop), a.local)
+		if e.caches[node] != nil {
+			e.insert(node, obj)
+		}
+	}
+	if srcIdx > 0 {
+		e.transfers += int64(srcIdx)
+	}
+}
+
+// deliverVia ships the object along a tree path from a cooperating cache
+// (path[0]) to the request-path node at missIdx (path[len-1]), then down the
+// original request path to the leaf. Every caching node on the way except
+// the server stores the object.
+func (e *Engine) deliverVia(missIdx int, path []int32, q Request) {
+	load := e.loadOf(q.Object)
+	pop := int(e.steps[missIdx].pop)
+	for k := 1; k < len(path); k++ {
+		a, b := path[k-1], path[k]
+		child := a
+		if e.net.DepthOf(b) > e.net.DepthOf(a) {
+			child = b
+		}
+		e.treeLoad[e.net.TreeLinkIndex(pop, child)] += load
+		e.transfers++
+		if n := e.net.Node(pop, b); e.caches[n] != nil {
+			e.insert(n, q.Object)
+		}
+	}
+	// Continue down the original request path to the leaf.
+	e.deliver(missIdx, q.Object)
+}
+
+func (e *Engine) chargeLink(a, b step, load int64) {
+	if a.pop == b.pop {
+		// Tree link identified by its lower endpoint (the deeper local).
+		child := a.local
+		if e.net.DepthOf(b.local) > e.net.DepthOf(a.local) {
+			child = b.local
+		}
+		e.treeLoad[e.net.TreeLinkIndex(int(a.pop), child)] += load
+	} else {
+		e.coreLoad[e.net.CoreLinkIndex(int(a.pop), int(b.pop))] += load
+	}
+}
+
+func (e *Engine) insert(node topo.NodeID, obj int32) {
+	e.caches[node].Insert(obj)
+	if e.replicas != nil {
+		if e.caches[node].Contains(obj) { // sized caches may reject oversize objects
+			e.replicas.add(obj, node)
+		}
+	}
+}
+
+// serveNearestReplica implements ICN-NR: the request goes to the closest
+// cached copy (zero-cost lookup), falling back to the origin when the origin
+// is at least as close or no admissible replica exists.
+func (e *Engine) serveNearestReplica(q Request) {
+	net := e.net
+	pop := int(q.PoP)
+	leafLocal := net.LeafStart() + q.Leaf
+	origin := int(e.cfg.Origins[q.Object])
+
+	// Fast path: a copy at the arrival leaf is globally nearest (distance
+	// 0), so the replica scan can be skipped. Popular objects — the bulk of
+	// a Zipf workload — take this path.
+	if leafNode := net.Node(pop, leafLocal); e.admissible(leafNode) && e.caches[leafNode].Contains(q.Object) {
+		e.caches[leafNode].Lookup(q.Object)
+		e.serveFromNode(q, leafNode, leafLocal)
+		return
+	}
+
+	var originDist int
+	if origin == pop {
+		originDist = net.DepthOf(leafLocal)
+	} else {
+		originDist = net.DepthOf(leafLocal) + net.CoreDist(pop, origin)
+	}
+
+	node, dist, found := e.replicas.nearest(net, pop, leafLocal, q.Object, e.nearestOK)
+	if found && node == net.Node(origin, 0) {
+		// The origin PoP's root cache is indistinguishable from the origin
+		// itself (same location, same distance): account it as the origin.
+		found = false
+	}
+	if found && dist <= originDist {
+		e.caches[node].Lookup(q.Object) // touch the serving cache
+		e.totalLatency += e.cfg.NRLookupPenalty
+		e.popLatency[q.PoP] += e.cfg.NRLookupPenalty
+		e.serveFromNode(q, node, leafLocal)
+		return
+	}
+	// Origin serves; response returns along the shortest path.
+	e.originServed[origin]++
+	e.stats.Origin++
+	e.servedDepth[len(e.servedDepth)-1]++
+	e.serveFromNode(q, net.Node(origin, 0), leafLocal)
+}
+
+// serveFromNode accounts latency, link loads, and response-path caching for
+// a response travelling from src to the request leaf.
+func (e *Engine) serveFromNode(q Request, src topo.NodeID, leafLocal int32) {
+	net := e.net
+	pop := int(q.PoP)
+	srcPop, srcLocal := net.Split(src)
+	e.resp = e.resp[:0]
+
+	if srcPop == pop {
+		// Same tree: src up to the LCA, then down to the leaf.
+		a, b := srcLocal, leafLocal
+		var upA, upB []step
+		for a != b {
+			da, db := net.DepthOf(a), net.DepthOf(b)
+			if da >= db {
+				upA = append(upA, step{pop: q.PoP, local: a})
+				a = net.Parent(a)
+			} else {
+				upB = append(upB, step{pop: q.PoP, local: b})
+				b = net.Parent(b)
+			}
+		}
+		e.resp = append(e.resp, upA...)
+		e.resp = append(e.resp, step{pop: q.PoP, local: a}) // the LCA
+		for i := len(upB) - 1; i >= 0; i-- {
+			e.resp = append(e.resp, upB[i])
+		}
+	} else {
+		// Up the remote tree, across the core, down the local tree.
+		for l := srcLocal; l != 0; l = net.Parent(l) {
+			e.resp = append(e.resp, step{pop: int32(srcPop), local: l})
+		}
+		e.resp = append(e.resp, step{pop: int32(srcPop), local: 0})
+		for p := srcPop; p != pop; {
+			p = net.CoreNextHop(p, pop)
+			e.resp = append(e.resp, step{pop: int32(p), local: 0})
+		}
+		// Down from the local root to the leaf: ancestors in reverse.
+		base := len(e.resp)
+		for l := leafLocal; l != 0; l = net.Parent(l) {
+			e.resp = append(e.resp, step{pop: q.PoP, local: l})
+		}
+		for i, j := base, len(e.resp)-1; i < j; i, j = i+1, j-1 {
+			e.resp[i], e.resp[j] = e.resp[j], e.resp[i]
+		}
+	}
+
+	// Serve statistics for cache hits (origin hits were counted already).
+	if e.caches[src] != nil && !(srcPop == int(e.cfg.Origins[q.Object]) && srcLocal == 0) {
+		e.markServed(src)
+		switch {
+		case src == net.Node(pop, leafLocal):
+			e.stats.Leaf++
+		case srcPop == pop || srcLocal != 0:
+			e.stats.Tree++
+		default:
+			e.stats.Core++
+		}
+	}
+
+	// Walk the response path: accumulate latency, charge links, insert at
+	// caching nodes (all but the source).
+	load := e.loadOf(q.Object)
+	latency := 0.0
+	for i := 1; i < len(e.resp); i++ {
+		a, b := e.resp[i-1], e.resp[i]
+		if a.pop == b.pop {
+			child := a.local
+			if net.DepthOf(b.local) > net.DepthOf(a.local) {
+				child = b.local
+			}
+			latency += e.edgeCost(net.DepthOf(child))
+		} else {
+			latency += e.edgeCost(-1)
+		}
+		e.chargeLink(a, b, load)
+		node := net.Node(int(b.pop), b.local)
+		if e.caches[node] != nil {
+			e.insert(node, q.Object)
+		}
+	}
+	e.transfers += int64(len(e.resp) - 1)
+	e.addLatency(q.PoP, latency)
+}

@@ -1,0 +1,64 @@
+package sim
+
+import "idicn/internal/topo"
+
+// replicaIndex tracks which routers currently cache each object, supporting
+// the idealized zero-cost nearest-replica lookup of ICN-NR. Cache inserts
+// and evictions keep it exact via the caches' eviction hooks.
+type replicaIndex struct {
+	perObj []map[topo.NodeID]struct{}
+}
+
+func newReplicaIndex(objects int) *replicaIndex {
+	return &replicaIndex{perObj: make([]map[topo.NodeID]struct{}, objects)}
+}
+
+func (ri *replicaIndex) add(obj int32, node topo.NodeID) {
+	m := ri.perObj[obj]
+	if m == nil {
+		m = make(map[topo.NodeID]struct{}, 4)
+		ri.perObj[obj] = m
+	}
+	m[node] = struct{}{}
+}
+
+func (ri *replicaIndex) remove(obj int32, node topo.NodeID) {
+	if m := ri.perObj[obj]; m != nil {
+		delete(m, node)
+	}
+}
+
+func (ri *replicaIndex) count(obj int32) int { return len(ri.perObj[obj]) }
+
+// nearest returns the replica of obj closest to the given leaf, with
+// deterministic tie-breaking on NodeID, among replicas accepted by ok (used
+// to skip capacity-overloaded caches). found is false when no replica is
+// admissible. Distance decomposes structurally: same-tree replicas use the
+// LCA tree distance; cross-tree replicas cost
+// leafDepth + coreDist + replicaDepth.
+func (ri *replicaIndex) nearest(net *topo.Network, pop int, leafLocal int32, obj int32,
+	ok func(topo.NodeID) bool) (best topo.NodeID, dist int, found bool) {
+	m := ri.perObj[obj]
+	if len(m) == 0 {
+		return 0, 0, false
+	}
+	leafDepth := net.DepthOf(leafLocal)
+	bestDist := int(^uint(0) >> 1)
+	var bestNode topo.NodeID
+	for node := range m {
+		if ok != nil && !ok(node) {
+			continue
+		}
+		q, local := net.Split(node)
+		var d int
+		if q == pop {
+			d = net.SameTreeDist(leafLocal, local)
+		} else {
+			d = leafDepth + net.CoreDist(pop, q) + net.DepthOf(local)
+		}
+		if d < bestDist || (d == bestDist && node < bestNode) {
+			bestDist, bestNode, found = d, node, true
+		}
+	}
+	return bestNode, bestDist, found
+}

@@ -1,0 +1,53 @@
+package sim
+
+// RunConfig builds an Engine for cfg and simulates the request stream.
+func RunConfig(cfg Config, reqs []Request) (Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(reqs), nil
+}
+
+// Baseline runs cfg's workload with caching disabled: every request is
+// served by its origin over shortest-path routing. All three paper metrics
+// are normalized against this run.
+func Baseline(cfg Config, reqs []Request) (Result, error) {
+	cfg.BudgetFraction = 0
+	cfg.EdgeBudgetMultiplier = 0
+	cfg.Routing = RouteShortestPath
+	cfg.SiblingCoop = false
+	cfg.Capacity = 0
+	return RunConfig(cfg, reqs)
+}
+
+// DesignResult pairs a design with its improvements over the baseline.
+type DesignResult struct {
+	Design      Design
+	Raw         Result
+	Improvement Improvement
+}
+
+// CompareDesigns runs every design on the same base configuration and
+// request stream, returning per-design improvements over the shared
+// no-caching baseline. This is the computation behind each topology group in
+// Figures 6 and 7.
+func CompareDesigns(base Config, designs []Design, reqs []Request) ([]DesignResult, error) {
+	baseRes, err := Baseline(base, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DesignResult, 0, len(designs))
+	for _, d := range designs {
+		res, err := RunConfig(d.Apply(base), reqs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DesignResult{
+			Design:      d,
+			Raw:         res,
+			Improvement: Improvements(baseRes, res),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package sim
+
+import "idicn/internal/cache"
+
+// store is the simulator's view of a content cache. Lookup touches (a hit
+// refreshes replacement state); Contains peeks without side effects; Insert
+// admits an object, possibly evicting others (evictions are reported through
+// the hook supplied at construction).
+type store interface {
+	Lookup(obj int32) bool
+	Contains(obj int32) bool
+	Insert(obj int32)
+	Len() int
+}
+
+type lruStore struct{ c *cache.IntLRU }
+
+func (s lruStore) Lookup(obj int32) bool   { return s.c.Lookup(obj) }
+func (s lruStore) Contains(obj int32) bool { return s.c.Contains(obj) }
+func (s lruStore) Insert(obj int32)        { s.c.Insert(obj) }
+func (s lruStore) Len() int                { return s.c.Len() }
+
+type lfuStore struct{ c *cache.LFU[int32, struct{}] }
+
+func (s lfuStore) Lookup(obj int32) bool {
+	_, ok := s.c.Get(obj)
+	return ok
+}
+func (s lfuStore) Contains(obj int32) bool { return s.c.Contains(obj) }
+func (s lfuStore) Insert(obj int32)        { s.c.Put(obj, struct{}{}) }
+func (s lfuStore) Len() int                { return s.c.Len() }
+
+// sizedStore adapts the byte-budget LRU for heterogeneous object sizes.
+type sizedStore struct {
+	c     *cache.SizedIntLRU
+	sizes []int64
+}
+
+func (s sizedStore) Lookup(obj int32) bool   { return s.c.Lookup(obj) }
+func (s sizedStore) Contains(obj int32) bool { return s.c.Contains(obj) }
+func (s sizedStore) Insert(obj int32)        { s.c.Insert(obj, s.sizes[obj]) }
+func (s sizedStore) Len() int                { return s.c.Len() }

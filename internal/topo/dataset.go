@@ -1,0 +1,137 @@
+package topo
+
+// This file embeds the eight backbone topologies the paper evaluates
+// (Figure 6): the Abilene and Geant research networks, whose PoP-level maps
+// are public and embedded directly, and six commercial ISPs measured by
+// Rocketfuel (Telstra, Sprint, Verio, Tiscali, Level3, AT&T), for which we
+// generate deterministic synthetic maps sized to the published PoP counts —
+// see DESIGN.md "Substitutions". AT&T is the largest, matching the paper's
+// use of it for the sensitivity analysis (§5).
+
+// Abilene returns the Abilene (Internet2) backbone: 11 PoPs, 14 links.
+// Populations are the approximate metro populations in millions.
+func Abilene() *Topology {
+	names := []string{
+		"Seattle", "Sunnyvale", "LosAngeles", "Denver", "KansasCity",
+		"Houston", "Indianapolis", "Atlanta", "Chicago", "NewYork", "WashingtonDC",
+	}
+	pop := []float64{3.5, 1.8, 13.2, 2.9, 2.1, 6.6, 2.0, 5.9, 9.5, 19.8, 6.1}
+	g := NewGraph(len(names))
+	edges := [][2]int{
+		{0, 1},  // Seattle-Sunnyvale
+		{0, 3},  // Seattle-Denver
+		{1, 2},  // Sunnyvale-LosAngeles
+		{1, 3},  // Sunnyvale-Denver
+		{2, 5},  // LosAngeles-Houston
+		{3, 4},  // Denver-KansasCity
+		{4, 5},  // KansasCity-Houston
+		{4, 6},  // KansasCity-Indianapolis
+		{5, 7},  // Houston-Atlanta
+		{6, 8},  // Indianapolis-Chicago
+		{6, 7},  // Indianapolis-Atlanta
+		{7, 10}, // Atlanta-WashingtonDC
+		{8, 9},  // Chicago-NewYork
+		{9, 10}, // NewYork-WashingtonDC
+	}
+	for _, e := range edges {
+		mustAddEdge(g, e[0], e[1])
+	}
+	return &Topology{Name: "Abilene", Graph: g, PoPNames: names, Population: pop}
+}
+
+// Geant returns an approximation of the GEANT pan-European research backbone
+// circa the paper's era: 22 national PoPs with a mesh concentrated on the
+// western European hubs. Populations are national populations in millions.
+func Geant() *Topology {
+	names := []string{
+		"UK", "France", "Germany", "Netherlands", "Belgium", "Switzerland",
+		"Italy", "Spain", "Portugal", "Austria", "CzechRep", "Poland",
+		"Hungary", "Slovakia", "Slovenia", "Croatia", "Greece", "Ireland",
+		"Sweden", "Denmark", "Norway", "Finland",
+	}
+	pop := []float64{
+		63.0, 65.0, 82.0, 16.7, 11.1, 8.0,
+		60.0, 46.0, 10.5, 8.4, 10.5, 38.5,
+		9.9, 5.4, 2.1, 4.3, 11.0, 4.6,
+		9.5, 5.6, 5.0, 5.4,
+	}
+	g := NewGraph(len(names))
+	edges := [][2]int{
+		{0, 1}, {0, 3}, {0, 17}, {0, 18}, // UK: FR, NL, IE, SE
+		{1, 2}, {1, 5}, {1, 7}, // FR: DE, CH, ES
+		{2, 3}, {2, 5}, {2, 9}, {2, 10}, {2, 19}, // DE: NL, CH, AT, CZ, DK
+		{3, 4},           // NL-BE
+		{4, 1},           // BE-FR
+		{5, 6},           // CH-IT
+		{6, 9},           // IT-AT
+		{6, 16},          // IT-GR
+		{7, 8},           // ES-PT
+		{9, 12}, {9, 14}, // AT: HU, SI
+		{10, 11}, {10, 13}, // CZ: PL, SK
+		{11, 19},           // PL-DK
+		{12, 13}, {12, 15}, // HU: SK, HR
+		{14, 15},                     // SI-HR
+		{16, 9},                      // GR-AT
+		{18, 19}, {18, 20}, {18, 21}, // SE: DK, NO, FI
+	}
+	for _, e := range edges {
+		mustAddEdge(g, e[0], e[1])
+	}
+	return &Topology{Name: "Geant", Graph: g, PoPNames: names, Population: pop}
+}
+
+// The six Rocketfuel ISPs, sized to the published PoP counts. Seeds are
+// fixed so every run sees identical topologies.
+
+// Telstra returns the synthetic Telstra (AS1221) PoP-level map.
+func Telstra() *Topology { return synthISP("Telstra", 44, 1221) }
+
+// Sprint returns the synthetic Sprint (AS1239) PoP-level map.
+func Sprint() *Topology { return synthISP("Sprint", 52, 1239) }
+
+// Verio returns the synthetic Verio (AS2914) PoP-level map.
+func Verio() *Topology { return synthISP("Verio", 70, 2914) }
+
+// Tiscali returns the synthetic Tiscali (AS3257) PoP-level map.
+func Tiscali() *Topology { return synthISP("Tiscali", 50, 3257) }
+
+// Level3 returns the synthetic Level3 (AS3356) PoP-level map.
+func Level3() *Topology { return synthISP("Level3", 63, 3356) }
+
+// ATT returns the synthetic AT&T (AS7018) PoP-level map, the largest of the
+// eight and the one the paper uses for its sensitivity analysis.
+func ATT() *Topology { return synthISP("ATT", 108, 7018) }
+
+// AllTopologies returns the eight topologies in the order of the paper's
+// Figure 6 x-axis: Abilene, Geant, Telstra, Sprint, Verio, Tiscali, Level3,
+// ATT.
+func AllTopologies() []*Topology {
+	return []*Topology{
+		Abilene(), Geant(), Telstra(), Sprint(),
+		Verio(), Tiscali(), Level3(), ATT(),
+	}
+}
+
+// ByName returns the named topology (case-sensitive, as listed in
+// AllTopologies) or nil if unknown.
+func ByName(name string) *Topology {
+	switch name {
+	case "Abilene":
+		return Abilene()
+	case "Geant":
+		return Geant()
+	case "Telstra":
+		return Telstra()
+	case "Sprint":
+		return Sprint()
+	case "Verio":
+		return Verio()
+	case "Tiscali":
+		return Tiscali()
+	case "Level3":
+		return Level3()
+	case "ATT":
+		return ATT()
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTopology ensures the topology parser never panics and accepted
+// topologies survive a write/parse round trip.
+func FuzzParseTopology(f *testing.F) {
+	f.Add(sampleTopo)
+	f.Add("")
+	f.Add("pop 0 A 1\npop 1 B 2\nlink 0 1\nlink 0 1\n")
+	f.Add("name x\npop 0 a 0.0001\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		tp, err := ParseTopology(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTopology(&buf, tp); err != nil {
+			t.Fatalf("write failed for accepted topology: %v", err)
+		}
+		back, err := ParseTopology(&buf)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if back.Graph.N() != tp.Graph.N() || back.Graph.EdgeCount() != tp.Graph.EdgeCount() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

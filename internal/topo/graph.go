@@ -1,0 +1,196 @@
+// Package topo provides the network substrate for the simulation study:
+// undirected PoP-level graphs with all-pairs shortest paths, the eight
+// backbone topologies the paper evaluates (Abilene, Geant, and six
+// Rocketfuel ISPs), and the router-level Network model that roots a complete
+// k-ary access tree at every PoP (paper §4.1, Figure 5).
+package topo
+
+import "fmt"
+
+// Graph is a simple undirected graph over nodes 0..N-1. Nodes are added at
+// construction; edges with AddEdge. Graph is not safe for concurrent
+// mutation, but read-only use (after Freeze or once fully built) is.
+type Graph struct {
+	n     int
+	adj   [][]int32
+	edges [][2]int32       // canonical (u < v), in insertion order
+	eidx  map[[2]int32]int // canonical edge -> index in edges
+}
+
+// NewGraph returns an empty graph with n nodes. It panics if n <= 0.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic("topo: non-positive node count")
+	}
+	return &Graph{
+		n:    n,
+		adj:  make([][]int32, n),
+		eidx: make(map[[2]int32]int),
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate edges
+// are rejected with an error; out-of-range endpoints panic (programmer
+// error).
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("topo: edge endpoint out of range: (%d,%d) with n=%d", u, v, g.n))
+	}
+	if u == v {
+		return fmt.Errorf("topo: self-loop at node %d", u)
+	}
+	key := canonEdge(int32(u), int32(v))
+	if _, dup := g.eidx[key]; dup {
+		return fmt.Errorf("topo: duplicate edge (%d,%d)", u, v)
+	}
+	g.eidx[key] = len(g.edges)
+	g.edges = append(g.edges, key)
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	return nil
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	_, ok := g.eidx[canonEdge(int32(u), int32(v))]
+	return ok
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int { return len(g.edges) }
+
+// Edges returns the edge list in insertion order, each as canonical (u, v)
+// with u < v. The returned slice must not be modified.
+func (g *Graph) Edges() [][2]int32 { return g.edges }
+
+// EdgeIndex returns the dense index of edge {u, v}, used by the simulator
+// for per-link congestion accounting, and whether the edge exists.
+func (g *Graph) EdgeIndex(u, v int32) (int, bool) {
+	i, ok := g.eidx[canonEdge(u, v)]
+	return i, ok
+}
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors returns u's adjacency list. The returned slice must not be
+// modified.
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+
+// Connected reports whether the graph is connected (true for N == 1).
+func (g *Graph) Connected() bool {
+	seen := make([]bool, g.n)
+	stack := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.n
+}
+
+func canonEdge(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+// Paths holds all-pairs shortest-path results for a Graph: hop distances and
+// first-hop routing tables. Paths are computed with breadth-first search
+// using deterministic (adjacency-order) tie-breaking, so routes are stable
+// across runs.
+type Paths struct {
+	n    int
+	dist []int32 // n*n, -1 if unreachable
+	next []int32 // n*n, first hop from u toward v; -1 if unreachable or u==v
+}
+
+// AllPairsShortestPaths computes hop distances and next-hop tables between
+// every pair of nodes via one BFS per source.
+func (g *Graph) AllPairsShortestPaths() *Paths {
+	p := &Paths{
+		n:    g.n,
+		dist: make([]int32, g.n*g.n),
+		next: make([]int32, g.n*g.n),
+	}
+	for i := range p.dist {
+		p.dist[i] = -1
+		p.next[i] = -1
+	}
+	queue := make([]int32, 0, g.n)
+	for src := 0; src < g.n; src++ {
+		base := src * g.n
+		p.dist[base+src] = 0
+		queue = queue[:0]
+		queue = append(queue, int32(src))
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			du := p.dist[base+int(u)]
+			for _, v := range g.adj[u] {
+				if p.dist[base+int(v)] >= 0 {
+					continue
+				}
+				p.dist[base+int(v)] = du + 1
+				if u == int32(src) {
+					p.next[base+int(v)] = v
+				} else {
+					p.next[base+int(v)] = p.next[base+int(u)]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return p
+}
+
+// Dist returns the hop distance from u to v, or -1 if unreachable.
+func (p *Paths) Dist(u, v int) int { return int(p.dist[u*p.n+v]) }
+
+// NextHop returns the first hop on a shortest path from u toward v, or -1
+// when v is unreachable or equal to u.
+func (p *Paths) NextHop(u, v int) int { return int(p.next[u*p.n+v]) }
+
+// Path returns the node sequence of a shortest path from u to v, inclusive
+// of both endpoints, or nil if v is unreachable from u.
+func (p *Paths) Path(u, v int) []int32 {
+	if u == v {
+		return []int32{int32(u)}
+	}
+	if p.dist[u*p.n+v] < 0 {
+		return nil
+	}
+	out := make([]int32, 0, p.dist[u*p.n+v]+1)
+	out = append(out, int32(u))
+	for u != v {
+		u = int(p.next[u*p.n+v])
+		out = append(out, int32(u))
+	}
+	return out
+}
+
+// Eccentricity returns the maximum shortest-path distance from u to any
+// reachable node.
+func (p *Paths) Eccentricity(u int) int {
+	m := 0
+	for v := 0; v < p.n; v++ {
+		if d := int(p.dist[u*p.n+v]); d > m {
+			m = d
+		}
+	}
+	return m
+}

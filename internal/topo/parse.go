@@ -1,0 +1,140 @@
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Topology file format: a line-oriented text description so users can
+// supply their own PoP-level maps (e.g., parsed from real Rocketfuel data,
+// which is not redistributable here):
+//
+//	# comment
+//	name AS7018
+//	pop 0 NewYork 19.8
+//	pop 1 Chicago 9.5
+//	link 0 1
+//
+// "pop" lines declare nodes with an id (dense, 0-based), a name, and a
+// population; "link" lines declare undirected edges between declared ids.
+
+// ParseTopology reads a topology description.
+func ParseTopology(r io.Reader) (*Topology, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+
+	name := "custom"
+	type popDecl struct {
+		name string
+		pop  float64
+	}
+	var pops []popDecl
+	var links [][2]int
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "name":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topo: line %d: name wants 1 argument", lineNo)
+			}
+			name = fields[1]
+		case "pop":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topo: line %d: pop wants id, name, population", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: bad pop id: %v", lineNo, err)
+			}
+			if id != len(pops) {
+				return nil, fmt.Errorf("topo: line %d: pop id %d out of order (want %d)", lineNo, id, len(pops))
+			}
+			population, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: bad population: %v", lineNo, err)
+			}
+			if population <= 0 {
+				return nil, fmt.Errorf("topo: line %d: population must be positive", lineNo)
+			}
+			pops = append(pops, popDecl{name: fields[2], pop: population})
+		case "link":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("topo: line %d: link wants two pop ids", lineNo)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: bad link endpoint: %v", lineNo, err)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: bad link endpoint: %v", lineNo, err)
+			}
+			links = append(links, [2]int{u, v})
+		default:
+			return nil, fmt.Errorf("topo: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topo: read: %w", err)
+	}
+	if len(pops) == 0 {
+		return nil, fmt.Errorf("topo: no pops declared")
+	}
+
+	g := NewGraph(len(pops))
+	for i, l := range links {
+		if l[0] < 0 || l[0] >= len(pops) || l[1] < 0 || l[1] >= len(pops) {
+			return nil, fmt.Errorf("topo: link %d references undeclared pop (%d, %d)", i, l[0], l[1])
+		}
+		if err := g.AddEdge(l[0], l[1]); err != nil {
+			return nil, err
+		}
+	}
+	t := &Topology{Name: name, Graph: g}
+	for _, p := range pops {
+		t.PoPNames = append(t.PoPNames, p.name)
+		t.Population = append(t.Population, p.pop)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// LoadTopology reads a topology description from a file.
+func LoadTopology(path string) (*Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topo: %w", err)
+	}
+	defer f.Close()
+	t, err := ParseTopology(f)
+	if err != nil {
+		return nil, fmt.Errorf("topo: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// WriteTopology renders a topology in the file format, round-trippable
+// through ParseTopology.
+func WriteTopology(w io.Writer, t *Topology) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "name %s\n", t.Name)
+	for i, n := range t.PoPNames {
+		fmt.Fprintf(bw, "pop %d %s %g\n", i, n, t.Population[i])
+	}
+	for _, e := range t.Graph.Edges() {
+		fmt.Fprintf(bw, "link %d %d\n", e[0], e[1])
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,101 @@
+package topo
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleTopo = `# a tiny ISP
+name TinyNet
+pop 0 Alpha 2.5
+pop 1 Beta 1.0
+pop 2 Gamma 4.25
+link 0 1
+link 1 2
+`
+
+func TestParseTopology(t *testing.T) {
+	tp, err := ParseTopology(strings.NewReader(sampleTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Name != "TinyNet" || tp.Graph.N() != 3 || tp.Graph.EdgeCount() != 2 {
+		t.Fatalf("parsed %s: %d pops %d links", tp.Name, tp.Graph.N(), tp.Graph.EdgeCount())
+	}
+	if tp.PoPNames[2] != "Gamma" || tp.Population[2] != 4.25 {
+		t.Errorf("pop 2 = %s/%v", tp.PoPNames[2], tp.Population[2])
+	}
+	if !tp.Graph.HasEdge(0, 1) || !tp.Graph.HasEdge(1, 2) || tp.Graph.HasEdge(0, 2) {
+		t.Error("edges wrong")
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	for name, text := range map[string]string{
+		"unknown directive": "router 0\n",
+		"pop fields":        "pop 0 OnlyName\n",
+		"pop order":         "pop 1 B 1\n",
+		"bad population":    "pop 0 A x\n",
+		"zero population":   "pop 0 A 0\n",
+		"bad link":          "pop 0 A 1\npop 1 B 1\nlink 0 x\n",
+		"undeclared link":   "pop 0 A 1\nlink 0 5\n",
+		"empty":             "# nothing\n",
+		"disconnected":      "pop 0 A 1\npop 1 B 1\n",
+		"duplicate link":    "pop 0 A 1\npop 1 B 1\nlink 0 1\nlink 1 0\n",
+	} {
+		if _, err := ParseTopology(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTopologyFileRoundTrip(t *testing.T) {
+	for _, orig := range []*Topology{Abilene(), Geant(), Sprint()} {
+		var buf bytes.Buffer
+		if err := WriteTopology(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseTopology(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if back.Name != orig.Name || back.Graph.N() != orig.Graph.N() || back.Graph.EdgeCount() != orig.Graph.EdgeCount() {
+			t.Fatalf("%s: round trip changed shape", orig.Name)
+		}
+		for i := range orig.PoPNames {
+			if back.PoPNames[i] != orig.PoPNames[i] || back.Population[i] != orig.Population[i] {
+				t.Fatalf("%s: pop %d changed", orig.Name, i)
+			}
+		}
+		eo, eb := orig.Graph.Edges(), back.Graph.Edges()
+		for i := range eo {
+			if eo[i] != eb[i] {
+				t.Fatalf("%s: edge %d changed", orig.Name, i)
+			}
+		}
+	}
+}
+
+func TestLoadTopologyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/net.topo"
+	if err := writeFile(path, sampleTopo); err != nil {
+		t.Fatal(err)
+	}
+	tp, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Name != "TinyNet" {
+		t.Errorf("loaded %s", tp.Name)
+	}
+	if _, err := LoadTopology(dir + "/missing.topo"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

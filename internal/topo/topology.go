@@ -1,0 +1,119 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Topology is a named PoP-level backbone: a connected graph whose nodes are
+// points of presence, each annotated with the population of its metro region.
+// Request volume and origin-server assignment are proportional to population
+// in the paper's setup (§4.1).
+type Topology struct {
+	Name       string
+	Graph      *Graph
+	PoPNames   []string
+	Population []float64 // per PoP, in millions (any consistent unit works)
+}
+
+// Validate checks structural invariants: matching slice lengths, a connected
+// graph, and strictly positive populations.
+func (t *Topology) Validate() error {
+	n := t.Graph.N()
+	if len(t.PoPNames) != n {
+		return fmt.Errorf("topo: %s: %d PoP names for %d nodes", t.Name, len(t.PoPNames), n)
+	}
+	if len(t.Population) != n {
+		return fmt.Errorf("topo: %s: %d populations for %d nodes", t.Name, len(t.Population), n)
+	}
+	for i, p := range t.Population {
+		if p <= 0 {
+			return fmt.Errorf("topo: %s: non-positive population %v at PoP %d (%s)", t.Name, p, i, t.PoPNames[i])
+		}
+	}
+	if !t.Graph.Connected() {
+		return fmt.Errorf("topo: %s: graph is not connected", t.Name)
+	}
+	return nil
+}
+
+// TotalPopulation returns the sum of PoP populations.
+func (t *Topology) TotalPopulation() float64 {
+	var s float64
+	for _, p := range t.Population {
+		s += p
+	}
+	return s
+}
+
+// PopulationWeights returns per-PoP populations normalized to sum to 1.
+func (t *Topology) PopulationWeights() []float64 {
+	total := t.TotalPopulation()
+	w := make([]float64, len(t.Population))
+	for i, p := range t.Population {
+		w[i] = p / total
+	}
+	return w
+}
+
+// synthISP generates a deterministic synthetic PoP-level ISP map with n
+// PoPs. The paper uses Rocketfuel-measured PoP topologies, which are not
+// redistributable here; this generator preserves the properties that matter
+// for the study — size diversity across ISPs, a sparse mesh with a few
+// high-degree hubs (preferential attachment), ring-like redundancy, and
+// heavy-tailed metro populations. The same (name, n, seed) always yields the
+// same topology.
+func synthISP(name string, n int, seed int64) *Topology {
+	r := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	// Preferential-attachment spanning tree: node i attaches to an earlier
+	// node chosen with probability proportional to degree+1.
+	for i := 1; i < n; i++ {
+		total := 0
+		for j := 0; j < i; j++ {
+			total += g.Degree(j) + 1
+		}
+		pick := r.Intn(total)
+		target := 0
+		for j := 0; j < i; j++ {
+			pick -= g.Degree(j) + 1
+			if pick < 0 {
+				target = j
+				break
+			}
+		}
+		mustAddEdge(g, i, target)
+	}
+	// Redundancy: add ~n/2 extra shortcut edges between random pairs,
+	// skipping duplicates, to bring the mean degree near Rocketfuel's ~3.
+	extra := n / 2
+	for added := 0; added < extra; {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		mustAddEdge(g, u, v)
+		added++
+	}
+	// Heavy-tailed metro populations (Zipf-like city sizes), shuffled so the
+	// biggest metro is not always PoP 0.
+	pops := make([]float64, n)
+	for i := range pops {
+		pops[i] = 20.0 / float64(i+1)
+		if pops[i] < 0.3 {
+			pops[i] = 0.3
+		}
+	}
+	r.Shuffle(n, func(i, j int) { pops[i], pops[j] = pops[j], pops[i] })
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-pop%02d", name, i)
+	}
+	return &Topology{Name: name, Graph: g, PoPNames: names, Population: pops}
+}
+
+func mustAddEdge(g *Graph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}

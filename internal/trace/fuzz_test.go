@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadLog ensures log parsing never panics and that accepted logs
+// re-encode to something that parses to the same records.
+func FuzzReadLog(f *testing.F) {
+	var buf bytes.Buffer
+	WriteLog(&buf, []Record{{Time: 1, Client: 2, Object: 3, Size: 4, ServedLocally: true}})
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("1\t2\t/obj/zz\t3\t0\n")
+	f.Add("a\tb\tc\td\te\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		records, err := ReadLog(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteLog(&out, records); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadLog(&out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(back) != len(records) {
+			t.Fatalf("round trip changed record count: %d != %d", len(back), len(records))
+		}
+		for i := range back {
+			if back[i] != records[i] {
+				t.Fatalf("record %d changed: %+v != %+v", i, back[i], records[i])
+			}
+		}
+	})
+}

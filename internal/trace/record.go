@@ -1,0 +1,145 @@
+// Package trace models CDN request logs and simulator request workloads.
+//
+// It provides the log-record format the paper's dataset uses (anonymized
+// client, anonymized URL, object size, served-locally flag; §2.2), synthetic
+// CDN trace generators for the three vantage points (US, Europe, Asia), and
+// the request streams the simulator consumes, including spatially skewed
+// streams where per-PoP object popularity diverges from the global ranking
+// (§5.1).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one CDN request-log entry. It carries the four fields the paper
+// describes ("an anonymized client IP, anonymized request URL, the size of
+// the object, and whether the request was served locally or forwarded"),
+// plus a relative timestamp. Object is the dense object id behind the
+// anonymized URL.
+type Record struct {
+	Time          int64  // seconds since the start of the log
+	Client        uint32 // anonymized client id
+	Object        int32  // dense object id; the URL is derived from it
+	Size          int64  // object size in bytes
+	ServedLocally bool   // true if the CDN cluster served it without forwarding
+}
+
+// URL returns the anonymized request URL for the record's object.
+func (r Record) URL() string { return fmt.Sprintf("/obj/%08x", uint32(r.Object)) }
+
+// WriteLog writes records as tab-separated lines:
+//
+//	time \t client \t url \t size \t local
+//
+// matching the shape of the CDN logs described in the paper.
+func WriteLog(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		local := byte('0')
+		if r.ServedLocally {
+			local = '1'
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%s\t%d\t%c\n",
+			r.Time, r.Client, r.URL(), r.Size, local); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLog parses a log produced by WriteLog. Malformed lines produce an
+// error naming the line number.
+func ReadLog(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 5", lineNo, len(fields))
+		}
+		t, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time: %v", lineNo, err)
+		}
+		client, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad client: %v", lineNo, err)
+		}
+		obj, err := parseObjectURL(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		size, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad size: %v", lineNo, err)
+		}
+		var local bool
+		switch fields[4] {
+		case "0":
+		case "1":
+			local = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad local flag %q", lineNo, fields[4])
+		}
+		out = append(out, Record{Time: t, Client: uint32(client), Object: obj, Size: size, ServedLocally: local})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}
+
+func parseObjectURL(url string) (int32, error) {
+	const prefix = "/obj/"
+	if !strings.HasPrefix(url, prefix) {
+		return 0, fmt.Errorf("bad url %q", url)
+	}
+	v, err := strconv.ParseUint(url[len(prefix):], 16, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad url %q: %v", url, err)
+	}
+	return int32(uint32(v)), nil
+}
+
+// ObjectCounts tallies per-object request counts. The returned slice is
+// sized to the highest object id seen plus one.
+func ObjectCounts(records []Record) []int64 {
+	maxObj := int32(-1)
+	for _, r := range records {
+		if r.Object > maxObj {
+			maxObj = r.Object
+		}
+	}
+	counts := make([]int64, maxObj+1)
+	for _, r := range records {
+		counts[r.Object]++
+	}
+	return counts
+}
+
+// RankFrequency returns the per-object counts sorted descending with zero
+// counts dropped: the rank/frequency series plotted in the paper's Figure 1.
+func RankFrequency(records []Record) []int64 {
+	counts := ObjectCounts(records)
+	out := counts[:0:0]
+	for _, c := range counts {
+		if c > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"idicn/internal/zipfian"
+)
+
+// ContentClass describes one content type in a CDN workload mix. Object
+// sizes within a class are lognormal around MedianSize, giving the
+// heavy-tailed size distribution real CDN logs exhibit.
+type ContentClass struct {
+	Name       string
+	Weight     float64 // fraction of objects in this class
+	MedianSize int64   // bytes
+	SigmaLog   float64 // lognormal shape parameter
+}
+
+// DefaultContentMix is a CDN-like mix of the content types the paper's
+// dataset spans: "regular text, images, multimedia, software binaries, and
+// other miscellaneous content".
+func DefaultContentMix() []ContentClass {
+	return []ContentClass{
+		{Name: "text", Weight: 0.35, MedianSize: 12 << 10, SigmaLog: 1.0},
+		{Name: "image", Weight: 0.35, MedianSize: 80 << 10, SigmaLog: 1.2},
+		{Name: "multimedia", Weight: 0.12, MedianSize: 4 << 20, SigmaLog: 1.5},
+		{Name: "binary", Weight: 0.08, MedianSize: 2 << 20, SigmaLog: 1.8},
+		{Name: "misc", Weight: 0.10, MedianSize: 30 << 10, SigmaLog: 1.4},
+	}
+}
+
+// CDNModel describes a synthetic CDN vantage point: a request log with the
+// given request and object counts and a Zipf(alpha) popularity distribution.
+type CDNModel struct {
+	Name     string
+	Requests int
+	Objects  int
+	Alpha    float64
+	Clients  int // number of distinct anonymized clients
+	Mix      []ContentClass
+	Seed     int64
+	// LocalHitRatio is the probability a request is marked served-locally,
+	// emulating the CDN's own front-end cache effectiveness.
+	LocalHitRatio float64
+}
+
+// US returns the model for the paper's US vantage point: 1.1M requests with
+// best-fit Zipf alpha 0.99 (Table 2). scale in (0, 1] shrinks the request
+// and object counts proportionally for cheaper runs; 1 is paper scale.
+func US(scale float64) CDNModel {
+	return vantage("US", 1_100_000, 0.99, 101, scale)
+}
+
+// Europe returns the model for the Europe vantage point: 3.1M requests,
+// alpha 0.92 (Table 2).
+func Europe(scale float64) CDNModel {
+	return vantage("Europe", 3_100_000, 0.92, 102, scale)
+}
+
+// Asia returns the model for the Asia vantage point: 1.8M requests, alpha
+// 1.04 (Table 2). The paper's baseline simulations (§4.2) use this trace.
+func Asia(scale float64) CDNModel {
+	return vantage("Asia", 1_800_000, 1.04, 103, scale)
+}
+
+func vantage(name string, requests int, alpha float64, seed int64, scale float64) CDNModel {
+	if scale <= 0 || scale > 1 {
+		panic("trace: scale must be in (0, 1]")
+	}
+	reqs := int(float64(requests) * scale)
+	if reqs < 1000 {
+		reqs = 1000
+	}
+	// Real CDN logs see roughly one distinct object per ~15 requests.
+	objs := reqs / 15
+	if objs < 200 {
+		objs = 200
+	}
+	return CDNModel{
+		Name:          name,
+		Requests:      reqs,
+		Objects:       objs,
+		Alpha:         alpha,
+		Clients:       reqs/50 + 1,
+		Mix:           DefaultContentMix(),
+		Seed:          seed,
+		LocalHitRatio: 0.7,
+	}
+}
+
+// Generate produces the synthetic request log. The same model always yields
+// the same log.
+func (m CDNModel) Generate() []Record {
+	r := rand.New(rand.NewSource(m.Seed))
+	dist := zipfian.New(m.Alpha, m.Objects)
+	sizes := GenerateSizes(m.Objects, m.Mix, r)
+	records := make([]Record, m.Requests)
+	clients := m.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	for i := range records {
+		obj := int32(dist.Sample(r))
+		records[i] = Record{
+			Time:          int64(i / 25), // ~25 req/s arrival
+			Client:        uint32(r.Intn(clients)),
+			Object:        obj,
+			Size:          sizes[obj],
+			ServedLocally: r.Float64() < m.LocalHitRatio,
+		}
+	}
+	return records
+}
+
+// GenerateSizes draws one size per object from the content mix: each object
+// is assigned a class by weight, then a lognormal size within the class.
+// With an empty mix every object gets size 1 (the homogeneous-size setting
+// used by the paper's baseline).
+func GenerateSizes(objects int, mix []ContentClass, r *rand.Rand) []int64 {
+	sizes := make([]int64, objects)
+	if len(mix) == 0 {
+		for i := range sizes {
+			sizes[i] = 1
+		}
+		return sizes
+	}
+	totalW := 0.0
+	for _, c := range mix {
+		totalW += c.Weight
+	}
+	for i := range sizes {
+		pick := r.Float64() * totalW
+		cls := mix[len(mix)-1]
+		for _, c := range mix {
+			pick -= c.Weight
+			if pick < 0 {
+				cls = c
+				break
+			}
+		}
+		s := float64(cls.MedianSize) * math.Exp(r.NormFloat64()*cls.SigmaLog)
+		if s < 64 {
+			s = 64
+		}
+		sizes[i] = int64(s)
+	}
+	return sizes
+}

@@ -1,0 +1,426 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"idicn/internal/zipfian"
+)
+
+func TestLogRoundTrip(t *testing.T) {
+	in := []Record{
+		{Time: 0, Client: 1, Object: 0, Size: 100, ServedLocally: true},
+		{Time: 3, Client: 2, Object: 0x7fffffff, Size: 1 << 40, ServedLocally: false},
+		{Time: 9, Client: 0, Object: 42, Size: 64, ServedLocally: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("record %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadLogRejectsMalformed(t *testing.T) {
+	for name, input := range map[string]string{
+		"fields": "1\t2\t/obj/00000001\t3\n",
+		"time":   "x\t2\t/obj/00000001\t3\t0\n",
+		"client": "1\tx\t/obj/00000001\t3\t0\n",
+		"url":    "1\t2\t/nope/1\t3\t0\n",
+		"urlhex": "1\t2\t/obj/zz\t3\t0\n",
+		"size":   "1\t2\t/obj/00000001\tx\t0\n",
+		"local":  "1\t2\t/obj/00000001\t3\t2\n",
+	} {
+		if _, err := ReadLog(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: malformed line accepted", name)
+		}
+	}
+}
+
+func TestReadLogSkipsBlankLines(t *testing.T) {
+	out, err := ReadLog(strings.NewReader("\n1\t2\t/obj/00000005\t7\t1\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Object != 5 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestObjectCountsAndRankFrequency(t *testing.T) {
+	recs := []Record{{Object: 2}, {Object: 0}, {Object: 2}, {Object: 2}, {Object: 5}}
+	counts := ObjectCounts(recs)
+	if len(counts) != 6 || counts[2] != 3 || counts[0] != 1 || counts[5] != 1 || counts[1] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+	rf := RankFrequency(recs)
+	want := []int64{3, 1, 1}
+	if len(rf) != 3 {
+		t.Fatalf("RankFrequency = %v, want %v", rf, want)
+	}
+	for i := range want {
+		if rf[i] != want[i] {
+			t.Fatalf("RankFrequency = %v, want %v", rf, want)
+		}
+	}
+}
+
+func TestVantagePointModels(t *testing.T) {
+	for _, tc := range []struct {
+		m         CDNModel
+		wantName  string
+		wantAlpha float64
+		wantReqs  int
+	}{
+		{US(1), "US", 0.99, 1_100_000},
+		{Europe(1), "Europe", 0.92, 3_100_000},
+		{Asia(1), "Asia", 1.04, 1_800_000},
+	} {
+		if tc.m.Name != tc.wantName || tc.m.Alpha != tc.wantAlpha || tc.m.Requests != tc.wantReqs {
+			t.Errorf("model %+v, want name=%s alpha=%v reqs=%d", tc.m, tc.wantName, tc.wantAlpha, tc.wantReqs)
+		}
+	}
+	small := Asia(0.01)
+	if small.Requests != 18000 {
+		t.Errorf("Asia(0.01).Requests = %d, want 18000", small.Requests)
+	}
+	if small.Objects != 1200 {
+		t.Errorf("Asia(0.01).Objects = %d, want 1200", small.Objects)
+	}
+}
+
+func TestScalePanics(t *testing.T) {
+	for _, s := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("scale %v accepted", s)
+				}
+			}()
+			US(s)
+		}()
+	}
+}
+
+func TestGenerateIsDeterministicAndZipfLike(t *testing.T) {
+	m := Asia(0.02)
+	a := m.Generate()
+	b := m.Generate()
+	if len(a) != m.Requests {
+		t.Fatalf("generated %d records, want %d", len(a), m.Requests)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Generate not deterministic")
+		}
+	}
+	// The generated log must fit back to approximately the model's alpha.
+	alpha, r2, err := zipfian.FitRankFrequency(ObjectCounts(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-m.Alpha) > 0.2 {
+		t.Errorf("fitted alpha %v, want about %v", alpha, m.Alpha)
+	}
+	if r2 < 0.85 {
+		t.Errorf("fit r2 = %v, too weak", r2)
+	}
+}
+
+func TestGenerateSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	sizes := GenerateSizes(5000, DefaultContentMix(), r)
+	var min, max int64 = math.MaxInt64, 0
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if min < 64 {
+		t.Errorf("size below floor: %d", min)
+	}
+	if max < 1<<20 {
+		t.Errorf("no large objects generated (max %d); mix should be heavy-tailed", max)
+	}
+	uniform := GenerateSizes(10, nil, r)
+	for _, s := range uniform {
+		if s != 1 {
+			t.Errorf("empty mix size = %d, want 1", s)
+		}
+	}
+}
+
+func TestNewSyntheticRequestsBasics(t *testing.T) {
+	cfg := StreamConfig{
+		Requests:   20000,
+		Objects:    500,
+		Alpha:      0.9,
+		PoPWeights: []float64{1, 3},
+		Leaves:     4,
+		Seed:       5,
+	}
+	reqs := NewSyntheticRequests(cfg)
+	if len(reqs) != cfg.Requests {
+		t.Fatalf("len = %d", len(reqs))
+	}
+	var pop1 int
+	leafSeen := map[int32]bool{}
+	for _, q := range reqs {
+		if q.PoP < 0 || q.PoP > 1 || q.Leaf < 0 || q.Leaf >= 4 || q.Object < 0 || q.Object >= 500 {
+			t.Fatalf("request out of range: %+v", q)
+		}
+		if q.PoP == 1 {
+			pop1++
+		}
+		leafSeen[q.Leaf] = true
+	}
+	frac := float64(pop1) / float64(len(reqs))
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("PoP 1 got %.3f of requests, want ~0.75", frac)
+	}
+	if len(leafSeen) != 4 {
+		t.Errorf("only %d distinct leaves used", len(leafSeen))
+	}
+}
+
+func TestNewSyntheticRequestsNoSkewUsesGlobalRanking(t *testing.T) {
+	cfg := StreamConfig{Requests: 30000, Objects: 100, Alpha: 1.2, PoPWeights: []float64{1, 1}, Leaves: 2, Seed: 9}
+	reqs := NewSyntheticRequests(cfg)
+	counts := make([]int64, cfg.Objects)
+	for _, q := range reqs {
+		counts[q.Object]++
+	}
+	// Object 0 must be the most requested overall.
+	for o := 1; o < cfg.Objects; o++ {
+		if counts[o] > counts[0] {
+			t.Fatalf("object %d (%d reqs) beats object 0 (%d reqs) without skew", o, counts[o], counts[0])
+		}
+	}
+}
+
+func TestSkewPermutations(t *testing.T) {
+	if SkewPermutations(3, 100, 0, 1) != nil {
+		t.Fatal("skew 0 should return nil (identity)")
+	}
+	perms := SkewPermutations(3, 200, 1, 1)
+	if len(perms) != 3 {
+		t.Fatalf("got %d perms", len(perms))
+	}
+	for p, perm := range perms {
+		seen := make([]bool, 200)
+		for _, o := range perm {
+			if seen[o] {
+				t.Fatalf("PoP %d: duplicate object %d in permutation", p, o)
+			}
+			seen[o] = true
+		}
+	}
+	// Full skew: different PoPs should disagree about the top object
+	// (overwhelmingly likely with 200 objects).
+	if perms[0][0] == perms[1][0] && perms[1][0] == perms[2][0] {
+		t.Error("skew=1 produced identical top objects across PoPs")
+	}
+}
+
+func TestSkewMetricMonotone(t *testing.T) {
+	const pops, objects = 8, 400
+	prev := -1.0
+	for _, s := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		perms := SkewPermutations(pops, objects, s, 3)
+		m := SpatialSkewMetric(perms, objects)
+		if m < prev-0.005 {
+			t.Errorf("skew metric not monotone: dial %v -> %v (prev %v)", s, m, prev)
+		}
+		prev = m
+	}
+	if prev < 0.2 {
+		t.Errorf("full-skew metric = %v, want near 0.29 (uniform ranks)", prev)
+	}
+}
+
+// Property: permutations are valid for any dial value.
+func TestSkewPermutationValidQuick(t *testing.T) {
+	f := func(dialRaw uint8, seed int64) bool {
+		dial := float64(dialRaw%101) / 100
+		perms := SkewPermutations(2, 64, dial, seed)
+		if dial == 0 {
+			return perms == nil
+		}
+		for _, perm := range perms {
+			if len(perm) != 64 {
+				return false
+			}
+			var mask uint64
+			for _, o := range perm {
+				if o < 0 || o >= 64 || mask&(1<<uint(o)) != 0 {
+					return false
+				}
+				mask |= 1 << uint(o)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromRecords(t *testing.T) {
+	recs := []Record{{Object: 1}, {Object: 2}, {Object: 1}}
+	reqs := FromRecords(recs, []float64{1, 1, 1}, 8, 2)
+	if len(reqs) != 3 {
+		t.Fatalf("len = %d", len(reqs))
+	}
+	for i, q := range reqs {
+		if q.Object != recs[i].Object {
+			t.Errorf("request %d object %d, want %d", i, q.Object, recs[i].Object)
+		}
+		if q.PoP < 0 || q.PoP > 2 || q.Leaf < 0 || q.Leaf >= 8 {
+			t.Errorf("request %d out of range: %+v", i, q)
+		}
+	}
+}
+
+func TestOriginAssignment(t *testing.T) {
+	weights := []float64{1, 9}
+	origins := OriginAssignment(50000, weights, true, 7)
+	var pop1 int
+	for _, o := range origins {
+		if o < 0 || o > 1 {
+			t.Fatalf("origin out of range: %d", o)
+		}
+		if o == 1 {
+			pop1++
+		}
+	}
+	frac := float64(pop1) / 50000
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Errorf("proportional origin assignment: PoP1 fraction %v, want ~0.9", frac)
+	}
+	uniform := OriginAssignment(50000, weights, false, 7)
+	pop1 = 0
+	for _, o := range uniform {
+		if o == 1 {
+			pop1++
+		}
+	}
+	frac = float64(pop1) / 50000
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("uniform origin assignment: PoP1 fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestWeightedPickerPanics(t *testing.T) {
+	for name, w := range map[string][]float64{
+		"negative": {1, -1},
+		"zero-sum": {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s weights accepted", name)
+				}
+			}()
+			newWeightedPicker(w)
+		}()
+	}
+}
+
+func BenchmarkGenerateAsia(b *testing.B) {
+	m := Asia(0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Generate()
+	}
+}
+
+func BenchmarkNewSyntheticRequests(b *testing.B) {
+	cfg := StreamConfig{Requests: 100000, Objects: 10000, Alpha: 1.0, PoPWeights: []float64{1, 2, 3, 4}, Leaves: 32, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewSyntheticRequests(cfg)
+	}
+}
+
+func TestTemporalLocalityPanicsOnBadValue(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.0, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TemporalLocality %v accepted", bad)
+				}
+			}()
+			NewSyntheticRequests(StreamConfig{
+				Requests: 10, Objects: 10, Alpha: 1, PoPWeights: []float64{1},
+				Leaves: 1, TemporalLocality: bad,
+			})
+		}()
+	}
+}
+
+func TestTemporalLocalityIncreasesPerLeafReuse(t *testing.T) {
+	// With heavy locality, each leaf sees far fewer distinct objects than
+	// under an IID stream of the same length.
+	distinctPerLeaf := func(locality float64) float64 {
+		reqs := NewSyntheticRequests(StreamConfig{
+			Requests: 20000, Objects: 5000, Alpha: 0.8,
+			PoPWeights: []float64{1, 1}, Leaves: 4, Seed: 31,
+			TemporalLocality: locality,
+		})
+		type lk struct{ pop, leaf int32 }
+		seen := map[lk]map[int32]bool{}
+		for _, q := range reqs {
+			k := lk{q.PoP, q.Leaf}
+			if seen[k] == nil {
+				seen[k] = map[int32]bool{}
+			}
+			seen[k][q.Object] = true
+		}
+		total := 0.0
+		for _, s := range seen {
+			total += float64(len(s))
+		}
+		return total / float64(len(seen))
+	}
+	iid := distinctPerLeaf(0)
+	local := distinctPerLeaf(0.8)
+	if local > iid*0.5 {
+		t.Errorf("locality 0.8 left %v distinct/leaf vs IID %v; expected strong reuse", local, iid)
+	}
+}
+
+func TestTemporalLocalityPreservesMarginals(t *testing.T) {
+	// Repeats draw from the same distribution's recent samples, so the most
+	// popular object overall should still be object 0.
+	reqs := NewSyntheticRequests(StreamConfig{
+		Requests: 40000, Objects: 200, Alpha: 1.2,
+		PoPWeights: []float64{1}, Leaves: 2, Seed: 32,
+		TemporalLocality: 0.6,
+	})
+	counts := make([]int64, 200)
+	for _, q := range reqs {
+		counts[q.Object]++
+	}
+	for o := 1; o < 200; o++ {
+		if counts[o] > counts[0] {
+			t.Fatalf("object %d (%d) beats object 0 (%d) under locality", o, counts[o], counts[0])
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package treemodel implements the paper's §2.2 analytical optimization
+// model: optimal static object placement on a k-ary distribution tree under
+// a Zipf workload.
+//
+// The tree has Levels levels; requests arrive at level-1 nodes (the leaves)
+// and travel toward the root. The top level hosts the origin server, which
+// holds every object; levels 1..Levels-1 are caches. Serving a request at
+// level l costs l (the paper's convention: "the expected number of hops that
+// a request traverses is 0.4x1 + ... + 0.18x6").
+//
+// For up-tree routing with demand that is homogeneous across leaves, the
+// optimal static placement is *nested*: each level stores the most popular
+// objects not already stored below it, so level l covers a consecutive rank
+// range. This reduces the ILP the paper formulates to closed-form level
+// fractions (LevelFractions, reproducing Figure 2) and makes the
+// budget-split variant a separable concave maximization solved exactly by
+// marginal-gain greedy (OptimalBudgetSplit, reproducing the finding that
+// "the optimal solution under a Zipf workload involves assigning a majority
+// of the total caching budget to the leaves").
+package treemodel
+
+import (
+	"idicn/internal/zipfian"
+)
+
+// Config describes the symmetric equal-cache-size model of Figure 2.
+type Config struct {
+	Arity        int     // tree arity (the paper uses a binary tree)
+	Levels       int     // total levels including the origin (paper: 6)
+	SlotsPerNode int     // cache slots per caching node (levels 1..Levels-1)
+	Objects      int     // object universe size
+	Alpha        float64 // Zipf exponent of the request distribution
+}
+
+func (c Config) validate() {
+	if c.Arity < 2 || c.Levels < 2 || c.SlotsPerNode < 0 || c.Objects <= 0 {
+		panic("treemodel: invalid Config")
+	}
+}
+
+// NodesAtLevel returns the number of tree nodes at level l (1-based;
+// level Levels is the single origin/root).
+func (c Config) NodesAtLevel(l int) int {
+	n := 1
+	for i := 0; i < c.Levels-l; i++ {
+		n *= c.Arity
+	}
+	return n
+}
+
+// LevelFractions returns the fraction of requests served at each level
+// under the optimal static placement; index i holds level i+1. The last
+// entry is the origin's share. This regenerates Figure 2's series.
+func (c Config) LevelFractions() []float64 {
+	c.validate()
+	dist := zipfian.New(c.Alpha, c.Objects)
+	out := make([]float64, c.Levels)
+	prev := 0.0
+	for l := 1; l < c.Levels; l++ {
+		hi := l * c.SlotsPerNode
+		if hi > c.Objects {
+			hi = c.Objects
+		}
+		f := dist.CDF(hi - 1)
+		out[l-1] = f - prev
+		prev = f
+	}
+	out[c.Levels-1] = 1 - prev
+	return out
+}
+
+// ExpectedHops returns the expected request cost under the optimal
+// placement, with serving at level l costing l hops.
+func (c Config) ExpectedHops() float64 {
+	return expectedHops(c.LevelFractions())
+}
+
+// EdgeOnlyExpectedHops returns the expected cost when only the leaves cache
+// (levels 2..Levels-1 empty): every leaf miss is served at the origin. This
+// is the paper's "extreme scenario where we have no caches at the
+// intermediate levels".
+func (c Config) EdgeOnlyExpectedHops() float64 {
+	c.validate()
+	dist := zipfian.New(c.Alpha, c.Objects)
+	hit := dist.CDF(c.SlotsPerNode - 1)
+	return hit*1 + (1-hit)*float64(c.Levels)
+}
+
+func expectedHops(fractions []float64) float64 {
+	var e float64
+	for i, f := range fractions {
+		e += float64(i+1) * f
+	}
+	return e
+}
+
+// Split is the result of OptimalBudgetSplit: how a total cache budget is
+// best divided across tree levels.
+type Split struct {
+	// PerNodeSlots[i] is the number of slots each node at level i+1 gets
+	// (levels 1..Levels-1; the origin needs no budget).
+	PerNodeSlots []int
+	// BudgetShare[i] is the fraction of the total budget consumed by level
+	// i+1 in aggregate.
+	BudgetShare []float64
+	// ExpectedHops is the resulting expected request cost.
+	ExpectedHops float64
+	// LevelFractions[i] is the fraction of requests served at level i+1,
+	// with the origin's share last.
+	LevelFractions []float64
+}
+
+// OptimalBudgetSplit distributes totalBudget cache slots across the caching
+// levels of the tree to minimize expected hops, with every node at the same
+// level receiving the same allocation (demand is homogeneous, so asymmetric
+// allocations cannot help). The nested-placement reduction makes the
+// objective separable and concave in the per-path cumulative slot counts,
+// so unit-increment greedy on marginal gain per budget cost is exact.
+func OptimalBudgetSplit(cfg Config, totalBudget int) Split {
+	cfg.validate()
+	if totalBudget < 0 {
+		panic("treemodel: negative budget")
+	}
+	dist := zipfian.New(cfg.Alpha, cfg.Objects)
+	caching := cfg.Levels - 1
+	// w[l] = marginal budget cost of advancing the cumulative per-path slot
+	// count s_l by one: nodes(l) - nodes(l+1), where the origin level
+	// contributes no cache nodes.
+	w := make([]int, caching)
+	for l := 1; l <= caching; l++ {
+		upper := 0
+		if l+1 <= caching {
+			upper = cfg.NodesAtLevel(l + 1)
+		}
+		w[l-1] = cfg.NodesAtLevel(l) - upper
+	}
+	s := make([]int, caching) // cumulative per-path slots through level l
+	budget := totalBudget
+	for {
+		best := -1
+		var bestGain float64
+		// Iterate from the top caching level down so that ties in marginal
+		// gain go to the higher (cheaper-in-aggregate) level, preserving the
+		// monotonicity s_1 <= ... <= s_{L-1} that nested placement requires.
+		for i := caching - 1; i >= 0; i-- {
+			if s[i] >= cfg.Objects || w[i] > budget {
+				continue
+			}
+			// Advancing s_i by one newly serves rank s[i] at level i+1
+			// instead of one level higher (or the origin), which by the
+			// summation-by-parts identity is worth PMF(s_i) per unit.
+			gain := dist.PMF(s[i]) / float64(w[i])
+			if gain > bestGain {
+				bestGain, best = gain, i
+			}
+		}
+		if best < 0 || bestGain <= 0 {
+			break
+		}
+		s[best]++
+		budget -= w[best]
+	}
+	// Convert cumulative counts to per-node slots; enforce monotonicity
+	// defensively (greedy preserves it since w decreases with level).
+	perNode := make([]int, caching)
+	prev := 0
+	for i := 0; i < caching; i++ {
+		if s[i] < prev {
+			s[i] = prev
+		}
+		perNode[i] = s[i] - prev
+		prev = s[i]
+	}
+	share := make([]float64, caching)
+	if totalBudget > 0 {
+		for i := 0; i < caching; i++ {
+			share[i] = float64(perNode[i]*cfg.NodesAtLevel(i+1)) / float64(totalBudget)
+		}
+	}
+	fractions := make([]float64, cfg.Levels)
+	prevF := 0.0
+	for i := 0; i < caching; i++ {
+		f := dist.CDF(s[i] - 1)
+		fractions[i] = f - prevF
+		prevF = f
+	}
+	fractions[cfg.Levels-1] = 1 - prevF
+	return Split{
+		PerNodeSlots:   perNode,
+		BudgetShare:    share,
+		ExpectedHops:   expectedHops(fractions),
+		LevelFractions: fractions,
+	}
+}

@@ -1,0 +1,246 @@
+package treemodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"idicn/internal/zipfian"
+)
+
+func fig2Config(alpha float64) Config {
+	// Binary tree, 6 levels, per-node cache of 5% of a 10k universe: the
+	// setting that reproduces Figure 2's alpha=0.7 leaf share of ~0.4.
+	return Config{Arity: 2, Levels: 6, SlotsPerNode: 500, Objects: 10000, Alpha: alpha}
+}
+
+func TestNodesAtLevel(t *testing.T) {
+	c := fig2Config(1)
+	want := []int{32, 16, 8, 4, 2, 1}
+	for l := 1; l <= 6; l++ {
+		if got := c.NodesAtLevel(l); got != want[l-1] {
+			t.Errorf("NodesAtLevel(%d) = %d, want %d", l, got, want[l-1])
+		}
+	}
+}
+
+func TestLevelFractionsSumToOne(t *testing.T) {
+	for _, alpha := range []float64{0.7, 1.1, 1.5} {
+		fr := fig2Config(alpha).LevelFractions()
+		if len(fr) != 6 {
+			t.Fatalf("got %d levels", len(fr))
+		}
+		sum := 0.0
+		for _, f := range fr {
+			if f < -1e-12 {
+				t.Fatalf("alpha=%v: negative fraction %v", alpha, f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%v: fractions sum to %v", alpha, sum)
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	// The paper's alpha=0.7 discussion: leaves serve ~0.4 of requests, and
+	// intermediate levels 2..5 each add little.
+	fr := fig2Config(0.7).LevelFractions()
+	if math.Abs(fr[0]-0.4) > 0.05 {
+		t.Errorf("alpha=0.7 leaf share = %v, want ~0.4", fr[0])
+	}
+	for l := 1; l < 5; l++ {
+		if fr[l] > fr[0]/2 {
+			t.Errorf("intermediate level %d serves %v, expected far less than leaves (%v)", l+1, fr[l], fr[0])
+		}
+	}
+	// Higher alpha concentrates more mass at the leaves.
+	lowLeaf := fig2Config(0.7).LevelFractions()[0]
+	midLeaf := fig2Config(1.1).LevelFractions()[0]
+	highLeaf := fig2Config(1.5).LevelFractions()[0]
+	if !(highLeaf > midLeaf && midLeaf > lowLeaf) {
+		t.Errorf("leaf share not increasing in alpha: %v, %v, %v", lowLeaf, midLeaf, highLeaf)
+	}
+}
+
+func TestExpectedHopsMatchesPaperExample(t *testing.T) {
+	// Paper: with alpha=0.7 the optimal placement yields ~3 expected hops,
+	// and removing all intermediate caches yields 0.4*1 + 0.6*6 = 4, i.e.,
+	// universal caching improves latency by only ~25%.
+	c := fig2Config(0.7)
+	all := c.ExpectedHops()
+	edge := c.EdgeOnlyExpectedHops()
+	if math.Abs(all-3) > 0.5 {
+		t.Errorf("ExpectedHops = %v, want ~3", all)
+	}
+	if math.Abs(edge-4) > 0.2 {
+		t.Errorf("EdgeOnlyExpectedHops = %v, want ~4", edge)
+	}
+	improvement := (edge - all) / edge
+	if improvement > 0.30 {
+		t.Errorf("universal caching improvement = %v, paper argues ~25%%", improvement)
+	}
+}
+
+func TestLevelFractionsCacheLargerThanUniverse(t *testing.T) {
+	c := Config{Arity: 2, Levels: 4, SlotsPerNode: 1000, Objects: 500, Alpha: 1}
+	fr := c.LevelFractions()
+	if math.Abs(fr[0]-1) > 1e-9 {
+		t.Errorf("leaf share = %v, want 1 when the leaf cache holds the universe", fr[0])
+	}
+	for l := 1; l < 4; l++ {
+		if fr[l] > 1e-9 {
+			t.Errorf("level %d share = %v, want 0", l+1, fr[l])
+		}
+	}
+}
+
+func TestOptimalBudgetSplitPrefersLeaves(t *testing.T) {
+	// The paper: "the optimal solution under a Zipf workload involves
+	// assigning a majority of the total caching budget to the leaves". At
+	// alpha near 1 the exact optimum gives the leaves the largest share of
+	// any level; for steeper tails the share is a strict majority.
+	cfg := Config{Arity: 2, Levels: 6, Objects: 10000, Alpha: 0.9, SlotsPerNode: 0}
+	total := 5 * 500 * 2 // budget comparable to the symmetric setting
+	sp := OptimalBudgetSplit(cfg, total)
+	for l := 1; l < len(sp.BudgetShare); l++ {
+		if sp.BudgetShare[l] > sp.BudgetShare[0] {
+			t.Errorf("level %d share %v exceeds leaf share %v", l+1, sp.BudgetShare[l], sp.BudgetShare[0])
+		}
+	}
+	steep := cfg
+	steep.Alpha = 1.5
+	if sp2 := OptimalBudgetSplit(steep, total); sp2.BudgetShare[0] < 0.5 {
+		t.Errorf("alpha=1.5 leaf budget share = %v, want a majority", sp2.BudgetShare[0])
+	}
+	// Shares must be non-negative and sum to <= 1 (integer slack allowed).
+	sum := 0.0
+	for _, s := range sp.BudgetShare {
+		if s < 0 {
+			t.Fatalf("negative budget share: %v", sp.BudgetShare)
+		}
+		sum += s
+	}
+	if sum > 1+1e-9 {
+		t.Fatalf("budget shares sum to %v > 1", sum)
+	}
+}
+
+func TestOptimalBudgetSplitBeatsSymmetric(t *testing.T) {
+	// With the same total budget, the optimal split cannot be worse than
+	// the equal-per-node allocation.
+	sym := fig2Config(0.9)
+	totalBudget := 0
+	for l := 1; l < sym.Levels; l++ {
+		totalBudget += sym.SlotsPerNode * sym.NodesAtLevel(l)
+	}
+	opt := OptimalBudgetSplit(sym, totalBudget)
+	if opt.ExpectedHops > sym.ExpectedHops()+1e-9 {
+		t.Errorf("optimal split hops %v worse than symmetric %v", opt.ExpectedHops, sym.ExpectedHops())
+	}
+}
+
+func TestOptimalBudgetSplitZeroBudget(t *testing.T) {
+	cfg := Config{Arity: 2, Levels: 4, Objects: 100, Alpha: 1}
+	sp := OptimalBudgetSplit(cfg, 0)
+	for _, c := range sp.PerNodeSlots {
+		if c != 0 {
+			t.Fatalf("zero budget allocated slots: %v", sp.PerNodeSlots)
+		}
+	}
+	if sp.ExpectedHops != 4 {
+		t.Errorf("zero-budget hops = %v, want 4 (all at origin)", sp.ExpectedHops)
+	}
+}
+
+func TestOptimalBudgetSplitHugeBudget(t *testing.T) {
+	cfg := Config{Arity: 2, Levels: 4, Objects: 50, Alpha: 1}
+	sp := OptimalBudgetSplit(cfg, 1<<20)
+	// With unconstrained budget everything is served at the leaves.
+	if math.Abs(sp.LevelFractions[0]-1) > 1e-9 {
+		t.Errorf("huge budget leaf fraction = %v, want 1", sp.LevelFractions[0])
+	}
+	if math.Abs(sp.ExpectedHops-1) > 1e-9 {
+		t.Errorf("huge budget hops = %v, want 1", sp.ExpectedHops)
+	}
+}
+
+// Property: for any sane parameters, the split's level fractions form a
+// probability vector, per-node slots are non-negative, and expected hops lie
+// within [1, Levels].
+func TestOptimalBudgetSplitInvariantsQuick(t *testing.T) {
+	f := func(aRaw, lRaw, alphaRaw uint8, bRaw uint16) bool {
+		cfg := Config{
+			Arity:   int(aRaw%3) + 2,
+			Levels:  int(lRaw%4) + 2,
+			Objects: 300,
+			Alpha:   float64(alphaRaw%20)/10 + 0.1,
+		}
+		sp := OptimalBudgetSplit(cfg, int(bRaw))
+		sum := 0.0
+		for _, f := range sp.LevelFractions {
+			if f < -1e-12 {
+				return false
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		for _, c := range sp.PerNodeSlots {
+			if c < 0 {
+				return false
+			}
+		}
+		return sp.ExpectedHops >= 1-1e-9 && sp.ExpectedHops <= float64(cfg.Levels)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cross-check the summation-by-parts identity the greedy relies on:
+// E[hops] = L - sum_l F(s_l).
+func TestExpectedHopsIdentity(t *testing.T) {
+	cfg := fig2Config(1.1)
+	dist := zipfian.New(cfg.Alpha, cfg.Objects)
+	direct := cfg.ExpectedHops()
+	viaIdentity := float64(cfg.Levels)
+	for l := 1; l < cfg.Levels; l++ {
+		hi := l * cfg.SlotsPerNode
+		if hi > cfg.Objects {
+			hi = cfg.Objects
+		}
+		viaIdentity -= dist.CDF(hi - 1)
+	}
+	if math.Abs(direct-viaIdentity) > 1e-9 {
+		t.Errorf("identity mismatch: %v vs %v", direct, viaIdentity)
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"arity":   {Arity: 1, Levels: 3, Objects: 10, Alpha: 1},
+		"levels":  {Arity: 2, Levels: 1, Objects: 10, Alpha: 1},
+		"objects": {Arity: 2, Levels: 3, Objects: 0, Alpha: 1},
+		"slots":   {Arity: 2, Levels: 3, Objects: 10, SlotsPerNode: -1, Alpha: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: invalid config accepted", name)
+				}
+			}()
+			cfg.LevelFractions()
+		}()
+	}
+}
+
+func BenchmarkOptimalBudgetSplit(b *testing.B) {
+	cfg := Config{Arity: 2, Levels: 6, Objects: 10000, Alpha: 0.9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OptimalBudgetSplit(cfg, 5000)
+	}
+}

@@ -1,0 +1,204 @@
+// Package zipfian provides Zipf (power-law) distributions over object ranks:
+// exact inverse-CDF sampling, probability queries, and parameter fitting.
+//
+// A Zipf distribution with exponent alpha over n ranks assigns rank i
+// (1-based) probability proportional to 1/i^alpha. Request popularity in CDN
+// and web workloads is well approximated by such distributions (Breslau et
+// al., INFOCOM'99), which is the premise the paper builds on.
+package zipfian
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist is a Zipf distribution over ranks 0..N-1 (rank 0 is the most popular).
+// It samples by binary search over the cumulative weight table, which is
+// exact for any alpha >= 0 (including alpha < 1, which the standard library
+// rand.Zipf cannot express).
+type Dist struct {
+	alpha float64
+	cum   []float64 // cum[i] = sum of weights of ranks 0..i, normalized to cum[n-1] == 1
+}
+
+// New returns a Zipf distribution with the given exponent over n ranks.
+// alpha may be any non-negative value; alpha == 0 is the uniform
+// distribution. New panics if n <= 0 or alpha < 0, as both indicate
+// programmer error rather than recoverable conditions.
+func New(alpha float64, n int) *Dist {
+	if n <= 0 {
+		panic("zipfian: non-positive rank count")
+	}
+	if alpha < 0 || math.IsNaN(alpha) {
+		panic("zipfian: negative alpha")
+	}
+	cum := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -alpha)
+		cum[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cum {
+		cum[i] *= inv
+	}
+	cum[n-1] = 1 // guard against rounding drift
+	return &Dist{alpha: alpha, cum: cum}
+}
+
+// Alpha returns the distribution's exponent.
+func (d *Dist) Alpha() float64 { return d.alpha }
+
+// N returns the number of ranks.
+func (d *Dist) N() int { return len(d.cum) }
+
+// PMF returns the probability of rank i (0-based).
+func (d *Dist) PMF(i int) float64 {
+	if i < 0 || i >= len(d.cum) {
+		return 0
+	}
+	if i == 0 {
+		return d.cum[0]
+	}
+	return d.cum[i] - d.cum[i-1]
+}
+
+// CDF returns the probability of drawing a rank <= i.
+func (d *Dist) CDF(i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= len(d.cum) {
+		return 1
+	}
+	return d.cum[i]
+}
+
+// Sample draws a rank in [0, N) using r.
+func (d *Dist) Sample(r *rand.Rand) int {
+	u := r.Float64()
+	// sort.SearchFloat64s returns the first index with cum[i] >= u.
+	i := sort.SearchFloat64s(d.cum, u)
+	if i >= len(d.cum) {
+		i = len(d.cum) - 1
+	}
+	return i
+}
+
+// TopMass returns the total probability mass of the k most popular ranks.
+func (d *Dist) TopMass(k int) float64 { return d.CDF(k - 1) }
+
+// HarmonicPartial returns the generalized harmonic number
+// H(n, alpha) = sum_{i=1..n} i^-alpha.
+func HarmonicPartial(n int, alpha float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += math.Pow(float64(i), -alpha)
+	}
+	return sum
+}
+
+// ErrInsufficientData is returned by the fitting routines when the input has
+// fewer than two non-zero ranks, which cannot constrain the exponent.
+var ErrInsufficientData = errors.New("zipfian: insufficient data to fit")
+
+// FitRankFrequency estimates the Zipf exponent from per-object request
+// counts using least-squares regression of log(frequency) on log(rank),
+// the standard "straight line on a log-log plot" fit the paper uses for
+// Table 2. counts need not be sorted. The returned r2 is the coefficient of
+// determination of the regression (1 means a perfect power law).
+func FitRankFrequency(counts []int64) (alpha, r2 float64, err error) {
+	ranked := nonZeroDescending(counts)
+	if len(ranked) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	var sx, sy, sxx, sxy, syy float64
+	n := float64(len(ranked))
+	for i, c := range ranked {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(c))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, ErrInsufficientData
+	}
+	slope := (n*sxy - sx*sy) / den
+	alpha = -slope
+	// r2 = squared correlation coefficient.
+	cd := (n*sxx - sx*sx) * (n*syy - sy*sy)
+	if cd <= 0 {
+		return alpha, 1, nil // all y equal: degenerate but consistent
+	}
+	r := (n*sxy - sx*sy) / math.Sqrt(cd)
+	return alpha, r * r, nil
+}
+
+// FitMLE estimates the Zipf exponent from per-object request counts by
+// maximizing the discrete Zipf log-likelihood over alpha in [0, maxAlpha]
+// using golden-section search. It is more statistically efficient than the
+// regression fit for heavy tails, at the cost of more computation.
+func FitMLE(counts []int64) (alpha float64, err error) {
+	ranked := nonZeroDescending(counts)
+	if len(ranked) < 2 {
+		return 0, ErrInsufficientData
+	}
+	n := len(ranked)
+	var total float64
+	var sumCLogRank float64
+	for i, c := range ranked {
+		total += float64(c)
+		sumCLogRank += float64(c) * math.Log(float64(i+1))
+	}
+	// Log-likelihood (up to a constant): -alpha * sum(c_i log i) - total * log H(n, alpha).
+	ll := func(a float64) float64 {
+		return -a*sumCLogRank - total*math.Log(HarmonicPartial(n, a))
+	}
+	const maxAlpha = 8.0
+	lo, hi := 0.0, maxAlpha
+	const phi = 0.6180339887498949
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, f2 := ll(x1), ll(x2)
+	for hi-lo > 1e-7 {
+		if f1 < f2 {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = ll(x2)
+		} else {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = ll(x1)
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// RankCounts aggregates a stream of rank observations into a count vector of
+// length n, suitable for the fitting routines.
+func RankCounts(ranks []int, n int) []int64 {
+	counts := make([]int64, n)
+	for _, r := range ranks {
+		if r >= 0 && r < n {
+			counts[r]++
+		}
+	}
+	return counts
+}
+
+func nonZeroDescending(counts []int64) []int64 {
+	out := make([]int64, 0, len(counts))
+	for _, c := range counts {
+		if c > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}

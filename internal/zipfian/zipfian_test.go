@@ -1,0 +1,271 @@
+package zipfian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		alpha float64
+		n     int
+	}{
+		{"zero n", 1.0, 0},
+		{"negative n", 1.0, -3},
+		{"negative alpha", -0.1, 10},
+		{"NaN alpha", math.NaN(), 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%v, %d) did not panic", tc.alpha, tc.n)
+				}
+			}()
+			New(tc.alpha, tc.n)
+		})
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	for _, alpha := range []float64{0, 0.3, 0.7, 1.0, 1.5, 2.5} {
+		d := New(alpha, 1000)
+		sum := 0.0
+		for i := 0; i < d.N(); i++ {
+			sum += d.PMF(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%v: PMF sums to %v, want 1", alpha, sum)
+		}
+	}
+}
+
+func TestPMFMonotoneDecreasing(t *testing.T) {
+	d := New(0.9, 500)
+	for i := 1; i < d.N(); i++ {
+		if d.PMF(i) > d.PMF(i-1)+1e-15 {
+			t.Fatalf("PMF(%d)=%v > PMF(%d)=%v", i, d.PMF(i), i-1, d.PMF(i-1))
+		}
+	}
+}
+
+func TestUniformWhenAlphaZero(t *testing.T) {
+	d := New(0, 10)
+	for i := 0; i < 10; i++ {
+		if math.Abs(d.PMF(i)-0.1) > 1e-12 {
+			t.Fatalf("alpha=0 PMF(%d) = %v, want 0.1", i, d.PMF(i))
+		}
+	}
+}
+
+func TestCDFBoundsAndEdges(t *testing.T) {
+	d := New(1.1, 100)
+	if got := d.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %v, want 0", got)
+	}
+	if got := d.CDF(99); got != 1 {
+		t.Errorf("CDF(99) = %v, want 1", got)
+	}
+	if got := d.CDF(1000); got != 1 {
+		t.Errorf("CDF(1000) = %v, want 1", got)
+	}
+	if got := d.PMF(-1); got != 0 {
+		t.Errorf("PMF(-1) = %v, want 0", got)
+	}
+	if got := d.PMF(100); got != 0 {
+		t.Errorf("PMF(100) = %v, want 0", got)
+	}
+}
+
+func TestSampleMatchesPMF(t *testing.T) {
+	const n = 50
+	const draws = 200000
+	d := New(0.8, n)
+	r := rand.New(rand.NewSource(1))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[d.Sample(r)]++
+	}
+	for i := 0; i < n; i++ {
+		want := d.PMF(i)
+		got := float64(counts[i]) / draws
+		// Tolerate 4-sigma binomial noise plus a small absolute floor.
+		tol := 4*math.Sqrt(want*(1-want)/draws) + 1e-4
+		if math.Abs(got-want) > tol {
+			t.Errorf("rank %d: empirical %v, want %v (tol %v)", i, got, want, tol)
+		}
+	}
+}
+
+func TestSampleDeterministicPerSeed(t *testing.T) {
+	d := New(1.0, 100)
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		if x, y := d.Sample(a), d.Sample(b); x != y {
+			t.Fatalf("draw %d: %d != %d with identical seeds", i, x, y)
+		}
+	}
+}
+
+func TestTopMass(t *testing.T) {
+	d := New(1.0, 100)
+	if got, want := d.TopMass(100), 1.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("TopMass(100) = %v, want 1", got)
+	}
+	if got := d.TopMass(1); math.Abs(got-d.PMF(0)) > 1e-12 {
+		t.Errorf("TopMass(1) = %v, want PMF(0)=%v", got, d.PMF(0))
+	}
+	if d.TopMass(10) <= d.TopMass(5) {
+		t.Errorf("TopMass not increasing: %v <= %v", d.TopMass(10), d.TopMass(5))
+	}
+}
+
+func TestHarmonicPartial(t *testing.T) {
+	if got := HarmonicPartial(1, 2.0); got != 1 {
+		t.Errorf("H(1,2) = %v, want 1", got)
+	}
+	// H(3, 1) = 1 + 1/2 + 1/3
+	if got, want := HarmonicPartial(3, 1.0), 1.0+0.5+1.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("H(3,1) = %v, want %v", got, want)
+	}
+	// alpha = 0 gives n.
+	if got := HarmonicPartial(7, 0); got != 7 {
+		t.Errorf("H(7,0) = %v, want 7", got)
+	}
+}
+
+func TestFitRankFrequencyRecoversAlpha(t *testing.T) {
+	for _, alpha := range []float64{0.7, 0.92, 0.99, 1.04, 1.3} {
+		const n = 5000
+		const draws = 400000
+		d := New(alpha, n)
+		r := rand.New(rand.NewSource(7))
+		counts := make([]int64, n)
+		for i := 0; i < draws; i++ {
+			counts[d.Sample(r)]++
+		}
+		got, r2, err := FitRankFrequency(counts)
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		// Regression over a finite sample underestimates the tail; accept 15%.
+		if math.Abs(got-alpha)/alpha > 0.15 {
+			t.Errorf("alpha=%v: fitted %v (r2=%v)", alpha, got, r2)
+		}
+		if r2 < 0.8 {
+			t.Errorf("alpha=%v: weak fit r2=%v", alpha, r2)
+		}
+	}
+}
+
+func TestFitMLERecoversAlpha(t *testing.T) {
+	for _, alpha := range []float64{0.7, 1.0, 1.4} {
+		const n = 2000
+		const draws = 300000
+		d := New(alpha, n)
+		r := rand.New(rand.NewSource(11))
+		counts := make([]int64, n)
+		for i := 0; i < draws; i++ {
+			counts[d.Sample(r)]++
+		}
+		got, err := FitMLE(counts)
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		if math.Abs(got-alpha) > 0.08 {
+			t.Errorf("alpha=%v: MLE fitted %v", alpha, got)
+		}
+	}
+}
+
+func TestFitInsufficientData(t *testing.T) {
+	if _, _, err := FitRankFrequency(nil); err != ErrInsufficientData {
+		t.Errorf("FitRankFrequency(nil) err = %v, want ErrInsufficientData", err)
+	}
+	if _, _, err := FitRankFrequency([]int64{5}); err != ErrInsufficientData {
+		t.Errorf("one rank err = %v, want ErrInsufficientData", err)
+	}
+	if _, err := FitMLE([]int64{0, 0, 3}); err != ErrInsufficientData {
+		t.Errorf("FitMLE single rank err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestRankCounts(t *testing.T) {
+	got := RankCounts([]int{0, 0, 2, 5, -1, 99}, 4)
+	want := []int64{2, 0, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RankCounts = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: CDF is non-decreasing and PMF(i) == CDF(i) - CDF(i-1) for any
+// (alpha, n) drawn by testing/quick.
+func TestCDFPMFConsistencyQuick(t *testing.T) {
+	f := func(a uint8, nn uint16) bool {
+		alpha := float64(a%30) / 10 // 0.0 .. 2.9
+		n := int(nn%500) + 2
+		d := New(alpha, n)
+		prev := 0.0
+		for i := 0; i < n; i++ {
+			c := d.CDF(i)
+			if c < prev-1e-12 {
+				return false
+			}
+			if math.Abs(d.PMF(i)-(c-prev)) > 1e-9 {
+				return false
+			}
+			prev = c
+		}
+		return math.Abs(prev-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: samples are always within [0, N).
+func TestSampleRangeQuick(t *testing.T) {
+	f := func(seed int64, nn uint16) bool {
+		n := int(nn%200) + 1
+		d := New(1.1, n)
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			if s := d.Sample(r); s < 0 || s >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	d := New(1.0, 100000)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Sample(r)
+	}
+}
+
+func BenchmarkFitRankFrequency(b *testing.B) {
+	d := New(1.0, 10000)
+	r := rand.New(rand.NewSource(1))
+	counts := make([]int64, 10000)
+	for i := 0; i < 500000; i++ {
+		counts[d.Sample(r)]++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FitRankFrequency(counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
