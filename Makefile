@@ -1,0 +1,37 @@
+# Development entry points. `make check` is the tier-1 gate: everything in
+# it must pass before a commit (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench bench-json clean
+
+check: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the perf-critical benchmarks: proves they still compile
+# and run, without the minutes-long full benchmark pass.
+bench-smoke:
+	$(GO) test ./internal/sim -run '^$$' -bench 'BenchmarkServeRequest' -benchtime 1000x -benchmem
+	$(GO) test . -run '^$$' -bench 'BenchmarkFigure6Parallel' -benchtime 1x
+
+# Full benchmark pass over every artifact regeneration.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Regenerate the machine-readable perf log committed at the repo root.
+bench-json:
+	$(GO) run ./cmd/icnsim -bench-json BENCH_sim.json
+
+clean:
+	$(GO) clean ./...

@@ -9,6 +9,8 @@
 package idicn_test
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"idicn/internal/experiments"
@@ -265,6 +267,37 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 				e.Run(reqs)
 			}
 			b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}
+
+// BenchmarkFigure6Parallel regenerates Figure 6 (8 topologies × 6 runs)
+// through the worker pool at several worker counts. On a multi-core machine
+// workers=4 should be ≥2× faster than workers=1; on one core the sub-
+// benchmarks coincide. Each sub-benchmark also re-checks that the rows are
+// identical to the sequential run — parallelism must not change a single
+// result.
+func BenchmarkFigure6Parallel(b *testing.B) {
+	p := benchParams()
+	sim.SetDefaultWorkers(1)
+	want, err := experiments.Figure6(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.SetDefaultWorkers(0)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sim.SetDefaultWorkers(workers)
+			defer sim.SetDefaultWorkers(0)
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Figure6(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !reflect.DeepEqual(rows, want) {
+					b.Fatalf("workers=%d produced different rows than workers=1", workers)
+				}
+			}
 		})
 	}
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"idicn/internal/experiments"
+	"idicn/internal/sim"
+	"idicn/internal/topo"
+	"idicn/internal/trace"
+)
+
+// BenchRecord is one hot-path measurement in the BENCH_sim.json perf log.
+// NsPerOp and AllocsPerOp are per unit of work (a simulated request for the
+// serve benchmarks, a whole artifact regeneration for the figure
+// benchmarks), so numbers stay comparable across PRs even if batch sizes
+// change.
+type BenchRecord struct {
+	Name        string  `json:"name"`
+	Unit        string  `json:"unit"` // "request" or "artifact"
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Workers     int     `json:"workers,omitempty"`
+}
+
+// writeBenchJSON runs the simulator's hot-path benchmarks via
+// testing.Benchmark and writes the results as JSON, so the perf trajectory
+// of the engine is tracked across PRs without a manual `go test -bench`
+// transcript. Invoked by `icnsim -bench-json <file>`.
+func writeBenchJSON(path string) error {
+	var records []BenchRecord
+
+	// Raw serve throughput: one full Engine.Run over a 200k-request stream,
+	// normalized per request. Covers all three routing/placement extremes,
+	// including the cooperative-lookup path.
+	net := topo.NewNetwork(topo.Abilene(), 2, 5)
+	const objects = 5000
+	const requests = 200000
+	weights := net.Topo.PopulationWeights()
+	origins := trace.OriginAssignment(objects, weights, true, 3)
+	reqs := trace.NewSyntheticRequests(trace.StreamConfig{
+		Requests: requests, Objects: objects, Alpha: 1.04,
+		PoPWeights: weights, Leaves: net.LeavesPerTree(), Seed: 7,
+	})
+	base := sim.Config{
+		Network: net, Objects: objects, Origins: origins,
+		BudgetFraction: 0.05, BudgetPolicy: sim.BudgetProportional,
+	}
+	for _, d := range []sim.Design{sim.EDGE, sim.EDGECoop, sim.ICNSP, sim.ICNNR} {
+		cfg := d.Apply(base)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e, err := sim.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.Run(reqs)
+			}
+		})
+		records = append(records, BenchRecord{
+			Name:        "ServeRequest/" + d.Name,
+			Unit:        "request",
+			NsPerOp:     float64(res.NsPerOp()) / requests,
+			AllocsPerOp: float64(res.AllocsPerOp()) / requests,
+			BytesPerOp:  float64(res.AllocedBytesPerOp()) / requests,
+		})
+	}
+
+	// Figure 6 regeneration at bench scale, at one worker and at the
+	// default pool, tracking the parallel-sweep speedup.
+	p := experiments.DefaultParams(0.02)
+	for _, workers := range []int{1, sim.DefaultWorkers()} {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			sim.SetDefaultWorkers(workers)
+			defer sim.SetDefaultWorkers(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Figure6(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		records = append(records, BenchRecord{
+			Name:        "Figure6",
+			Unit:        "artifact",
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			BytesPerOp:  float64(res.AllocedBytesPerOp()),
+			Workers:     workers,
+		})
+		if workers == sim.DefaultWorkers() {
+			break // avoid a duplicate row when GOMAXPROCS is 1
+		}
+	}
+
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "icnsim: wrote %d benchmark records to %s\n", len(records), path)
+	return nil
+}

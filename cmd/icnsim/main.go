@@ -5,43 +5,88 @@
 //
 //	icnsim -exp table2|fig1|fig2|fig6|fig7|table3|fig8a|fig8b|fig8c|table4|fig9|fig10 \
 //	       [-scale 0.1] [-seed N] [-arity 2] [-depth 5] [-budget 0.05] \
-//	       [-alpha 1.04] [-objects N] [-sweep-topology ATT]
+//	       [-alpha 1.04] [-objects N] [-sweep-topology ATT] [-workers N]
 //	icnsim -exp sens-latency|sens-capacity|sens-objsize|sens-policy|ablation-universe
 //	icnsim -exp all     # everything, in paper order
+//	icnsim -bench-json BENCH_sim.json   # hot-path perf log (ns/op, allocs/op)
 //
 // Scale 1 is paper scale (the 1.8M-request Asia workload); the default 0.05
 // finishes in minutes on a laptop core. Output is aligned text, one table
 // per experiment, matching the rows/series of the paper's evaluation.
+//
+// Independent simulation runs fan out across a worker pool (-workers,
+// default GOMAXPROCS). Every run is deterministic given its configuration,
+// so output is byte-identical at any worker count. -cpuprofile/-memprofile
+// write runtime/pprof profiles for perf work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"idicn/internal/experiments"
+	"idicn/internal/sim"
 	"idicn/internal/topo"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (see package comment)")
-		scale     = flag.Float64("scale", 0.05, "workload scale; 1 = paper scale")
-		seed      = flag.Int64("seed", 0, "override base seed (0 keeps the default)")
-		arity     = flag.Int("arity", 0, "override access-tree arity")
-		depth     = flag.Int("depth", 0, "override access-tree depth")
-		budget    = flag.Float64("budget", 0, "override per-router budget fraction F")
-		alpha     = flag.Float64("alpha", 0, "override Zipf alpha")
-		objects   = flag.Int("objects", 0, "override object-universe size")
-		sweepTopo = flag.String("sweep-topology", "", "topology for the sensitivity sweeps (default ATT)")
-		locality  = flag.Float64("locality", 0, "temporal locality of the request stream (0=IID, ~0.7=trace-like)")
-		topoFile  = flag.String("topology-file", "", "load a custom sweep topology from a file (see internal/topo/parse.go for the format)")
-		traceFile = flag.String("trace", "", "request log (tracegen format) for the trace-designs experiment")
-		seeds     = flag.Int("seeds", 5, "independent seeds for the variance experiment")
+		exp        = flag.String("exp", "all", "experiment id (see package comment)")
+		scale      = flag.Float64("scale", 0.05, "workload scale; 1 = paper scale")
+		seed       = flag.Int64("seed", 0, "override base seed (0 keeps the default)")
+		arity      = flag.Int("arity", 0, "override access-tree arity")
+		depth      = flag.Int("depth", 0, "override access-tree depth")
+		budget     = flag.Float64("budget", 0, "override per-router budget fraction F")
+		alpha      = flag.Float64("alpha", 0, "override Zipf alpha")
+		objects    = flag.Int("objects", 0, "override object-universe size")
+		sweepTopo  = flag.String("sweep-topology", "", "topology for the sensitivity sweeps (default ATT)")
+		locality   = flag.Float64("locality", 0, "temporal locality of the request stream (0=IID, ~0.7=trace-like)")
+		topoFile   = flag.String("topology-file", "", "load a custom sweep topology from a file (see internal/topo/parse.go for the format)")
+		traceFile  = flag.String("trace", "", "request log (tracegen format) for the trace-designs experiment")
+		seeds      = flag.Int("seeds", 5, "independent seeds for the variance experiment")
+		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS); results are identical at any count")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON  = flag.String("bench-json", "", "run the hot-path benchmarks and write ns/op + allocs/op JSON to this file, then exit")
 	)
 	flag.Parse()
+
+	sim.SetDefaultWorkers(*workers)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("icnsim: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("icnsim: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatalf("icnsim: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("icnsim: %v", err)
+			}
+		}()
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fatalf("icnsim: bench-json: %v", err)
+		}
+		return
+	}
 
 	p := experiments.DefaultParams(*scale)
 	if *seed != 0 {
@@ -79,6 +124,9 @@ func main() {
 		p.CustomTopology = tp
 	}
 
+	if *workers > 0 {
+		fmt.Fprintf(os.Stderr, "icnsim: using %d workers\n", *workers)
+	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{
@@ -94,6 +142,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// fatalf reports err and exits. Deferred profile writers do not run on this
+// path; profiles are only written on successful exits.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }
 
 func run(id string, p experiments.Params) error {

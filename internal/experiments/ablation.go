@@ -32,22 +32,29 @@ func AblationObjectUniverse(p Params, universes []int) ([]AblationRow, error) {
 		universes = []int{requests / 15, requests / 60, requests / 360, requests / 1800}
 	}
 	tp := p.sweepTopology()
-	var rows []AblationRow
-	for _, o := range universes {
+	sizes := make([]int, len(universes))
+	sets := make([]sim.DesignSet, len(universes))
+	for i, o := range universes {
 		if o < 50 {
 			o = 50
 		}
 		pc := p
 		pc.Objects = o
 		cfg, reqs := pc.Workload(tp)
-		results, err := sim.CompareDesigns(cfg, sim.BaselineDesigns(), reqs)
-		if err != nil {
-			return nil, err
-		}
+		sizes[i] = o
+		sets[i] = sim.DesignSet{Base: cfg, Designs: sim.BaselineDesigns(), Reqs: reqs}
+	}
+	batches, err := sim.CompareDesignSets(0, sets)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, len(universes))
+	for i, results := range batches {
+		cfg := sets[i].Base
 		row := AblationRow{
-			Objects:         o,
+			Objects:         sizes[i],
 			Improvements:    make(map[string]sim.Improvement, len(results)),
-			RequestsPerLeaf: float64(len(reqs)) / float64(cfg.Network.PoPs()*cfg.Network.LeavesPerTree()),
+			RequestsPerLeaf: float64(len(sets[i].Reqs)) / float64(cfg.Network.PoPs()*cfg.Network.LeavesPerTree()),
 		}
 		var nr, edge sim.Improvement
 		for _, r := range results {

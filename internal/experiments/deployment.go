@@ -38,10 +38,6 @@ func AblationIncrementalDeployment(p Params, fractions []float64) ([]DeploymentR
 	}
 	tp := p.sweepTopology()
 	cfg, reqs := p.Workload(tp)
-	baseline, err := sim.Baseline(cfg, reqs)
-	if err != nil {
-		return nil, err
-	}
 
 	// PoPs ordered by population, most populous first.
 	order := make([]int, tp.Graph.N())
@@ -52,8 +48,12 @@ func AblationIncrementalDeployment(p Params, fractions []float64) ([]DeploymentR
 		return tp.Population[order[a]] > tp.Population[order[b]]
 	})
 
-	var rows []DeploymentRow
-	for _, f := range fractions {
+	// One parallel batch: job 0 is the shared no-cache baseline, followed
+	// by one EDGE run per deployment fraction.
+	jobs := []sim.Job{{Config: sim.BaselineConfig(cfg), Reqs: reqs}}
+	counts := make([]int, len(fractions))
+	deployments := make([][]bool, len(fractions))
+	for i, f := range fractions {
 		count := int(float64(len(order))*f + 0.5)
 		if count < 1 {
 			count = 1
@@ -67,15 +67,23 @@ func AblationIncrementalDeployment(p Params, fractions []float64) ([]DeploymentR
 		}
 		run := sim.EDGE.Apply(cfg)
 		run.Deployed = deployed
-		res, err := sim.RunConfig(run, reqs)
-		if err != nil {
-			return nil, err
-		}
+		counts[i], deployments[i] = count, deployed
+		jobs = append(jobs, sim.Job{Config: run, Reqs: reqs})
+	}
+	results, err := sim.RunConfigs(0, jobs)
+	if err != nil {
+		return nil, err
+	}
+	baseline := results[0]
+
+	rows := make([]DeploymentRow, 0, len(fractions))
+	for i, f := range fractions {
+		res := results[i+1]
 		rows = append(rows, DeploymentRow{
 			Fraction:              f,
-			DeployedPoPs:          count,
-			DeployedImprovement:   groupImprovement(baseline, res, deployed, true),
-			UndeployedImprovement: groupImprovement(baseline, res, deployed, false),
+			DeployedPoPs:          counts[i],
+			DeployedImprovement:   groupImprovement(baseline, res, deployments[i], true),
+			UndeployedImprovement: groupImprovement(baseline, res, deployments[i], false),
 			OverallImprovement:    sim.Improvements(baseline, res).Latency,
 		})
 	}

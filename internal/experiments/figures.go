@@ -52,14 +52,21 @@ func Figure7(p Params) ([]FigureRow, error) {
 }
 
 func designsOverTopologies(p Params) ([]FigureRow, error) {
-	var rows []FigureRow
-	for _, tp := range topo.AllTopologies() {
+	// All topologies x all designs (plus one baseline per topology) go into
+	// a single parallel batch: 8 x (5+1) = 48 independent runs.
+	tops := topo.AllTopologies()
+	sets := make([]sim.DesignSet, len(tops))
+	for i, tp := range tops {
 		cfg, reqs := p.Workload(tp)
-		results, err := sim.CompareDesigns(cfg, sim.BaselineDesigns(), reqs)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range results {
+		sets[i] = sim.DesignSet{Base: cfg, Designs: sim.BaselineDesigns(), Reqs: reqs}
+	}
+	results, err := sim.CompareDesignSets(0, sets)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FigureRow
+	for i, tp := range tops {
+		for _, r := range results[i] {
 			rows = append(rows, FigureRow{Topology: tp.Name, Design: r.Design.Name, Imp: r.Improvement})
 		}
 	}
@@ -79,16 +86,20 @@ func Figure8a(p Params, alphas []float64) ([]SweepPoint, error) {
 	if alphas == nil {
 		alphas = []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6}
 	}
-	var points []SweepPoint
-	for _, a := range alphas {
+	cfgs := make([]sim.Config, len(alphas))
+	reqss := make([][]sim.Request, len(alphas))
+	for i, a := range alphas {
 		pc := p
 		pc.Alpha = a
-		cfg, reqs := pc.Workload(pc.sweepTopology())
-		gap, err := GapNRvsEdge(cfg, reqs)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, SweepPoint{X: a, Gap: gap})
+		cfgs[i], reqss[i] = pc.Workload(pc.sweepTopology())
+	}
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(alphas))
+	for i, a := range alphas {
+		points[i] = SweepPoint{X: a, Gap: gaps[i]}
 	}
 	return points, nil
 }
@@ -100,16 +111,20 @@ func Figure8b(p Params, fractions []float64) ([]SweepPoint, error) {
 	if fractions == nil {
 		fractions = []float64{1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.02, 0.05, 0.1, 0.3, 1}
 	}
-	var points []SweepPoint
-	for _, f := range fractions {
+	cfgs := make([]sim.Config, len(fractions))
+	reqss := make([][]sim.Request, len(fractions))
+	for i, f := range fractions {
 		pc := p
 		pc.BudgetFraction = f
-		cfg, reqs := pc.Workload(pc.sweepTopology())
-		gap, err := GapNRvsEdge(cfg, reqs)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, SweepPoint{X: f * 100, Gap: gap})
+		cfgs[i], reqss[i] = pc.Workload(pc.sweepTopology())
+	}
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(fractions))
+	for i, f := range fractions {
+		points[i] = SweepPoint{X: f * 100, Gap: gaps[i]}
 	}
 	return points, nil
 }
@@ -120,16 +135,20 @@ func Figure8c(p Params, skews []float64) ([]SweepPoint, error) {
 	if skews == nil {
 		skews = []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
 	}
-	var points []SweepPoint
-	for _, s := range skews {
+	cfgs := make([]sim.Config, len(skews))
+	reqss := make([][]sim.Request, len(skews))
+	for i, s := range skews {
 		pc := p
 		pc.SpatialSkew = s
-		cfg, reqs := pc.Workload(pc.sweepTopology())
-		gap, err := GapNRvsEdge(cfg, reqs)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, SweepPoint{X: s, Gap: gap})
+		cfgs[i], reqss[i] = pc.Workload(pc.sweepTopology())
+	}
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(skews))
+	for i, s := range skews {
+		points[i] = SweepPoint{X: s, Gap: gaps[i]}
 	}
 	return points, nil
 }
@@ -163,16 +182,23 @@ func bestCaseSteps(p Params) []struct {
 // favorable to ICN-NR and reports the resulting gap over EDGE (paper: the
 // fully combined best case reaches at most ~17%).
 func Figure9(p Params) ([]Figure9Step, error) {
-	var steps []Figure9Step
+	// The progression is cumulative in its parameters but each point's runs
+	// are independent, so the whole staircase goes into one parallel batch.
+	prog := bestCaseSteps(p)
+	cfgs := make([]sim.Config, len(prog))
+	reqss := make([][]sim.Request, len(prog))
 	cur := p
-	for _, st := range bestCaseSteps(p) {
+	for i, st := range prog {
 		st.apply(&cur)
-		cfg, reqs := cur.Workload(cur.sweepTopology())
-		gap, err := GapNRvsEdge(cfg, reqs)
-		if err != nil {
-			return nil, err
-		}
-		steps = append(steps, Figure9Step{Name: st.name, Gap: gap})
+		cfgs[i], reqss[i] = cur.Workload(cur.sweepTopology())
+	}
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]Figure9Step, len(prog))
+	for i, st := range prog {
+		steps[i] = Figure9Step{Name: st.name, Gap: gaps[i]}
 	}
 	return steps, nil
 }
@@ -212,32 +238,29 @@ func Figure10(p Params) ([]Figure10Row, error) {
 		{Name: "Norm-Coop", Placement: sim.PlacementEdge, Routing: sim.RouteShortestPath, SiblingCoop: true, NormalizeBudget: true},
 		{Name: "Double-Budget-Coop", Placement: sim.PlacementEdge, Routing: sim.RouteShortestPath, SiblingCoop: true, NormalizeBudget: true, ExtraBudget: 2},
 	}
-	results, err := sim.CompareDesigns(cfg, append([]sim.Design{sim.ICNNR}, variants...), reqs)
-	if err != nil {
-		return nil, err
-	}
-	nr := results[0].Improvement
-	rows := make([]Figure10Row, 0, len(variants)+2)
-	for _, r := range results[1:] {
-		rows = append(rows, Figure10Row{Variant: r.Design.Name, Gap: sim.Gap(nr, r.Improvement)})
-	}
-
-	// Section-4 reference: the gap under the original §4 configuration.
+	// One parallel batch covers the main variant comparison plus the two
+	// reference configurations (Section-4 and Inf-Budget).
 	sec4Cfg, sec4Reqs := p.Workload(p.sweepTopology())
-	sec4Gap, err := GapNRvsEdge(sec4Cfg, sec4Reqs)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, Figure10Row{Variant: "Section-4", Gap: sec4Gap})
-
-	// Inf-Budget reference: both designs with effectively infinite caches.
 	inf := best
 	inf.BudgetFraction = 1
 	infCfg, infReqs := inf.Workload(inf.sweepTopology())
-	infGap, err := GapNRvsEdge(infCfg, infReqs)
+	sets := []sim.DesignSet{
+		{Base: cfg, Designs: append([]sim.Design{sim.ICNNR}, variants...), Reqs: reqs},
+		{Base: sec4Cfg, Designs: []sim.Design{sim.ICNNR, sim.EDGE}, Reqs: sec4Reqs},
+		{Base: infCfg, Designs: []sim.Design{sim.ICNNR, sim.EDGE}, Reqs: infReqs},
+	}
+	results, err := sim.CompareDesignSets(0, sets)
 	if err != nil {
 		return nil, err
 	}
-	rows = append(rows, Figure10Row{Variant: "Inf-Budget", Gap: infGap})
+	nr := results[0][0].Improvement
+	rows := make([]Figure10Row, 0, len(variants)+2)
+	for _, r := range results[0][1:] {
+		rows = append(rows, Figure10Row{Variant: r.Design.Name, Gap: sim.Gap(nr, r.Improvement)})
+	}
+	// Section-4 reference: the gap under the original §4 configuration.
+	rows = append(rows, Figure10Row{Variant: "Section-4", Gap: sim.Gap(results[1][0].Improvement, results[1][1].Improvement)})
+	// Inf-Budget reference: both designs with effectively infinite caches.
+	rows = append(rows, Figure10Row{Variant: "Inf-Budget", Gap: sim.Gap(results[2][0].Improvement, results[2][1].Improvement)})
 	return rows, nil
 }

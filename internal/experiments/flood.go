@@ -66,21 +66,24 @@ func FloodProtection(p Params, floodFraction float64) ([]FloodRow, error) {
 		}
 	}
 
-	baseline, err := sim.Baseline(cfg, flooded)
+	// One parallel batch: the no-cache baseline plus the four designs.
+	designs := []sim.Design{sim.ICNSP, sim.ICNNR, sim.EDGE, sim.EDGECoop}
+	jobs := []sim.Job{{Config: sim.BaselineConfig(cfg), Reqs: flooded}}
+	for _, d := range designs {
+		jobs = append(jobs, sim.Job{Config: d.Apply(cfg), Reqs: flooded})
+	}
+	results, err := sim.RunConfigs(0, jobs)
 	if err != nil {
 		return nil, err
 	}
-	designs := []sim.Design{sim.ICNSP, sim.ICNNR, sim.EDGE, sim.EDGECoop}
+	baseline := results[0]
 	rows := []FloodRow{{
 		Design:        "No-Cache",
 		OriginShare:   1,
 		MaxOriginLoad: baseline.MaxOriginLoad,
 	}}
-	for _, d := range designs {
-		res, err := sim.RunConfig(d.Apply(cfg), flooded)
-		if err != nil {
-			return nil, err
-		}
+	for i, d := range designs {
+		res := results[i+1]
 		rows = append(rows, FloodRow{
 			Design:        d.Name,
 			OriginShare:   float64(res.TotalOrigin) / float64(res.Requests),

@@ -22,9 +22,10 @@ func AblationTemporalLocality(p Params, localities []float64) ([]SweepPoint, err
 	weights := tp.PopulationWeights()
 	origins := trace.OriginAssignment(objects, weights, p.OriginProportional, p.Seed+1)
 
-	var points []SweepPoint
-	for _, q := range localities {
-		reqs := trace.NewSyntheticRequests(trace.StreamConfig{
+	cfgs := make([]sim.Config, len(localities))
+	reqss := make([][]sim.Request, len(localities))
+	for i, q := range localities {
+		reqss[i] = trace.NewSyntheticRequests(trace.StreamConfig{
 			Requests:         requests,
 			Objects:          objects,
 			Alpha:            p.Alpha,
@@ -34,18 +35,21 @@ func AblationTemporalLocality(p Params, localities []float64) ([]SweepPoint, err
 			Seed:             p.Seed + 2,
 			TemporalLocality: q,
 		})
-		cfg := sim.Config{
+		cfgs[i] = sim.Config{
 			Network:        net,
 			Objects:        objects,
 			Origins:        origins,
 			BudgetFraction: p.BudgetFraction,
 			BudgetPolicy:   p.BudgetPolicy,
 		}
-		gap, err := GapNRvsEdge(cfg, reqs)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, SweepPoint{X: q, Gap: gap})
+	}
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(localities))
+	for i, q := range localities {
+		points[i] = SweepPoint{X: q, Gap: gaps[i]}
 	}
 	return points, nil
 }

@@ -12,15 +12,19 @@ func AblationLookupCost(p Params, penalties []float64) ([]SweepPoint, error) {
 	if penalties == nil {
 		penalties = []float64{0, 0.5, 1, 2, 4}
 	}
-	var points []SweepPoint
-	for _, pen := range penalties {
-		cfg, reqs := p.Workload(p.sweepTopology())
-		cfg.NRLookupPenalty = pen
-		gap, err := GapNRvsEdge(cfg, reqs)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, SweepPoint{X: pen, Gap: gap})
+	cfgs := make([]sim.Config, len(penalties))
+	reqss := make([][]sim.Request, len(penalties))
+	for i, pen := range penalties {
+		cfgs[i], reqss[i] = p.Workload(p.sweepTopology())
+		cfgs[i].NRLookupPenalty = pen
+	}
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(penalties))
+	for i, pen := range penalties {
+		points[i] = SweepPoint{X: pen, Gap: gaps[i]}
 	}
 	return points, nil
 }
@@ -36,15 +40,19 @@ func AblationWarmup(p Params, fractions []float64) ([]SweepPoint, error) {
 		fractions = []float64{0, 0.25, 0.5, 0.75}
 	}
 	tp := p.sweepTopology()
-	var points []SweepPoint
-	for _, f := range fractions {
-		cfg, reqs := p.Workload(tp)
-		cfg.WarmupRequests = int(float64(len(reqs)) * f)
-		gap, err := GapNRvsEdge(cfg, reqs)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, SweepPoint{X: f, Gap: gap})
+	cfgs := make([]sim.Config, len(fractions))
+	reqss := make([][]sim.Request, len(fractions))
+	for i, f := range fractions {
+		cfgs[i], reqss[i] = p.Workload(tp)
+		cfgs[i].WarmupRequests = int(float64(len(reqss[i])) * f)
+	}
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(fractions))
+	for i, f := range fractions {
+		points[i] = SweepPoint{X: f, Gap: gaps[i]}
 	}
 	return points, nil
 }
@@ -59,23 +67,28 @@ func AblationCoopScope(p Params, scopes []int) ([]SweepPoint, error) {
 		scopes = []int{0, 2, 4, 6}
 	}
 	tp := p.sweepTopology()
-	var points []SweepPoint
-	for _, scope := range scopes {
+	cases := make([]gapCase, len(scopes))
+	for i, scope := range scopes {
 		cfg, reqs := p.Workload(tp)
-		variant := sim.Design{
-			Name:      "EDGE-Coop-scope",
-			Placement: sim.PlacementEdge,
-			Routing:   sim.RouteShortestPath,
-			CoopScope: scope,
+		cases[i] = gapCase{
+			a: sim.ICNNR,
+			b: sim.Design{
+				Name:      "EDGE-Coop-scope",
+				Placement: sim.PlacementEdge,
+				Routing:   sim.RouteShortestPath,
+				CoopScope: scope,
+			},
+			cfg:  cfg,
+			reqs: reqs,
 		}
-		results, err := sim.CompareDesigns(cfg, []sim.Design{sim.ICNNR, variant}, reqs)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, SweepPoint{
-			X:   float64(scope),
-			Gap: sim.Gap(results[0].Improvement, results[1].Improvement),
-		})
+	}
+	gaps, err := gapBatch(cases)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(scopes))
+	for i, scope := range scopes {
+		points[i] = SweepPoint{X: float64(scope), Gap: gaps[i]}
 	}
 	return points, nil
 }

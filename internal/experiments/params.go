@@ -159,9 +159,46 @@ func (p Params) Workload(tp *topo.Topology) (sim.Config, []sim.Request) {
 // RelImprov(ICN-NR) - RelImprov(EDGE) per metric, the sensitivity-analysis
 // measure of §5.
 func GapNRvsEdge(cfg sim.Config, reqs []sim.Request) (sim.Improvement, error) {
-	results, err := sim.CompareDesigns(cfg, []sim.Design{sim.ICNNR, sim.EDGE}, reqs)
+	gaps, err := gapBatch([]gapCase{{a: sim.ICNNR, b: sim.EDGE, cfg: cfg, reqs: reqs}})
 	if err != nil {
 		return sim.Improvement{}, err
 	}
-	return sim.Gap(results[0].Improvement, results[1].Improvement), nil
+	return gaps[0], nil
+}
+
+// gapCase is one point of a sensitivity sweep: the workload plus the two
+// designs whose improvement difference is measured.
+type gapCase struct {
+	a, b sim.Design
+	cfg  sim.Config
+	reqs []sim.Request
+}
+
+// gapBatch evaluates RelImprov(a) - RelImprov(b) for every case, fanning
+// all runs (baseline, a, b per case) across the parallel runner in one
+// batch. Results are ordered and deterministic regardless of worker count.
+func gapBatch(cases []gapCase) ([]sim.Improvement, error) {
+	sets := make([]sim.DesignSet, len(cases))
+	for i, c := range cases {
+		sets[i] = sim.DesignSet{Base: c.cfg, Designs: []sim.Design{c.a, c.b}, Reqs: c.reqs}
+	}
+	results, err := sim.CompareDesignSets(0, sets)
+	if err != nil {
+		return nil, err
+	}
+	gaps := make([]sim.Improvement, len(cases))
+	for i, r := range results {
+		gaps[i] = sim.Gap(r[0].Improvement, r[1].Improvement)
+	}
+	return gaps, nil
+}
+
+// nrEdgeCases builds the standard ICN-NR vs EDGE case list from parallel
+// slices of workloads.
+func nrEdgeCases(cfgs []sim.Config, reqss [][]sim.Request) []gapCase {
+	cases := make([]gapCase, len(cfgs))
+	for i := range cfgs {
+		cases[i] = gapCase{a: sim.ICNNR, b: sim.EDGE, cfg: cfgs[i], reqs: reqss[i]}
+	}
+	return cases
 }

@@ -15,6 +15,20 @@ type NamedGap struct {
 	Gap  sim.Improvement
 }
 
+// namedGapBatch evaluates the NR-vs-EDGE gap for every named configuration
+// in one parallel batch, preserving order.
+func namedGapBatch(names []string, cfgs []sim.Config, reqss [][]sim.Request) ([]NamedGap, error) {
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NamedGap, len(names))
+	for i, n := range names {
+		out[i] = NamedGap{Name: n, Gap: gaps[i]}
+	}
+	return out, nil
+}
+
 // SensitivityLatencyModels evaluates the two alternative latency models of
 // §5.1: an arithmetic progression of hop costs toward the core, and core
 // hops costing d times more (d in {2, 5, 10}). The paper reports a gap
@@ -32,18 +46,16 @@ func SensitivityLatencyModels(p Params) ([]NamedGap, error) {
 		{"core-x5", sim.LatencyCoreMultiplier, 5},
 		{"core-x10", sim.LatencyCoreMultiplier, 10},
 	}
-	var out []NamedGap
-	for _, v := range variants {
+	names := make([]string, len(variants))
+	cfgs := make([]sim.Config, len(variants))
+	reqss := make([][]sim.Request, len(variants))
+	for i, v := range variants {
 		cfg, reqs := p.Workload(p.sweepTopology())
 		cfg.Latency = v.model
 		cfg.CoreFactor = v.factor
-		gap, err := GapNRvsEdge(cfg, reqs)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, NamedGap{Name: v.name, Gap: gap})
+		names[i], cfgs[i], reqss[i] = v.name, cfg, reqs
 	}
-	return out, nil
+	return namedGapBatch(names, cfgs, reqss)
 }
 
 // SensitivityCapacity evaluates per-node request-serving capacity limits
@@ -59,65 +71,50 @@ func SensitivityCapacity(p Params, capacities []int64) ([]NamedGap, error) {
 	if window < 1 {
 		window = 1
 	}
-	var out []NamedGap
-	for _, c := range capacities {
+	names := make([]string, len(capacities))
+	cfgs := make([]sim.Config, len(capacities))
+	reqss := make([][]sim.Request, len(capacities))
+	for i, c := range capacities {
 		cfg, reqs := p.Workload(p.sweepTopology())
 		cfg.Capacity = c
+		names[i] = "unlimited"
 		if c > 0 {
 			cfg.CapacityWindow = window
+			names[i] = "cap=" + strconv.FormatInt(c, 10)
 		}
-		gap, err := GapNRvsEdge(cfg, reqs)
-		if err != nil {
-			return nil, err
-		}
-		name := "unlimited"
-		if c > 0 {
-			name = "cap=" + strconv.FormatInt(c, 10)
-		}
-		out = append(out, NamedGap{Name: name, Gap: gap})
+		cfgs[i], reqss[i] = cfg, reqs
 	}
-	return out, nil
+	return namedGapBatch(names, cfgs, reqss)
 }
 
 // SensitivityObjectSizes compares homogeneous (unit) object sizes against
 // the heterogeneous CDN-like size mix (§5.1): sizes are uncorrelated with
 // popularity, so the paper reports under 1% impact on the gap.
 func SensitivityObjectSizes(p Params) ([]NamedGap, error) {
-	var out []NamedGap
-
 	cfgUnit, reqs := p.Workload(p.sweepTopology())
-	gapUnit, err := GapNRvsEdge(cfgUnit, reqs)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, NamedGap{Name: "unit-sizes", Gap: gapUnit})
-
 	cfgHet := cfgUnit
 	r := rand.New(rand.NewSource(p.Seed + 9))
 	cfgHet.Sizes = trace.GenerateSizes(cfgHet.Objects, trace.DefaultContentMix(), r)
-	gapHet, err := GapNRvsEdge(cfgHet, reqs)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, NamedGap{Name: "heterogeneous-sizes", Gap: gapHet})
-	return out, nil
+	return namedGapBatch(
+		[]string{"unit-sizes", "heterogeneous-sizes"},
+		[]sim.Config{cfgUnit, cfgHet},
+		[][]sim.Request{reqs, reqs})
 }
 
 // SensitivityPolicy compares LRU against LFU cache management (§3: the
 // paper reports qualitatively similar results for both).
 func SensitivityPolicy(p Params) ([]NamedGap, error) {
-	var out []NamedGap
-	for _, pol := range []struct {
+	policies := []struct {
 		name   string
 		policy sim.Policy
-	}{{"LRU", sim.PolicyLRU}, {"LFU", sim.PolicyLFU}} {
+	}{{"LRU", sim.PolicyLRU}, {"LFU", sim.PolicyLFU}}
+	names := make([]string, len(policies))
+	cfgs := make([]sim.Config, len(policies))
+	reqss := make([][]sim.Request, len(policies))
+	for i, pol := range policies {
 		cfg, reqs := p.Workload(p.sweepTopology())
 		cfg.Policy = pol.policy
-		gap, err := GapNRvsEdge(cfg, reqs)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, NamedGap{Name: pol.name, Gap: gap})
+		names[i], cfgs[i], reqss[i] = pol.name, cfg, reqs
 	}
-	return out, nil
+	return namedGapBatch(names, cfgs, reqss)
 }

@@ -94,8 +94,11 @@ func Table3(p Params) ([]Table3Row, error) {
 		return nil, fmt.Errorf("experiments: table3 fit: %w", err)
 	}
 
-	var rows []Table3Row
-	for _, tp := range topo.AllTopologies() {
+	// Two gap cases per topology (trace-driven and synthetic), all fanned
+	// out in a single parallel batch.
+	tops := topo.AllTopologies()
+	cases := make([]gapCase, 0, 2*len(tops))
+	for _, tp := range tops {
 		net := topo.NewNetwork(tp, p.Arity, p.Depth)
 		weights := tp.PopulationWeights()
 		origins := trace.OriginAssignment(objects, weights, p.OriginProportional, p.Seed+1)
@@ -106,13 +109,7 @@ func Table3(p Params) ([]Table3Row, error) {
 			BudgetFraction: p.BudgetFraction,
 			BudgetPolicy:   p.BudgetPolicy,
 		}
-
 		traceReqs := trace.FromRecords(log, weights, net.LeavesPerTree(), p.Seed+3)
-		traceGap, err := GapNRvsEdge(cfg, traceReqs)
-		if err != nil {
-			return nil, err
-		}
-
 		synthReqs := trace.NewSyntheticRequests(trace.StreamConfig{
 			Requests:   requests,
 			Objects:    objects,
@@ -121,11 +118,17 @@ func Table3(p Params) ([]Table3Row, error) {
 			Leaves:     net.LeavesPerTree(),
 			Seed:       p.Seed + 4,
 		})
-		synthGap, err := GapNRvsEdge(cfg, synthReqs)
-		if err != nil {
-			return nil, err
-		}
-
+		cases = append(cases,
+			gapCase{a: sim.ICNNR, b: sim.EDGE, cfg: cfg, reqs: traceReqs},
+			gapCase{a: sim.ICNNR, b: sim.EDGE, cfg: cfg, reqs: synthReqs})
+	}
+	gaps, err := gapBatch(cases)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table3Row, 0, len(tops))
+	for i, tp := range tops {
+		traceGap, synthGap := gaps[2*i], gaps[2*i+1]
 		rows = append(rows, Table3Row{
 			Topology:   tp.Name,
 			TraceGap:   traceGap.Latency,
@@ -165,22 +168,25 @@ func Table4Normalized(p Params) ([]Table4Row, error) {
 
 func table4(p Params, edge sim.Design) ([]Table4Row, error) {
 	configs := []struct{ arity, depth int }{{2, 6}, {4, 3}, {8, 2}, {64, 1}}
-	var rows []Table4Row
-	for _, c := range configs {
+	cases := make([]gapCase, len(configs))
+	for i, c := range configs {
 		pc := p
 		pc.Arity, pc.Depth = c.arity, c.depth
 		cfg, reqs := pc.Workload(pc.sweepTopology())
-		results, err := sim.CompareDesigns(cfg, []sim.Design{sim.ICNNR, edge}, reqs)
-		if err != nil {
-			return nil, err
-		}
-		gap := sim.Gap(results[0].Improvement, results[1].Improvement)
+		cases[i] = gapCase{a: sim.ICNNR, b: edge, cfg: cfg, reqs: reqs}
+	}
+	gaps, err := gapBatch(cases)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table4Row, 0, len(configs))
+	for i, c := range configs {
 		rows = append(rows, Table4Row{
 			Arity:          c.arity,
 			Depth:          c.depth,
-			LatencyGain:    gap.Latency,
-			CongestionGain: gap.Congestion,
-			OriginGain:     gap.OriginLoad,
+			LatencyGain:    gaps[i].Latency,
+			CongestionGain: gaps[i].Congestion,
+			OriginGain:     gaps[i].OriginLoad,
 		})
 	}
 	return rows, nil

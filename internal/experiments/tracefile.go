@@ -73,16 +73,16 @@ func SeedVariance(p Params, n int) ([]VarianceRow, error) {
 	if n < 2 {
 		n = 5
 	}
-	gaps := make([]sim.Improvement, 0, n)
+	cfgs := make([]sim.Config, n)
+	reqss := make([][]sim.Request, n)
 	for i := 0; i < n; i++ {
 		pc := p
 		pc.Seed = p.Seed + int64(i)*1000003
-		cfg, reqs := pc.Workload(pc.sweepTopology())
-		gap, err := GapNRvsEdge(cfg, reqs)
-		if err != nil {
-			return nil, err
-		}
-		gaps = append(gaps, gap)
+		cfgs[i], reqss[i] = pc.Workload(pc.sweepTopology())
+	}
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	if err != nil {
+		return nil, err
 	}
 	pick := func(name string, get func(sim.Improvement) float64) VarianceRow {
 		row := VarianceRow{Metric: name, Min: get(gaps[0]), Max: get(gaps[0])}

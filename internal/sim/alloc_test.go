@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+)
+
+// warmEngine builds an engine for the design and drives it to steady state
+// (caches full, replica index populated) so that the measured window only
+// sees the hot serve path.
+func warmEngine(t testing.TB, d Design) (*Engine, []Request) {
+	t.Helper()
+	cfg, reqs := sweepWorkload(t)
+	e, err := New(d.Apply(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := reqs[:len(reqs)/2]
+	for _, q := range warm {
+		e.serveRequest(q)
+	}
+	return e, reqs[len(reqs)/2:]
+}
+
+// TestServeRequestAllocationFree pins the tentpole perf property: once an
+// engine is warm, serving a request performs no heap allocations on any
+// design's path — the coop scope BFS, the NR replica scan, and the edge
+// ascent all run on engine-owned scratch. A tolerance of 0.01 allocs/request
+// absorbs the rare map growth inside IntLRU's key index.
+func TestServeRequestAllocationFree(t *testing.T) {
+	for _, d := range []Design{EDGE, EDGECoop, ICNSP, ICNNR} {
+		t.Run(d.Name, func(t *testing.T) {
+			e, tail := warmEngine(t, d)
+			i := 0
+			perReq := testing.AllocsPerRun(2000, func() {
+				e.serveRequest(tail[i%len(tail)])
+				i++
+			})
+			if perReq > 0.01 {
+				t.Fatalf("%s: %.4f allocs/request in steady state, want ~0", d.Name, perReq)
+			}
+		})
+	}
+}
+
+// BenchmarkServeRequest measures the per-request cost of the warm serve path
+// for each design. Run with -benchmem: allocs/op must stay at 0.
+func BenchmarkServeRequest(b *testing.B) {
+	for _, d := range []Design{EDGE, EDGECoop, ICNSP, ICNNR} {
+		b.Run(d.Name, func(b *testing.B) {
+			e, tail := warmEngine(b, d)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.serveRequest(tail[i%len(tail)])
+			}
+		})
+	}
+}

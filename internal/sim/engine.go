@@ -35,7 +35,29 @@ type Engine struct {
 
 	steps []step // scratch: request path
 	resp  []step // scratch: response path for NR
+	respA []step // scratch: same-tree response, source-side ascent
+	respB []step // scratch: same-tree response, leaf-side ascent
+
+	// Cooperative-lookup scratch, sized to the tree and reused across
+	// requests so lookupScope performs no per-request allocation.
+	scopeQueue    []scopeVisit
+	scopePrev     []int32 // local -> BFS predecessor; scopeUnseen when untouched
+	scopeTouched  []int32 // locals whose scopePrev entry needs resetting
+	scopeAncestor []bool  // local -> is an ancestor of the current start node
+	scopeAncTouch []int32 // locals whose scopeAncestor entry needs resetting
+	scopePath     []int32 // last hit's path, serving node -> start node
+
+	ran bool // Run may be called once per Engine
 }
+
+type scopeVisit struct {
+	node int32
+	dist int
+}
+
+// scopeUnseen marks a scopePrev entry as not yet visited by the current BFS
+// (-1 is taken: it terminates path reconstruction at the start node).
+const scopeUnseen = int32(-2)
 
 type step struct {
 	pop   int32
@@ -184,6 +206,13 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Capacity > 0 {
 		e.served = make([]int64, net.NodeCount())
 	}
+	if cfg.CoopScope > 0 {
+		e.scopePrev = make([]int32, net.TreeSize())
+		for i := range e.scopePrev {
+			e.scopePrev[i] = scopeUnseen
+		}
+		e.scopeAncestor = make([]bool, net.TreeSize())
+	}
 	e.nearestOK = func(n topo.NodeID) bool { return e.admissible(n) }
 	e.provisionCaches()
 	return e, nil
@@ -237,6 +266,17 @@ func (e *Engine) provisionCaches() {
 			if capEntries > cfg.Objects || cfg.BudgetFraction >= 1 {
 				capEntries = cfg.Objects
 			}
+			// A store that can hold nothing is no cache at all: skip it so
+			// zero-budget runs (notably the no-cache baseline) pay no
+			// per-node lookups. Results are unchanged — an empty store can
+			// never hit — only faster.
+			if cfg.Sizes != nil {
+				if int64(math.Round(slots*meanSize)) <= 0 {
+					continue
+				}
+			} else if capEntries <= 0 {
+				continue
+			}
 			node := net.Node(pop, local)
 			e.caches[node] = e.newStore(node, capEntries, slots, meanSize)
 		}
@@ -264,6 +304,18 @@ func (e *Engine) newStore(node topo.NodeID, capEntries int, slots, meanSize floa
 	default:
 		return lruStore{c: cache.NewIntLRU(capEntries, onEvict)}
 	}
+}
+
+// CacheCount returns the number of routers that carry a usable cache. The
+// no-cache baseline provisions zero.
+func (e *Engine) CacheCount() int {
+	n := 0
+	for _, c := range e.caches {
+		if c != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // admissible reports whether a cache node may serve right now (exists and is
@@ -309,8 +361,13 @@ func (e *Engine) loadOf(obj int32) int64 {
 // Run simulates the request stream and returns the run's metrics. When
 // Config.WarmupRequests is set, the first that many requests exercise the
 // caches but are excluded from every reported metric. Run may be called
-// once per Engine; cache state is cumulative.
+// exactly once per Engine — cache state is cumulative, so a second call
+// would silently report metrics over pre-warmed caches; it panics instead.
 func (e *Engine) Run(reqs []Request) Result {
+	if e.ran {
+		panic("sim: Engine.Run called twice; cache state is cumulative, create a new Engine (sim.New) per run")
+	}
+	e.ran = true
 	warmup := e.cfg.WarmupRequests
 	if warmup > len(reqs) {
 		warmup = len(reqs)
@@ -501,34 +558,38 @@ func (e *Engine) serveShortestPath(q Request) {
 // are traversed but not used as candidates (the shortest-path walk checks
 // them anyway). On a hit it returns the serving node and the tree path from
 // it back to local, and touches the serving cache.
+//
+// All working state (BFS queue, predecessor table, ancestor marks, result
+// path) lives in Engine scratch slices reused across requests; the returned
+// path aliases e.scopePath and is valid until the next lookupScope call.
 func (e *Engine) lookupScope(pop int, local int32, obj int32) (int32, []int32, bool) {
 	net := e.net
-	type visit struct {
-		node int32
-		dist int
-	}
 	// Ancestors of local are excluded as candidates.
-	ancestor := map[int32]bool{}
+	e.scopeAncTouch = e.scopeAncTouch[:0]
 	for a := local; ; a = net.Parent(a) {
-		ancestor[a] = true
+		e.scopeAncestor[a] = true
+		e.scopeAncTouch = append(e.scopeAncTouch, a)
 		if a == 0 {
 			break
 		}
 	}
-	prev := map[int32]int32{local: -1}
-	queue := []visit{{node: local, dist: 0}}
-	for qi := 0; qi < len(queue); qi++ {
-		v := queue[qi]
-		if v.node != local && !ancestor[v.node] {
+	e.scopeTouched = e.scopeTouched[:0]
+	e.scopePrev[local] = -1
+	e.scopeTouched = append(e.scopeTouched, local)
+	e.scopeQueue = append(e.scopeQueue[:0], scopeVisit{node: local, dist: 0})
+	defer e.resetScopeScratch()
+	for qi := 0; qi < len(e.scopeQueue); qi++ {
+		v := e.scopeQueue[qi]
+		if v.node != local && !e.scopeAncestor[v.node] {
 			node := net.Node(pop, v.node)
 			if e.admissible(node) && e.caches[node].Contains(obj) {
 				e.caches[node].Lookup(obj) // touch recency on the serving cache
 				// Reconstruct the path serving -> ... -> local.
-				var path []int32
-				for n := v.node; n != -1; n = prev[n] {
-					path = append(path, n)
+				e.scopePath = e.scopePath[:0]
+				for n := v.node; n != -1; n = e.scopePrev[n] {
+					e.scopePath = append(e.scopePath, n)
 				}
-				return v.node, path, true
+				return v.node, e.scopePath, true
 			}
 		}
 		if v.dist == e.cfg.CoopScope {
@@ -536,9 +597,10 @@ func (e *Engine) lookupScope(pop int, local int32, obj int32) (int32, []int32, b
 		}
 		// Deterministic neighbor order: parent first, then children.
 		if p := net.Parent(v.node); p >= 0 {
-			if _, seen := prev[p]; !seen {
-				prev[p] = v.node
-				queue = append(queue, visit{node: p, dist: v.dist + 1})
+			if e.scopePrev[p] == scopeUnseen {
+				e.scopePrev[p] = v.node
+				e.scopeTouched = append(e.scopeTouched, p)
+				e.scopeQueue = append(e.scopeQueue, scopeVisit{node: p, dist: v.dist + 1})
 			}
 		}
 		if c := net.FirstChild(v.node); c >= 0 {
@@ -547,14 +609,26 @@ func (e *Engine) lookupScope(pop int, local int32, obj int32) (int32, []int32, b
 				if int(child) >= net.TreeSize() {
 					break
 				}
-				if _, seen := prev[child]; !seen {
-					prev[child] = v.node
-					queue = append(queue, visit{node: child, dist: v.dist + 1})
+				if e.scopePrev[child] == scopeUnseen {
+					e.scopePrev[child] = v.node
+					e.scopeTouched = append(e.scopeTouched, child)
+					e.scopeQueue = append(e.scopeQueue, scopeVisit{node: child, dist: v.dist + 1})
 				}
 			}
 		}
 	}
 	return 0, nil, false
+}
+
+// resetScopeScratch restores the touched entries of the cooperative-lookup
+// tables to their idle state, in O(nodes visited) rather than O(tree size).
+func (e *Engine) resetScopeScratch() {
+	for _, n := range e.scopeTouched {
+		e.scopePrev[n] = scopeUnseen
+	}
+	for _, a := range e.scopeAncTouch {
+		e.scopeAncestor[a] = false
+	}
 }
 
 // treeEdgeCost returns the latency cost of the tree edge between two
@@ -707,9 +781,10 @@ func (e *Engine) serveFromNode(q Request, src topo.NodeID, leafLocal int32) {
 	e.resp = e.resp[:0]
 
 	if srcPop == pop {
-		// Same tree: src up to the LCA, then down to the leaf.
+		// Same tree: src up to the LCA, then down to the leaf. The two
+		// ascents land in reused Engine scratch, not per-request slices.
 		a, b := srcLocal, leafLocal
-		var upA, upB []step
+		upA, upB := e.respA[:0], e.respB[:0]
 		for a != b {
 			da, db := net.DepthOf(a), net.DepthOf(b)
 			if da >= db {
@@ -720,6 +795,7 @@ func (e *Engine) serveFromNode(q Request, src topo.NodeID, leafLocal int32) {
 				b = net.Parent(b)
 			}
 		}
+		e.respA, e.respB = upA, upB
 		e.resp = append(e.resp, upA...)
 		e.resp = append(e.resp, step{pop: q.PoP, local: a}) // the LCA
 		for i := len(upB) - 1; i >= 0; i-- {

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Job pairs one simulation configuration with its request stream. Jobs are
+// independent: each gets a fresh Engine, and shared inputs (Network,
+// Origins, Sizes, Deployed, the request slice) are only read.
+type Job struct {
+	Config Config
+	Reqs   []Request
+}
+
+// defaultWorkers overrides the worker count used when RunConfigs is called
+// with workers <= 0; zero or negative means "use GOMAXPROCS".
+var defaultWorkers atomic.Int32
+
+// SetDefaultWorkers sets the pool size used by RunConfigs (and everything
+// built on it: CompareDesigns, the experiment sweeps) when no explicit count
+// is given. n <= 0 restores the default, runtime.GOMAXPROCS(0). It is safe
+// for concurrent use; cmd/icnsim wires its -workers flag here.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// DefaultWorkers returns the effective worker count for RunConfigs calls
+// with workers <= 0.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunConfigs executes every job on a bounded worker pool and returns one
+// Result per job, in job order. workers <= 0 uses DefaultWorkers(). Results
+// are deterministic and independent of the worker count: each job runs in
+// its own Engine, and a run's outcome depends only on (Config, Reqs), never
+// on scheduling. On failure the error of the lowest-indexed failing job is
+// returned (so error reporting is deterministic too).
+func RunConfigs(workers int, jobs []Job) ([]Result, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	if workers <= 1 {
+		// Sequential fast path: no goroutine or channel overhead for
+		// single-job batches or -workers=1.
+		for i := range jobs {
+			results[i], errs[i] = RunConfig(jobs[i].Config, jobs[i].Reqs)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					results[i], errs[i] = RunConfig(jobs[i].Config, jobs[i].Reqs)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: job %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"idicn/internal/topo"
+	"idicn/internal/trace"
+)
+
+// sweepWorkload builds a moderately sized workload whose runs exercise all
+// engine paths (coop lookups, NR replica scans, evictions).
+func sweepWorkload(t testing.TB) (Config, []Request) {
+	t.Helper()
+	net := topo.NewNetwork(topo.Abilene(), 2, 3)
+	const objects = 800
+	weights := net.Topo.PopulationWeights()
+	origins := trace.OriginAssignment(objects, weights, true, 11)
+	reqs := trace.NewSyntheticRequests(trace.StreamConfig{
+		Requests: 20000, Objects: objects, Alpha: 1.04,
+		PoPWeights: weights, Leaves: net.LeavesPerTree(), Seed: 13,
+	})
+	cfg := Config{
+		Network: net, Objects: objects, Origins: origins,
+		BudgetFraction: 0.05, BudgetPolicy: BudgetProportional,
+	}
+	return cfg, reqs
+}
+
+func TestRunConfigsMatchesSequential(t *testing.T) {
+	cfg, reqs := sweepWorkload(t)
+	jobs := make([]Job, 0, 10)
+	for _, d := range BaselineDesigns() {
+		jobs = append(jobs, Job{Config: d.Apply(cfg), Reqs: reqs})
+	}
+	jobs = append(jobs, Job{Config: BaselineConfig(cfg), Reqs: reqs})
+
+	want := make([]Result, len(jobs))
+	for i, j := range jobs {
+		res, err := RunConfig(j.Config, j.Reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got, err := RunConfigs(workers, jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results differ from sequential runs", workers)
+		}
+	}
+}
+
+func TestRunConfigsDefaultWorkers(t *testing.T) {
+	SetDefaultWorkers(3)
+	defer SetDefaultWorkers(0)
+	if DefaultWorkers() != 3 {
+		t.Fatalf("DefaultWorkers = %d after SetDefaultWorkers(3)", DefaultWorkers())
+	}
+	cfg := tinyConfig()
+	res, err := RunConfigs(0, []Job{{Config: cfg, Reqs: []Request{req(0, 0, 0)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Requests != 1 {
+		t.Fatalf("unexpected results %+v", res)
+	}
+	SetDefaultWorkers(0)
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers = %d, want >= 1", DefaultWorkers())
+	}
+}
+
+func TestRunConfigsEmpty(t *testing.T) {
+	res, err := RunConfigs(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("got %d results for no jobs", len(res))
+	}
+}
+
+func TestRunConfigsErrorIsDeterministic(t *testing.T) {
+	good := tinyConfig()
+	bad1 := good
+	bad1.Objects = -1 // invalid
+	bad2 := good
+	bad2.Network = nil // also invalid, higher index
+	jobs := []Job{
+		{Config: good, Reqs: []Request{req(0, 0, 0)}},
+		{Config: bad1, Reqs: nil},
+		{Config: bad2, Reqs: nil},
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := RunConfigs(workers, jobs)
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		// Always the lowest-indexed failure, regardless of scheduling.
+		if !strings.Contains(err.Error(), "job 1") {
+			t.Fatalf("workers=%d: error %q, want job 1's", workers, err)
+		}
+	}
+}
+
+func TestCompareDesignSetsMatchesCompareDesigns(t *testing.T) {
+	cfg, reqs := sweepWorkload(t)
+	designs := BaselineDesigns()
+
+	single, err := CompareDesigns(cfg, designs, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two identical sets in one batch, compared at several worker counts.
+	for _, workers := range []int{1, 4} {
+		batch, err := CompareDesignSets(workers, []DesignSet{
+			{Base: cfg, Designs: designs, Reqs: reqs},
+			{Base: cfg, Designs: designs, Reqs: reqs},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range batch {
+			if !reflect.DeepEqual(batch[i], single) {
+				t.Fatalf("workers=%d: set %d differs from CompareDesigns", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	e, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run([]Request{req(0, 0, 0)})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Run did not panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "Run called twice") {
+			t.Fatalf("panic message %q lacks explanation", msg)
+		}
+	}()
+	e.Run([]Request{req(0, 0, 0)})
+}
+
+// TestBaselineProvisionsNoCaches pins the interaction between Baseline and
+// config defaulting: BaselineConfig zeroes EdgeBudgetMultiplier, New
+// re-defaults 0 -> 1, and the zero BudgetFraction must still produce zero
+// usable caches — not thousands of zero-capacity stores.
+func TestBaselineProvisionsNoCaches(t *testing.T) {
+	cfg, reqs := sweepWorkload(t)
+	bc := BaselineConfig(ICNSP.Apply(cfg))
+	if bc.EdgeBudgetMultiplier != 0 {
+		t.Fatalf("BaselineConfig kept EdgeBudgetMultiplier %v", bc.EdgeBudgetMultiplier)
+	}
+	e, err := New(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.EdgeBudgetMultiplier != 1 {
+		t.Fatalf("New defaulted EdgeBudgetMultiplier to %v, want 1", e.cfg.EdgeBudgetMultiplier)
+	}
+	if n := e.CacheCount(); n != 0 {
+		t.Fatalf("baseline provisioned %d caches, want 0", n)
+	}
+	res := e.Run(reqs)
+	if res.TotalOrigin != res.Requests || res.Stats.Origin != res.Requests {
+		t.Fatalf("baseline served %d/%d from origin, want all %d",
+			res.TotalOrigin, res.Stats.Origin, res.Requests)
+	}
+	// A real budget still provisions caches on the same workload.
+	e2, err := New(ICNSP.Apply(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.CacheCount() == 0 {
+		t.Fatal("budgeted config provisioned no caches")
+	}
+}

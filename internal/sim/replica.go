@@ -1,31 +1,49 @@
 package sim
 
-import "idicn/internal/topo"
+import (
+	"slices"
+
+	"idicn/internal/topo"
+)
 
 // replicaIndex tracks which routers currently cache each object, supporting
 // the idealized zero-cost nearest-replica lookup of ICN-NR. Cache inserts
 // and evictions keep it exact via the caches' eviction hooks.
+//
+// Each object's replica set is a sorted []topo.NodeID rather than a map:
+// membership updates are O(log n) binary search plus a memmove, and the
+// nearest scan is a cache-friendly linear pass. Slices retain their capacity
+// across removals, so steady-state churn (insert on delivery, remove on
+// eviction) performs no heap allocation once a set has reached its
+// high-water size.
 type replicaIndex struct {
-	perObj []map[topo.NodeID]struct{}
+	perObj [][]topo.NodeID // sorted ascending per object
 }
 
 func newReplicaIndex(objects int) *replicaIndex {
-	return &replicaIndex{perObj: make([]map[topo.NodeID]struct{}, objects)}
+	return &replicaIndex{perObj: make([][]topo.NodeID, objects)}
 }
 
 func (ri *replicaIndex) add(obj int32, node topo.NodeID) {
-	m := ri.perObj[obj]
-	if m == nil {
-		m = make(map[topo.NodeID]struct{}, 4)
-		ri.perObj[obj] = m
+	s := ri.perObj[obj]
+	i, found := slices.BinarySearch(s, node)
+	if found {
+		return
 	}
-	m[node] = struct{}{}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = node
+	ri.perObj[obj] = s
 }
 
 func (ri *replicaIndex) remove(obj int32, node topo.NodeID) {
-	if m := ri.perObj[obj]; m != nil {
-		delete(m, node)
+	s := ri.perObj[obj]
+	i, found := slices.BinarySearch(s, node)
+	if !found {
+		return
 	}
+	copy(s[i:], s[i+1:])
+	ri.perObj[obj] = s[:len(s)-1]
 }
 
 func (ri *replicaIndex) count(obj int32) int { return len(ri.perObj[obj]) }
@@ -38,14 +56,16 @@ func (ri *replicaIndex) count(obj int32) int { return len(ri.perObj[obj]) }
 // leafDepth + coreDist + replicaDepth.
 func (ri *replicaIndex) nearest(net *topo.Network, pop int, leafLocal int32, obj int32,
 	ok func(topo.NodeID) bool) (best topo.NodeID, dist int, found bool) {
-	m := ri.perObj[obj]
-	if len(m) == 0 {
+	s := ri.perObj[obj]
+	if len(s) == 0 {
 		return 0, 0, false
 	}
 	leafDepth := net.DepthOf(leafLocal)
 	bestDist := int(^uint(0) >> 1)
 	var bestNode topo.NodeID
-	for node := range m {
+	// Ascending NodeID order makes strict < the same tie-break as the old
+	// "d == bestDist && node < bestNode" rule.
+	for _, node := range s {
 		if ok != nil && !ok(node) {
 			continue
 		}
@@ -56,7 +76,7 @@ func (ri *replicaIndex) nearest(net *topo.Network, pop int, leafLocal int32, obj
 		} else {
 			d = leafDepth + net.CoreDist(pop, q) + net.DepthOf(local)
 		}
-		if d < bestDist || (d == bestDist && node < bestNode) {
+		if d < bestDist {
 			bestDist, bestNode, found = d, node, true
 		}
 	}

@@ -9,16 +9,23 @@ func RunConfig(cfg Config, reqs []Request) (Result, error) {
 	return e.Run(reqs), nil
 }
 
-// Baseline runs cfg's workload with caching disabled: every request is
-// served by its origin over shortest-path routing. All three paper metrics
-// are normalized against this run.
-func Baseline(cfg Config, reqs []Request) (Result, error) {
+// BaselineConfig strips cfg of all caching: every request is served by its
+// origin over shortest-path routing. Batched runners use it to enqueue the
+// baseline alongside the designs it normalizes.
+func BaselineConfig(cfg Config) Config {
 	cfg.BudgetFraction = 0
 	cfg.EdgeBudgetMultiplier = 0
 	cfg.Routing = RouteShortestPath
 	cfg.SiblingCoop = false
+	cfg.CoopScope = 0
 	cfg.Capacity = 0
-	return RunConfig(cfg, reqs)
+	return cfg
+}
+
+// Baseline runs cfg's workload with caching disabled. All three paper
+// metrics are normalized against this run.
+func Baseline(cfg Config, reqs []Request) (Result, error) {
+	return RunConfig(BaselineConfig(cfg), reqs)
 }
 
 // DesignResult pairs a design with its improvements over the baseline.
@@ -28,26 +35,59 @@ type DesignResult struct {
 	Improvement Improvement
 }
 
-// CompareDesigns runs every design on the same base configuration and
-// request stream, returning per-design improvements over the shared
-// no-caching baseline. This is the computation behind each topology group in
-// Figures 6 and 7.
-func CompareDesigns(base Config, designs []Design, reqs []Request) ([]DesignResult, error) {
-	baseRes, err := Baseline(base, reqs)
+// DesignSet groups one workload with the designs to evaluate on it: the
+// unit of work of CompareDesignSets.
+type DesignSet struct {
+	Base    Config
+	Designs []Design
+	Reqs    []Request
+}
+
+// CompareDesignSets evaluates every set's designs against its own
+// no-caching baseline, fanning all runs (one baseline plus one run per
+// design, per set) across the RunConfigs worker pool in a single batch.
+// Output ordering and values are deterministic regardless of the worker
+// count: out[i][j] is set i's design j.
+func CompareDesignSets(workers int, sets []DesignSet) ([][]DesignResult, error) {
+	jobs := make([]Job, 0, len(sets)*2)
+	for _, s := range sets {
+		jobs = append(jobs, Job{Config: BaselineConfig(s.Base), Reqs: s.Reqs})
+		for _, d := range s.Designs {
+			jobs = append(jobs, Job{Config: d.Apply(s.Base), Reqs: s.Reqs})
+		}
+	}
+	results, err := RunConfigs(workers, jobs)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]DesignResult, 0, len(designs))
-	for _, d := range designs {
-		res, err := RunConfig(d.Apply(base), reqs)
-		if err != nil {
-			return nil, err
+	out := make([][]DesignResult, len(sets))
+	k := 0
+	for i, s := range sets {
+		baseRes := results[k]
+		k++
+		out[i] = make([]DesignResult, 0, len(s.Designs))
+		for _, d := range s.Designs {
+			res := results[k]
+			k++
+			out[i] = append(out[i], DesignResult{
+				Design:      d,
+				Raw:         res,
+				Improvement: Improvements(baseRes, res),
+			})
 		}
-		out = append(out, DesignResult{
-			Design:      d,
-			Raw:         res,
-			Improvement: Improvements(baseRes, res),
-		})
 	}
 	return out, nil
+}
+
+// CompareDesigns runs every design on the same base configuration and
+// request stream, returning per-design improvements over the shared
+// no-caching baseline. This is the computation behind each topology group in
+// Figures 6 and 7. The baseline and all designs run concurrently on the
+// default worker pool.
+func CompareDesigns(base Config, designs []Design, reqs []Request) ([]DesignResult, error) {
+	out, err := CompareDesignSets(0, []DesignSet{{Base: base, Designs: designs, Reqs: reqs}})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
 }

@@ -93,8 +93,8 @@ func TestEdgeCachesAtLeafOnly(t *testing.T) {
 		t.Errorf("stats = %+v", res.Stats)
 	}
 	// A request from the sibling leaf must NOT see the cached copy in EDGE.
-	res2 := e.Run([]Request{req(0, 1, 0)})
-	_ = res2
+	// (Run is once-per-Engine, so feed the extra request directly.)
+	e.serveRequest(req(0, 1, 0))
 	if e.stats.Origin != 2 {
 		t.Errorf("sibling leaf should miss in plain EDGE; origin served %d, want 2", e.stats.Origin)
 	}
@@ -181,7 +181,8 @@ func TestEdgeCoopSiblingServe(t *testing.T) {
 		t.Errorf("MeanLatency = %v, want %v", got, want)
 	}
 	// The response path caches at leaf 1, so a repeat is a local hit.
-	e.Run([]Request{req(0, 1, 0)})
+	// (Run is once-per-Engine, so feed the extra request directly.)
+	e.serveRequest(req(0, 1, 0))
 	if e.stats.Leaf != 1 {
 		t.Errorf("repeat after coop serve: leaf hits = %d, want 1", e.stats.Leaf)
 	}
@@ -278,7 +279,7 @@ func TestReplicaIndexStaysConsistent(t *testing.T) {
 		if len(got) != len(want) {
 			t.Fatalf("object %d: index has %d replicas, caches hold %d", obj, len(got), len(want))
 		}
-		for n := range got {
+		for _, n := range got {
 			if !want[n] {
 				t.Fatalf("object %d: index lists node %d which does not cache it", obj, n)
 			}
@@ -432,8 +433,10 @@ func TestHeterogeneousSizes(t *testing.T) {
 	if res.MaxLinkLoad != 2000 {
 		t.Errorf("MaxLinkLoad = %d, want 2000 bytes", res.MaxLinkLoad)
 	}
-	// A small object is cached fine.
-	e.Run([]Request{req(0, 0, 0), req(0, 0, 0)})
+	// A small object is cached fine. (Run is once-per-Engine, so feed the
+	// extra requests directly.)
+	e.serveRequest(req(0, 0, 0))
+	e.serveRequest(req(0, 0, 0))
 	if e.stats.Leaf != 1 {
 		t.Errorf("small object not cached: %+v", e.stats)
 	}
