@@ -3,9 +3,15 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-json clean
+.PHONY: check fmtcheck vet build test race bench-smoke bench bench-json clean
 
-check: vet build test race bench-smoke
+check: fmtcheck vet build test race bench-smoke
+
+fmtcheck:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "fmtcheck: gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -20,9 +26,14 @@ race:
 	$(GO) test -race ./...
 
 # One iteration of the perf-critical benchmarks: proves they still compile
-# and run, without the minutes-long full benchmark pass.
+# and run, without the minutes-long full benchmark pass. The first run also
+# gates the zero-alloc contract: BenchmarkServeRequest (observer disabled)
+# must report 0 allocs/op; the Observed variant is tracked but not gated.
 bench-smoke:
-	$(GO) test ./internal/sim -run '^$$' -bench 'BenchmarkServeRequest' -benchtime 1000x -benchmem
+	@out="$$($(GO) test ./internal/sim -run '^$$' -bench '^BenchmarkServeRequest$$' -benchtime 1000x -benchmem)" || { echo "$$out"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | awk '/^BenchmarkServeRequest\// && $$NF == "allocs/op" && $$(NF-1)+0 > 0 { bad = 1; print "bench-smoke: FAIL: serve path allocates with observer disabled: " $$0 } END { exit bad }'
+	$(GO) test ./internal/sim -run '^$$' -bench '^BenchmarkServeRequestObserved$$' -benchtime 1000x -benchmem
 	$(GO) test . -run '^$$' -bench 'BenchmarkFigure6Parallel' -benchtime 1x
 
 # Full benchmark pass over every artifact regeneration.

@@ -279,18 +279,17 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // result.
 func BenchmarkFigure6Parallel(b *testing.B) {
 	p := benchParams()
-	sim.SetDefaultWorkers(1)
+	p.Workers = 1
 	want, err := experiments.Figure6(p)
 	if err != nil {
 		b.Fatal(err)
 	}
-	sim.SetDefaultWorkers(0)
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			sim.SetDefaultWorkers(workers)
-			defer sim.SetDefaultWorkers(0)
+			pw := p
+			pw.Workers = workers
 			for i := 0; i < b.N; i++ {
-				rows, err := experiments.Figure6(p)
+				rows, err := experiments.Figure6(pw)
 				if err != nil {
 					b.Fatal(err)
 				}

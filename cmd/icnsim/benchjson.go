@@ -74,12 +74,12 @@ func writeBenchJSON(path string) error {
 	// default pool, tracking the parallel-sweep speedup.
 	p := experiments.DefaultParams(0.02)
 	for _, workers := range []int{1, sim.DefaultWorkers()} {
+		pw := p
+		pw.Workers = workers
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
-			sim.SetDefaultWorkers(workers)
-			defer sim.SetDefaultWorkers(0)
 			for i := 0; i < b.N; i++ {
-				if _, err := experiments.Figure6(p); err != nil {
+				if _, err := experiments.Figure6(pw); err != nil {
 					b.Fatal(err)
 				}
 			}

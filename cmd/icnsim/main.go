@@ -9,6 +9,7 @@
 //	icnsim -exp sens-latency|sens-capacity|sens-objsize|sens-policy|ablation-universe
 //	icnsim -exp all     # everything, in paper order
 //	icnsim -bench-json BENCH_sim.json   # hot-path perf log (ns/op, allocs/op)
+//	icnsim -exp fig6 -metrics-json metrics.json   # observer histograms for the run
 //
 // Scale 1 is paper scale (the 1.8M-request Asia workload); the default 0.05
 // finishes in minutes on a laptop core. Output is aligned text, one table
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,27 +38,26 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (see package comment)")
-		scale      = flag.Float64("scale", 0.05, "workload scale; 1 = paper scale")
-		seed       = flag.Int64("seed", 0, "override base seed (0 keeps the default)")
-		arity      = flag.Int("arity", 0, "override access-tree arity")
-		depth      = flag.Int("depth", 0, "override access-tree depth")
-		budget     = flag.Float64("budget", 0, "override per-router budget fraction F")
-		alpha      = flag.Float64("alpha", 0, "override Zipf alpha")
-		objects    = flag.Int("objects", 0, "override object-universe size")
-		sweepTopo  = flag.String("sweep-topology", "", "topology for the sensitivity sweeps (default ATT)")
-		locality   = flag.Float64("locality", 0, "temporal locality of the request stream (0=IID, ~0.7=trace-like)")
-		topoFile   = flag.String("topology-file", "", "load a custom sweep topology from a file (see internal/topo/parse.go for the format)")
-		traceFile  = flag.String("trace", "", "request log (tracegen format) for the trace-designs experiment")
-		seeds      = flag.Int("seeds", 5, "independent seeds for the variance experiment")
-		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS); results are identical at any count")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		benchJSON  = flag.String("bench-json", "", "run the hot-path benchmarks and write ns/op + allocs/op JSON to this file, then exit")
+		exp         = flag.String("exp", "all", "experiment id (see package comment)")
+		scale       = flag.Float64("scale", 0.05, "workload scale; 1 = paper scale")
+		seed        = flag.Int64("seed", 0, "override base seed (0 keeps the default)")
+		arity       = flag.Int("arity", 0, "override access-tree arity")
+		depth       = flag.Int("depth", 0, "override access-tree depth")
+		budget      = flag.Float64("budget", 0, "override per-router budget fraction F")
+		alpha       = flag.Float64("alpha", 0, "override Zipf alpha")
+		objects     = flag.Int("objects", 0, "override object-universe size")
+		sweepTopo   = flag.String("sweep-topology", "", "topology for the sensitivity sweeps (default ATT)")
+		locality    = flag.Float64("locality", 0, "temporal locality of the request stream (0=IID, ~0.7=trace-like)")
+		topoFile    = flag.String("topology-file", "", "load a custom sweep topology from a file (see internal/topo/parse.go for the format)")
+		traceFile   = flag.String("trace", "", "request log (tracegen format) for the trace-designs experiment")
+		seeds       = flag.Int("seeds", 5, "independent seeds for the variance experiment")
+		workers     = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS); results are identical at any count")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON   = flag.String("bench-json", "", "run the hot-path benchmarks and write ns/op + allocs/op JSON to this file, then exit")
+		metricsJSON = flag.String("metrics-json", "", "attach a metrics observer to every run and write its histograms (serve levels, latency, lookup hops, evictions) as JSON to this file; \"-\" writes to stdout")
 	)
 	flag.Parse()
-
-	sim.SetDefaultWorkers(*workers)
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -89,6 +90,12 @@ func main() {
 	}
 
 	p := experiments.DefaultParams(*scale)
+	p.Workers = *workers
+	var metrics *sim.MetricsObserver
+	if *metricsJSON != "" {
+		metrics = sim.NewMetricsObserver(0)
+		p.Observer = metrics
+	}
 	if *seed != 0 {
 		p.Seed = *seed
 	}
@@ -142,6 +149,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if metrics != nil {
+		if err := writeMetricsJSON(*metricsJSON, metrics); err != nil {
+			fatalf("icnsim: metrics-json: %v", err)
+		}
+	}
+}
+
+// writeMetricsJSON dumps the observer's aggregated run-level histograms.
+func writeMetricsJSON(path string, m *sim.MetricsObserver) error {
+	out, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "icnsim: wrote observer metrics to %s\n", path)
+	return nil
 }
 
 // fatalf reports err and exits. Deferred profile writers do not run on this

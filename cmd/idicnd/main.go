@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	idicnd             # start the stack, publish demo content, serve until interrupted
-//	idicnd -demo       # additionally fetch the demo content through the proxy and exit
+//	idicnd                  # start the stack, publish demo content, serve until interrupted
+//	idicnd -demo            # additionally fetch the demo content through the proxy and exit
+//	idicnd -log-requests    # log one structured line per HTTP request to stderr
 //
 // With the stack running, a browser configured with the printed PAC URL (or
 // curl with an explicit Host header) fetches content by self-certifying
-// name; the proxy authenticates every object before serving it.
+// name; the proxy authenticates every object before serving it. A debug
+// server exposes live counters and latency histograms for every component
+// at /debug/metrics.
 package main
 
 import (
@@ -28,56 +31,126 @@ import (
 	"idicn/internal/idicn/origin"
 	"idicn/internal/idicn/proxy"
 	"idicn/internal/idicn/resolver"
+	"idicn/internal/obs"
 )
 
 func main() {
 	demo := flag.Bool("demo", false, "run a one-shot fetch through the proxy and exit")
 	contentDir := flag.String("content", "", "publish every file in this directory at startup")
+	logRequests := flag.Bool("log-requests", false, "log one structured line per HTTP request to stderr")
 	flag.Parse()
-	if err := run(*demo, *contentDir); err != nil {
+	var logW io.Writer
+	if *logRequests {
+		logW = os.Stderr
+	}
+	if err := run(*demo, *contentDir, logW); err != nil {
 		fmt.Fprintf(os.Stderr, "idicnd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(demo bool, contentDir string) error {
-	ctx := context.Background()
+// stack is the assembled idICN deployment: every component plus the
+// metrics registry observing them. Tests build one against httptest
+// listeners; main serves it on loopback ports.
+type stack struct {
+	registry *resolver.Registry
+	origin   *origin.Server
+	proxy    *proxy.Proxy
+	metrics  *obs.Registry
+
+	resolverURL string
+	originURL   string
+	proxyURL    string
+	debugURL    string
+}
+
+// newStack wires the resolver, origin, and edge proxy together, wrapping
+// each HTTP surface with request instrumentation. listen must start serving
+// the handler and return its base URL. logW, when non-nil, receives one
+// structured log line per request (the -log-requests flag). The returned
+// stack's debugURL serves /debug/metrics with live counters from every
+// component.
+func newStack(listen func(http.Handler) (string, error), logW io.Writer) (*stack, error) {
+	metrics := obs.NewRegistry()
+	var logger obs.RequestHook
+	if logW != nil {
+		logger = obs.NewRequestLogger(logW, nil)
+	}
+	wrap := func(component string, h http.Handler) http.Handler {
+		return obs.Instrument(component,
+			obs.MultiHook(obs.NewHTTPMetrics(metrics, component), logger), h)
+	}
 
 	// Name resolution system.
 	registry := resolver.NewRegistry()
-	resolverURL, err := serve(resolver.NewServer(registry))
+	resolverSrv := resolver.NewServer(registry)
+	resolverSrv.RegisterMetrics(metrics)
+	resolverURL, err := listen(wrap("resolver", resolverSrv))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("resolver    %s\n", resolverURL)
 	resolverClient := resolver.NewClient(resolverURL, nil)
 
-	// Content provider: origin + reverse proxy under a fresh principal.
+	// Content provider: origin + signing reverse proxy under a fresh
+	// principal. The origin needs its own URL before construction, so the
+	// listener serves through a late-bound closure.
 	principal, err := names.NewPrincipal(nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var org *origin.Server
-	originURL, err := serve(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	originURL, err := listen(wrap("origin", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		org.ServeHTTP(w, r)
-	}))
+	})))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	org = origin.New(principal, resolverClient, originURL)
-	fmt.Printf("origin      %s (publisher %s)\n", originURL, principal.KeyHash())
+	org.RegisterMetrics(metrics)
 
 	// Edge proxy with PAC auto-configuration.
 	px := proxy.New(resolverClient)
-	proxyURL, err := serve(px)
+	px.RegisterMetrics(metrics)
+	proxyURL, err := listen(wrap("proxy", px))
+	if err != nil {
+		return nil, err
+	}
+
+	// Debug server: live counters and histograms for every component.
+	debugMux := http.NewServeMux()
+	debugMux.Handle("/debug/metrics", metrics.Handler())
+	debugURL, err := listen(debugMux)
+	if err != nil {
+		return nil, err
+	}
+
+	return &stack{
+		registry:    registry,
+		origin:      org,
+		proxy:       px,
+		metrics:     metrics,
+		resolverURL: resolverURL,
+		originURL:   originURL,
+		proxyURL:    proxyURL,
+		debugURL:    debugURL,
+	}, nil
+}
+
+func run(demo bool, contentDir string, logW io.Writer) error {
+	ctx := context.Background()
+
+	st, err := newStack(serve, logW)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("edge proxy  %s (PAC at %s/wpad.dat)\n", proxyURL, proxyURL)
+	fmt.Printf("resolver    %s\n", st.resolverURL)
+	fmt.Printf("origin      %s (publisher %s)\n", st.originURL, st.origin.Principal().KeyHash())
+	fmt.Printf("edge proxy  %s (PAC at %s/wpad.dat)\n", st.proxyURL, st.proxyURL)
+	fmt.Printf("debug       %s/debug/metrics\n", st.debugURL)
 
 	// DNS bridge: answers A queries for *.idicn.org with the proxy's
 	// address so unmodified stub resolvers land at the edge proxy.
-	proxyHost, _, _ := strings.Cut(strings.TrimPrefix(proxyURL, "http://"), ":")
+	proxyHost, _, _ := strings.Cut(strings.TrimPrefix(st.proxyURL, "http://"), ":")
 	dns, err := dnsbridge.NewServer("127.0.0.1:0", names.Domain, []string{proxyHost}, 60)
 	if err != nil {
 		return err
@@ -91,14 +164,14 @@ func run(demo bool, contentDir string) error {
 		"headline": "Less pain, most of the gain.",
 	}
 	for label, text := range pages {
-		n, err := org.Publish(ctx, label, "text/plain", []byte(text))
+		n, err := st.origin.Publish(ctx, label, "text/plain", []byte(text))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("published   http://%s/  (label %q)\n", n.DNS(), label)
 	}
 	if contentDir != "" {
-		published, err := org.PublishDir(ctx, contentDir)
+		published, err := st.origin.PublishDir(ctx, contentDir)
 		if err != nil {
 			return err
 		}
@@ -108,7 +181,7 @@ func run(demo bool, contentDir string) error {
 	}
 
 	if demo {
-		return runDemo(ctx, org, proxyURL)
+		return runDemo(ctx, st.origin, st.proxyURL)
 	}
 
 	fmt.Println("\nserving; ctrl-c to exit")

@@ -44,7 +44,7 @@ func AblationObjectUniverse(p Params, universes []int) ([]AblationRow, error) {
 		sizes[i] = o
 		sets[i] = sim.DesignSet{Base: cfg, Designs: sim.BaselineDesigns(), Reqs: reqs}
 	}
-	batches, err := sim.CompareDesignSets(0, sets)
+	batches, err := sim.CompareSets(sets, p.simOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -70,7 +70,7 @@ func AblationIncrementalDeployment(p Params, fractions []float64) ([]DeploymentR
 		counts[i], deployments[i] = count, deployed
 		jobs = append(jobs, sim.Job{Config: run, Reqs: reqs})
 	}
-	results, err := sim.RunConfigs(0, jobs)
+	results, err := sim.Run(jobs, p.simOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,27 @@ type DepthProfile struct {
 	// Fractions[d] is the share served at tree depth d (leaves are the
 	// highest depth); the final entry is the origin's share.
 	Fractions []float64
+	// HitRatio[i] is the cumulative hit ratio through level i+1: the share
+	// of requests a hierarchy truncated at that level would have served
+	// from caches. See HitRatioByDepth.
+	HitRatio []float64
+}
+
+// HitRatioByDepth converts level fractions (edge level first, origin last)
+// into cumulative hit ratios: entry i is the fraction of requests served at
+// levels 1..i+1. The final entry is the total cache hit ratio, 1 minus the
+// origin's share.
+func HitRatioByDepth(fractions []float64) []float64 {
+	if len(fractions) == 0 {
+		return nil
+	}
+	out := make([]float64, len(fractions)-1)
+	cum := 0.0
+	for i := range out {
+		cum += fractions[i]
+		out[i] = cum
+	}
+	return out
 }
 
 // ServeDepthProfile runs ICN-SP and EDGE on the standard workload and
@@ -43,7 +64,11 @@ func ServeDepthProfile(p Params) (profiles []DepthProfile, analytic []float64, e
 			flipped[cacheLevels-1-d] = fr[d]
 		}
 		flipped[cacheLevels] = fr[cacheLevels]
-		profiles = append(profiles, DepthProfile{Design: d.Name, Fractions: flipped})
+		profiles = append(profiles, DepthProfile{
+			Design:    d.Name,
+			Fractions: flipped,
+			HitRatio:  HitRatioByDepth(flipped),
+		})
 	}
 
 	slots := int(p.BudgetFraction * float64(cfg.Objects))
@@ -90,6 +115,13 @@ func FormatDepthProfile(profiles []DepthProfile, analytic []float64) string {
 		row(p.Design+" (sim)", p.Fractions)
 	}
 	row("optimal (model)", analytic)
+	// Cumulative hit ratios: how much of the traffic a hierarchy truncated
+	// at each level absorbs (the last column is the total cache hit ratio).
+	for _, p := range profiles {
+		if len(p.HitRatio) > 0 {
+			row(p.Design+" (hit<=L)", p.HitRatio)
+		}
+	}
 	w.Flush()
 	return b.String()
 }

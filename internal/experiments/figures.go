@@ -60,7 +60,7 @@ func designsOverTopologies(p Params) ([]FigureRow, error) {
 		cfg, reqs := p.Workload(tp)
 		sets[i] = sim.DesignSet{Base: cfg, Designs: sim.BaselineDesigns(), Reqs: reqs}
 	}
-	results, err := sim.CompareDesignSets(0, sets)
+	results, err := sim.CompareSets(sets, p.simOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +93,7 @@ func Figure8a(p Params, alphas []float64) ([]SweepPoint, error) {
 		pc.Alpha = a
 		cfgs[i], reqss[i] = pc.Workload(pc.sweepTopology())
 	}
-	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss), p.simOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +118,7 @@ func Figure8b(p Params, fractions []float64) ([]SweepPoint, error) {
 		pc.BudgetFraction = f
 		cfgs[i], reqss[i] = pc.Workload(pc.sweepTopology())
 	}
-	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss), p.simOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +142,7 @@ func Figure8c(p Params, skews []float64) ([]SweepPoint, error) {
 		pc.SpatialSkew = s
 		cfgs[i], reqss[i] = pc.Workload(pc.sweepTopology())
 	}
-	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss), p.simOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +192,7 @@ func Figure9(p Params) ([]Figure9Step, error) {
 		st.apply(&cur)
 		cfgs[i], reqss[i] = cur.Workload(cur.sweepTopology())
 	}
-	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss), p.simOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +249,7 @@ func Figure10(p Params) ([]Figure10Row, error) {
 		{Base: sec4Cfg, Designs: []sim.Design{sim.ICNNR, sim.EDGE}, Reqs: sec4Reqs},
 		{Base: infCfg, Designs: []sim.Design{sim.ICNNR, sim.EDGE}, Reqs: infReqs},
 	}
-	results, err := sim.CompareDesignSets(0, sets)
+	results, err := sim.CompareSets(sets, p.simOptions())
 	if err != nil {
 		return nil, err
 	}

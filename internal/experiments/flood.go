@@ -72,7 +72,7 @@ func FloodProtection(p Params, floodFraction float64) ([]FloodRow, error) {
 	for _, d := range designs {
 		jobs = append(jobs, sim.Job{Config: d.Apply(cfg), Reqs: flooded})
 	}
-	results, err := sim.RunConfigs(0, jobs)
+	results, err := sim.Run(jobs, p.simOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -43,7 +43,7 @@ func AblationTemporalLocality(p Params, localities []float64) ([]SweepPoint, err
 			BudgetPolicy:   p.BudgetPolicy,
 		}
 	}
-	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss), p.simOptions())
 	if err != nil {
 		return nil, err
 	}

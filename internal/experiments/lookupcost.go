@@ -18,7 +18,7 @@ func AblationLookupCost(p Params, penalties []float64) ([]SweepPoint, error) {
 		cfgs[i], reqss[i] = p.Workload(p.sweepTopology())
 		cfgs[i].NRLookupPenalty = pen
 	}
-	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss), p.simOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +46,7 @@ func AblationWarmup(p Params, fractions []float64) ([]SweepPoint, error) {
 		cfgs[i], reqss[i] = p.Workload(tp)
 		cfgs[i].WarmupRequests = int(float64(len(reqss[i])) * f)
 	}
-	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss), p.simOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +82,7 @@ func AblationCoopScope(p Params, scopes []int) ([]SweepPoint, error) {
 			reqs: reqs,
 		}
 	}
-	gaps, err := gapBatch(cases)
+	gaps, err := gapBatch(cases, p.simOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -64,6 +64,24 @@ type Params struct {
 	// sets the seed count for SeedVariance. Both are CLI conveniences.
 	TraceFile     string
 	VarianceSeeds int
+
+	// Workers bounds the parallel runner's pool for every batch an
+	// experiment launches; <= 0 means sim.DefaultWorkers(). cmd/icnsim
+	// resolves its -workers flag here — there is no package-global worker
+	// state anywhere.
+	Workers int
+
+	// Observer, when non-nil, is attached to every simulation run of the
+	// experiment (baselines included), collecting hit levels, lookup hops,
+	// evictions, and latency histograms across the whole sweep. Because
+	// runs execute concurrently it must be safe for concurrent use;
+	// sim.MetricsObserver is.
+	Observer sim.Observer
+}
+
+// simOptions resolves the Params fields the parallel runner cares about.
+func (p Params) simOptions() sim.Options {
+	return sim.Options{Workers: p.Workers, Observer: p.Observer}
 }
 
 // DefaultParams returns the §4 baseline configuration: binary depth-5 access
@@ -151,6 +169,7 @@ func (p Params) Workload(tp *topo.Topology) (sim.Config, []sim.Request) {
 		Origins:        origins,
 		BudgetFraction: p.BudgetFraction,
 		BudgetPolicy:   p.BudgetPolicy,
+		Observer:       p.Observer,
 	}
 	return cfg, reqs
 }
@@ -159,7 +178,7 @@ func (p Params) Workload(tp *topo.Topology) (sim.Config, []sim.Request) {
 // RelImprov(ICN-NR) - RelImprov(EDGE) per metric, the sensitivity-analysis
 // measure of §5.
 func GapNRvsEdge(cfg sim.Config, reqs []sim.Request) (sim.Improvement, error) {
-	gaps, err := gapBatch([]gapCase{{a: sim.ICNNR, b: sim.EDGE, cfg: cfg, reqs: reqs}})
+	gaps, err := gapBatch([]gapCase{{a: sim.ICNNR, b: sim.EDGE, cfg: cfg, reqs: reqs}}, sim.Options{})
 	if err != nil {
 		return sim.Improvement{}, err
 	}
@@ -177,12 +196,12 @@ type gapCase struct {
 // gapBatch evaluates RelImprov(a) - RelImprov(b) for every case, fanning
 // all runs (baseline, a, b per case) across the parallel runner in one
 // batch. Results are ordered and deterministic regardless of worker count.
-func gapBatch(cases []gapCase) ([]sim.Improvement, error) {
+func gapBatch(cases []gapCase, opt sim.Options) ([]sim.Improvement, error) {
 	sets := make([]sim.DesignSet, len(cases))
 	for i, c := range cases {
 		sets[i] = sim.DesignSet{Base: c.cfg, Designs: []sim.Design{c.a, c.b}, Reqs: c.reqs}
 	}
-	results, err := sim.CompareDesignSets(0, sets)
+	results, err := sim.CompareSets(sets, opt)
 	if err != nil {
 		return nil, err
 	}

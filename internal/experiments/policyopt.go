@@ -50,7 +50,10 @@ func AblationPolicyOptimality(p Params) ([]PolicyOptimalityRow, error) {
 		seqs = append(seqs, seq)
 	}
 	var total, lruHits, lfuHits, optHits atomic.Int64
-	workers := sim.DefaultWorkers()
+	workers := p.Workers
+	if workers <= 0 {
+		workers = sim.DefaultWorkers()
+	}
 	if workers > len(seqs) {
 		workers = len(seqs)
 	}

@@ -17,8 +17,8 @@ type NamedGap struct {
 
 // namedGapBatch evaluates the NR-vs-EDGE gap for every named configuration
 // in one parallel batch, preserving order.
-func namedGapBatch(names []string, cfgs []sim.Config, reqss [][]sim.Request) ([]NamedGap, error) {
-	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+func namedGapBatch(names []string, cfgs []sim.Config, reqss [][]sim.Request, opt sim.Options) ([]NamedGap, error) {
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +55,7 @@ func SensitivityLatencyModels(p Params) ([]NamedGap, error) {
 		cfg.CoreFactor = v.factor
 		names[i], cfgs[i], reqss[i] = v.name, cfg, reqs
 	}
-	return namedGapBatch(names, cfgs, reqss)
+	return namedGapBatch(names, cfgs, reqss, p.simOptions())
 }
 
 // SensitivityCapacity evaluates per-node request-serving capacity limits
@@ -84,7 +84,7 @@ func SensitivityCapacity(p Params, capacities []int64) ([]NamedGap, error) {
 		}
 		cfgs[i], reqss[i] = cfg, reqs
 	}
-	return namedGapBatch(names, cfgs, reqss)
+	return namedGapBatch(names, cfgs, reqss, p.simOptions())
 }
 
 // SensitivityObjectSizes compares homogeneous (unit) object sizes against
@@ -98,7 +98,8 @@ func SensitivityObjectSizes(p Params) ([]NamedGap, error) {
 	return namedGapBatch(
 		[]string{"unit-sizes", "heterogeneous-sizes"},
 		[]sim.Config{cfgUnit, cfgHet},
-		[][]sim.Request{reqs, reqs})
+		[][]sim.Request{reqs, reqs},
+		p.simOptions())
 }
 
 // SensitivityPolicy compares LRU against LFU cache management (§3: the
@@ -116,5 +117,5 @@ func SensitivityPolicy(p Params) ([]NamedGap, error) {
 		cfg.Policy = pol.policy
 		names[i], cfgs[i], reqss[i] = pol.name, cfg, reqs
 	}
-	return namedGapBatch(names, cfgs, reqss)
+	return namedGapBatch(names, cfgs, reqss, p.simOptions())
 }

@@ -122,7 +122,7 @@ func Table3(p Params) ([]Table3Row, error) {
 			gapCase{a: sim.ICNNR, b: sim.EDGE, cfg: cfg, reqs: traceReqs},
 			gapCase{a: sim.ICNNR, b: sim.EDGE, cfg: cfg, reqs: synthReqs})
 	}
-	gaps, err := gapBatch(cases)
+	gaps, err := gapBatch(cases, p.simOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +175,7 @@ func table4(p Params, edge sim.Design) ([]Table4Row, error) {
 		cfg, reqs := pc.Workload(pc.sweepTopology())
 		cases[i] = gapCase{a: sim.ICNNR, b: edge, cfg: cfg, reqs: reqs}
 	}
-	gaps, err := gapBatch(cases)
+	gaps, err := gapBatch(cases, p.simOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -46,7 +46,7 @@ func TraceDrivenDesigns(p Params, logPath string) ([]FigureRow, error) {
 		BudgetFraction: p.BudgetFraction,
 		BudgetPolicy:   p.BudgetPolicy,
 	}
-	results, err := sim.CompareDesigns(cfg, sim.BaselineDesigns(), reqs)
+	results, err := sim.Compare(cfg, sim.BaselineDesigns(), reqs, p.simOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +80,7 @@ func SeedVariance(p Params, n int) ([]VarianceRow, error) {
 		pc.Seed = p.Seed + int64(i)*1000003
 		cfgs[i], reqss[i] = pc.Workload(pc.sweepTopology())
 	}
-	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss))
+	gaps, err := gapBatch(nrEdgeCases(cfgs, reqss), p.simOptions())
 	if err != nil {
 		return nil, err
 	}

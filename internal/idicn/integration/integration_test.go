@@ -183,7 +183,7 @@ func TestConsortiumWithDelegation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := reg.Register(del); err != nil {
+		if err := reg.Register(context.Background(), del); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -86,7 +86,7 @@ func TestHostMoveReRegisters(t *testing.T) {
 	if before == after {
 		t.Fatal("Move did not change address")
 	}
-	res, err := reg.Resolve(n.String())
+	res, err := reg.Resolve(context.Background(), n.String())
 	if err != nil {
 		t.Fatal(err)
 	}

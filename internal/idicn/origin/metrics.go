@@ -1,0 +1,15 @@
+package origin
+
+import "idicn/internal/obs"
+
+// RegisterMetrics exposes the origin server's state as gauges in reg, under
+// origin_* names: how many requests pierced the signing proxy's front cache
+// and how many objects are published.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	reg.Func("origin_store_hits", s.OriginHits)
+	reg.Func("origin_published_objects", func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return int64(len(s.objects))
+	})
+}

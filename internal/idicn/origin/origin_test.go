@@ -56,7 +56,7 @@ func TestPublishRegistersAndServes(t *testing.T) {
 	}
 
 	// P2: the name is registered with the correct location.
-	res, err := reg.Resolve(n.String())
+	res, err := reg.Resolve(context.Background(), n.String())
 	if err != nil {
 		t.Fatalf("name not registered: %v", err)
 	}
@@ -96,7 +96,7 @@ func TestRepublishBumpsSeq(t *testing.T) {
 	if err != nil {
 		t.Fatalf("republish: %v", err)
 	}
-	res, err := reg.Resolve(n.String())
+	res, err := reg.Resolve(context.Background(), n.String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestPublishDir(t *testing.T) {
 	if !ok {
 		t.Fatalf("missing label page-one-txt in %v", published)
 	}
-	if _, err := reg.Resolve(n.String()); err != nil {
+	if _, err := reg.Resolve(context.Background(), n.String()); err != nil {
 		t.Errorf("published file not registered: %v", err)
 	}
 	resp, err := orgSrv.Client().Get(orgSrv.URL + "/content/page-one-txt")

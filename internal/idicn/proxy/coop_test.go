@@ -179,7 +179,7 @@ func TestGetCoalescedSharesOneFetch(t *testing.T) {
 	defer slowOrigin.Close()
 
 	reg, _ := resolver.NewRegistration(p, "herd", 1, []string{slowOrigin.URL})
-	if err := registry.Register(reg); err != nil {
+	if err := registry.Register(context.Background(), reg); err != nil {
 		t.Fatal(err)
 	}
 	px := New(resolver.NewClient(resSrv.URL, resSrv.Client()))

@@ -1,0 +1,18 @@
+package proxy
+
+import "idicn/internal/obs"
+
+// RegisterMetrics exposes the proxy's internal counters as gauges in reg,
+// under proxy_* names. The gauges read the live atomic counters, so the
+// registry's /debug/metrics rendering always reflects the current state
+// without any extra bookkeeping on the serve path.
+func (p *Proxy) RegisterMetrics(reg *obs.Registry) {
+	reg.Func("proxy_content_hits", p.hits.Load)
+	reg.Func("proxy_content_misses", p.misses.Load)
+	reg.Func("proxy_content_rejected", p.rejected.Load)
+	reg.Func("proxy_legacy_fetches", p.legacy.Load)
+	reg.Func("proxy_peer_hits", p.peerHits.Load)
+	reg.Func("proxy_peer_probes", p.peerProbes.Load)
+	reg.Func("proxy_peer_served", p.peerServed.Load)
+	reg.Func("proxy_cached_objects", func() int64 { return int64(p.CacheLen()) })
+}

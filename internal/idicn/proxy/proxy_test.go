@@ -127,7 +127,7 @@ func TestProxyRejectsTamperedContent(t *testing.T) {
 	defer evil.Close()
 
 	reg, _ := resolver.NewRegistration(p, "evil", 1, []string{evil.URL})
-	if err := registry.Register(reg); err != nil {
+	if err := registry.Register(context.Background(), reg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -170,7 +170,7 @@ func TestProxyFailsOverToMirror(t *testing.T) {
 	defer dead.Close()
 
 	reg, _ := resolver.NewRegistration(p, "mir", 1, []string{dead.URL, good.URL})
-	if err := registry.Register(reg); err != nil {
+	if err := registry.Register(context.Background(), reg); err != nil {
 		t.Fatal(err)
 	}
 	px := New(resolver.NewClient(resSrv.URL, resSrv.Client()))

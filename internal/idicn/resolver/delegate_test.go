@@ -40,7 +40,7 @@ func twoTier(t *testing.T) (coarse *Client, pr *names.Principal) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := coarseReg.Register(pubRec); err != nil {
+	if err := coarseReg.Register(context.Background(), pubRec); err != nil {
 		t.Fatal(err)
 	}
 	// Fine-grained record for a specific name.
@@ -48,7 +48,7 @@ func twoTier(t *testing.T) (coarse *Client, pr *names.Principal) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fineReg.Register(fineRec); err != nil {
+	if err := fineReg.Register(context.Background(), fineRec); err != nil {
 		t.Fatal(err)
 	}
 	return NewClient(coarseSrv.URL, coarseSrv.Client()), pr
@@ -87,7 +87,7 @@ func TestResolveFollowingLoopBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := reg.Register(rec); err != nil {
+	if err := reg.Register(context.Background(), rec); err != nil {
 		t.Fatal(err)
 	}
 	n, _ := pr.Name("loopy")
@@ -112,7 +112,7 @@ func TestMultiClientFailover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := regB.Register(rec); err != nil {
+	if err := regB.Register(context.Background(), rec); err != nil {
 		t.Fatal(err)
 	}
 
@@ -134,10 +134,10 @@ func TestMultiClientFailover(t *testing.T) {
 	if err := mc.Register(context.Background(), rec2); err != nil {
 		t.Fatalf("consortium register: %v", err)
 	}
-	if _, err := regA.Resolve(rec2.Name()); err != nil {
+	if _, err := regA.Resolve(context.Background(), rec2.Name()); err != nil {
 		t.Errorf("member A missing record: %v", err)
 	}
-	if _, err := regB.Resolve(rec2.Name()); err != nil {
+	if _, err := regB.Resolve(context.Background(), rec2.Name()); err != nil {
 		t.Errorf("member B missing record: %v", err)
 	}
 }

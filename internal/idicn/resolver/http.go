@@ -55,7 +55,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad registration JSON: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	switch err := s.Registry.Register(reg); {
+	switch err := s.Registry.Register(r.Context(), reg); {
 	case err == nil:
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "registered\n")
@@ -72,7 +72,7 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing name parameter", http.StatusBadRequest)
 		return
 	}
-	res, err := s.Registry.Resolve(name)
+	res, err := s.Registry.Resolve(r.Context(), name)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return

@@ -1,0 +1,10 @@
+package resolver
+
+import "idicn/internal/obs"
+
+// RegisterMetrics exposes the resolver's registry size as a gauge in reg.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	reg.Func("resolver_registered_names", func() int64 {
+		return int64(s.Registry.Len())
+	})
+}

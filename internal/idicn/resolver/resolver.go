@@ -12,6 +12,7 @@
 package resolver
 
 import (
+	"context"
 	"crypto/ed25519"
 	"encoding/binary"
 	"errors"
@@ -91,8 +92,11 @@ func NewRegistry() *Registry {
 // Register verifies and stores a registration. It returns ErrStaleSeq when
 // an existing record for the same name has an equal or newer sequence
 // number, and ErrBadRegistration (wrapped with detail) when cryptographic
-// checks fail.
-func (g *Registry) Register(r Registration) error {
+// checks fail. A cancelled or expired ctx aborts before any state change.
+func (g *Registry) Register(ctx context.Context, r Registration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := verify(r); err != nil {
 		return err
 	}
@@ -135,8 +139,12 @@ func verify(r Registration) error {
 }
 
 // Resolve looks up a flat name "L.P" (or bare "P"). Exact matches win;
-// otherwise the publisher-level P record answers with Exact=false.
-func (g *Registry) Resolve(name string) (Result, error) {
+// otherwise the publisher-level P record answers with Exact=false. A
+// cancelled or expired ctx aborts the lookup.
+func (g *Registry) Resolve(ctx context.Context, name string) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	name = strings.ToLower(strings.TrimSuffix(name, "."+names.Domain))
 	g.mu.RLock()
 	defer g.mu.RUnlock()

@@ -32,11 +32,11 @@ func TestRegisterAndResolve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := reg.Register(r); err != nil {
+	if err := reg.Register(context.Background(), r); err != nil {
 		t.Fatal(err)
 	}
 	n, _ := p.Name("movie")
-	res, err := reg.Resolve(n.String())
+	res, err := reg.Resolve(context.Background(), n.String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestRegisterAndResolve(t *testing.T) {
 		t.Fatalf("Resolve = %+v", res)
 	}
 	// DNS-form lookup works too.
-	if _, err := reg.Resolve(n.DNS()); err != nil {
+	if _, err := reg.Resolve(context.Background(), n.DNS()); err != nil {
 		t.Fatalf("DNS-form resolve: %v", err)
 	}
 	if reg.Len() != 1 {
@@ -59,11 +59,11 @@ func TestPublisherFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := reg.Register(pubRec); err != nil {
+	if err := reg.Register(context.Background(), pubRec); err != nil {
 		t.Fatal(err)
 	}
 	n, _ := p.Name("anything")
-	res, err := reg.Resolve(n.String())
+	res, err := reg.Resolve(context.Background(), n.String())
 	if err != nil {
 		t.Fatalf("fallback resolve: %v", err)
 	}
@@ -75,10 +75,10 @@ func TestPublisherFallback(t *testing.T) {
 	}
 	// Exact records shadow the fallback.
 	exact, _ := NewRegistration(p, "anything", 1, []string{"http://fine.example/x"})
-	if err := reg.Register(exact); err != nil {
+	if err := reg.Register(context.Background(), exact); err != nil {
 		t.Fatal(err)
 	}
-	res2, err := reg.Resolve(n.String())
+	res2, err := reg.Resolve(context.Background(), n.String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestRegisterRejectsForgeries(t *testing.T) {
 	// Attacker substitutes locations without re-signing.
 	evil := good
 	evil.Locations = []string{"http://evil.example/"}
-	if err := reg.Register(evil); !errors.Is(err, ErrBadRegistration) {
+	if err := reg.Register(context.Background(), evil); !errors.Is(err, ErrBadRegistration) {
 		t.Errorf("location tampering: err = %v", err)
 	}
 
@@ -105,14 +105,14 @@ func TestRegisterRejectsForgeries(t *testing.T) {
 	forged, _ := NewRegistration(attacker, "doc", 1, []string{"http://evil.example/"})
 	forged.KeyHash = p.KeyHash().String()
 	forged.Signature = attacker.Sign(forged.Payload())
-	if err := reg.Register(forged); !errors.Is(err, ErrBadRegistration) {
+	if err := reg.Register(context.Background(), forged); !errors.Is(err, ErrBadRegistration) {
 		t.Errorf("key substitution: err = %v", err)
 	}
 
 	// Bad label.
 	badLabel := good
 	badLabel.Label = "Bad Label"
-	if err := reg.Register(badLabel); !errors.Is(err, ErrBadRegistration) {
+	if err := reg.Register(context.Background(), badLabel); !errors.Is(err, ErrBadRegistration) {
 		t.Errorf("bad label: err = %v", err)
 	}
 
@@ -120,14 +120,14 @@ func TestRegisterRejectsForgeries(t *testing.T) {
 	if _, err := NewRegistration(p, "x", 1, nil); err == nil {
 		// NewRegistration doesn't validate locations; Register must.
 		empty, _ := NewRegistration(p, "x", 1, nil)
-		if err := reg.Register(empty); !errors.Is(err, ErrBadRegistration) {
+		if err := reg.Register(context.Background(), empty); !errors.Is(err, ErrBadRegistration) {
 			t.Errorf("empty locations: err = %v", err)
 		}
 	}
 
 	// Whitespace location.
 	ws, _ := NewRegistration(p, "y", 1, []string{"  "})
-	if err := reg.Register(ws); !errors.Is(err, ErrBadRegistration) {
+	if err := reg.Register(context.Background(), ws); !errors.Is(err, ErrBadRegistration) {
 		t.Errorf("blank location: err = %v", err)
 	}
 
@@ -141,24 +141,24 @@ func TestSeqReplayProtection(t *testing.T) {
 	reg := NewRegistry()
 	p := principal(t, 5)
 	r1, _ := NewRegistration(p, "mobile", 5, []string{"http://home.example/"})
-	if err := reg.Register(r1); err != nil {
+	if err := reg.Register(context.Background(), r1); err != nil {
 		t.Fatal(err)
 	}
 	// Replay and stale updates rejected.
-	if err := reg.Register(r1); !errors.Is(err, ErrStaleSeq) {
+	if err := reg.Register(context.Background(), r1); !errors.Is(err, ErrStaleSeq) {
 		t.Errorf("replay: err = %v", err)
 	}
 	r0, _ := NewRegistration(p, "mobile", 4, []string{"http://old.example/"})
-	if err := reg.Register(r0); !errors.Is(err, ErrStaleSeq) {
+	if err := reg.Register(context.Background(), r0); !errors.Is(err, ErrStaleSeq) {
 		t.Errorf("stale: err = %v", err)
 	}
 	// A newer seq (mobility move) replaces the record.
 	r2, _ := NewRegistration(p, "mobile", 6, []string{"http://away.example/"})
-	if err := reg.Register(r2); err != nil {
+	if err := reg.Register(context.Background(), r2); err != nil {
 		t.Fatal(err)
 	}
 	n, _ := p.Name("mobile")
-	res, _ := reg.Resolve(n.String())
+	res, _ := reg.Resolve(context.Background(), n.String())
 	if res.Locations[0] != "http://away.example/" || res.Seq != 6 {
 		t.Errorf("update not applied: %+v", res)
 	}
@@ -166,7 +166,7 @@ func TestSeqReplayProtection(t *testing.T) {
 
 func TestResolveNotFound(t *testing.T) {
 	reg := NewRegistry()
-	if _, err := reg.Resolve("ghost.aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"); !errors.Is(err, ErrNotFound) {
+	if _, err := reg.Resolve(context.Background(), "ghost.aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("err = %v, want ErrNotFound", err)
 	}
 }
@@ -182,9 +182,9 @@ func TestConcurrentRegistryAccess(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				label := "obj-" + string(rune('a'+w))
 				r, _ := NewRegistration(p, label, uint64(i+1), []string{"http://x.example/"})
-				reg.Register(r)
+				reg.Register(context.Background(), r)
 				n, _ := p.Name(label)
-				reg.Resolve(n.String())
+				reg.Resolve(context.Background(), n.String())
 				reg.Names()
 			}
 		}(w)
@@ -284,5 +284,38 @@ func TestRegistrationSignatureQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRegistryContextCancellation pins the context-first contract: a
+// cancelled context aborts both Register and Resolve before any state
+// change or lookup.
+func TestRegistryContextCancellation(t *testing.T) {
+	reg := NewRegistry()
+	p := principal(t, 9)
+	n, err := p.Name("video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRegistration(p, "video", 1, []string{"http://origin.example/video"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := reg.Register(ctx, r); !errors.Is(err, context.Canceled) {
+		t.Errorf("Register with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if reg.Len() != 0 {
+		t.Errorf("Len = %d after cancelled Register, want 0", reg.Len())
+	}
+	if err := reg.Register(context.Background(), r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Resolve(ctx, n.String()); !errors.Is(err, context.Canceled) {
+		t.Errorf("Resolve with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := reg.Resolve(context.Background(), n.String()); err != nil {
+		t.Errorf("Resolve = %v, want success", err)
 	}
 }

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RequestEvent describes one completed HTTP request through an instrumented
+// component — the per-request unit of the daemon's observability layer.
+type RequestEvent struct {
+	Component string // "proxy", "resolver", "origin", ...
+	Method    string
+	Path      string
+	Status    int
+	Bytes     int64 // response body bytes written
+	Duration  time.Duration
+	Cache     string // the response's X-Cache header (HIT/MISS/PEER), if any
+}
+
+// RequestHook receives request events. Implementations must be safe for
+// concurrent use; ObserveRequest runs on the serving goroutine and should
+// return quickly.
+type RequestHook interface {
+	ObserveRequest(RequestEvent)
+}
+
+// HookFunc adapts a function to the RequestHook interface.
+type HookFunc func(RequestEvent)
+
+// ObserveRequest implements RequestHook.
+func (f HookFunc) ObserveRequest(ev RequestEvent) { f(ev) }
+
+// MultiHook fans one event out to several hooks, skipping nils.
+func MultiHook(hooks ...RequestHook) RequestHook {
+	var active []RequestHook
+	for _, h := range hooks {
+		if h != nil {
+			active = append(active, h)
+		}
+	}
+	return HookFunc(func(ev RequestEvent) {
+		for _, h := range active {
+			h.ObserveRequest(ev)
+		}
+	})
+}
+
+// RequestLogger writes one structured (logfmt-style) line per request.
+// Lines are serialized under an internal mutex so concurrent handlers never
+// interleave.
+type RequestLogger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	clock func() time.Time
+}
+
+// NewRequestLogger logs request events to w. clock may be nil for
+// time.Now.
+func NewRequestLogger(w io.Writer, clock func() time.Time) *RequestLogger {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &RequestLogger{w: w, clock: clock}
+}
+
+// ObserveRequest implements RequestHook.
+func (l *RequestLogger) ObserveRequest(ev RequestEvent) {
+	line := fmt.Sprintf("ts=%s component=%s method=%s path=%q status=%d bytes=%d dur=%s",
+		l.clock().UTC().Format(time.RFC3339Nano), ev.Component, ev.Method, ev.Path,
+		ev.Status, ev.Bytes, ev.Duration.Round(time.Microsecond))
+	if ev.Cache != "" {
+		line += " cache=" + ev.Cache
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintln(l.w, line)
+}
+
+// HTTPMetrics aggregates request events for one component into a registry:
+// request/error totals, response bytes, a latency histogram, and cache
+// hit/miss counters fed by the X-Cache response header.
+type HTTPMetrics struct {
+	Requests *Counter
+	Errors   *Counter // status >= 500
+	Bytes    *Counter
+	Latency  *Histogram
+	Hits     *Counter // X-Cache: HIT or PEER
+	Misses   *Counter // X-Cache: MISS
+}
+
+// NewHTTPMetrics registers the component's request metrics under
+// <component>_* names and returns the hook that feeds them.
+func NewHTTPMetrics(reg *Registry, component string) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: reg.Counter(component + "_requests_total"),
+		Errors:   reg.Counter(component + "_errors_total"),
+		Bytes:    reg.Counter(component + "_response_bytes_total"),
+		Latency:  reg.Histogram(component+"_request_seconds", LatencyBuckets()),
+		Hits:     reg.Counter(component + "_cache_hits_total"),
+		Misses:   reg.Counter(component + "_cache_misses_total"),
+	}
+}
+
+// ObserveRequest implements RequestHook.
+func (m *HTTPMetrics) ObserveRequest(ev RequestEvent) {
+	m.Requests.Inc()
+	if ev.Status >= http.StatusInternalServerError {
+		m.Errors.Inc()
+	}
+	m.Bytes.Add(ev.Bytes)
+	m.Latency.Observe(ev.Duration.Seconds())
+	switch ev.Cache {
+	case "HIT", "PEER":
+		m.Hits.Inc()
+	case "MISS":
+		m.Misses.Inc()
+	}
+}
+
+// statusWriter captures the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Instrument wraps an HTTP handler so every request it serves emits one
+// RequestEvent to hook. A nil hook returns next unchanged, so instrumenting
+// is free to wire unconditionally.
+func Instrument(component string, hook RequestHook, next http.Handler) http.Handler {
+	if hook == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		hook.ObserveRequest(RequestEvent{
+			Component: component,
+			Method:    r.Method,
+			Path:      r.URL.Path,
+			Status:    status,
+			Bytes:     sw.bytes,
+			Duration:  time.Since(start),
+			Cache:     sw.Header().Get("X-Cache"),
+		})
+	})
+}

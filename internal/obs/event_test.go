@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInstrumentEmitsEvent(t *testing.T) {
+	var got RequestEvent
+	hook := HookFunc(func(ev RequestEvent) { got = ev })
+	h := Instrument("proxy", hook, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("X-Cache", "HIT")
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("hello"))
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/content/welcome", nil))
+
+	if got.Component != "proxy" || got.Method != http.MethodGet || got.Path != "/content/welcome" {
+		t.Fatalf("event identity = %+v", got)
+	}
+	if got.Status != http.StatusTeapot || got.Bytes != 5 || got.Cache != "HIT" {
+		t.Fatalf("event payload = %+v", got)
+	}
+	if got.Duration < 0 {
+		t.Fatalf("negative duration %v", got.Duration)
+	}
+}
+
+func TestInstrumentDefaultsStatus200(t *testing.T) {
+	var got RequestEvent
+	h := Instrument("origin", HookFunc(func(ev RequestEvent) { got = ev }),
+		http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte("ok")) }))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if got.Status != http.StatusOK {
+		t.Fatalf("implicit status = %d, want 200", got.Status)
+	}
+}
+
+func TestInstrumentNilHookPassthrough(t *testing.T) {
+	base := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {})
+	if got := Instrument("x", nil, base); got == nil {
+		t.Fatal("nil hook returned nil handler")
+	}
+}
+
+func TestHTTPMetrics(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "proxy")
+	m.ObserveRequest(RequestEvent{Status: 200, Bytes: 10, Duration: time.Millisecond, Cache: "HIT"})
+	m.ObserveRequest(RequestEvent{Status: 502, Bytes: 4, Duration: time.Second, Cache: "MISS"})
+	m.ObserveRequest(RequestEvent{Status: 200, Bytes: 1, Duration: time.Millisecond, Cache: "PEER"})
+
+	if m.Requests.Value() != 3 || m.Errors.Value() != 1 || m.Bytes.Value() != 15 {
+		t.Fatalf("requests/errors/bytes = %d/%d/%d", m.Requests.Value(), m.Errors.Value(), m.Bytes.Value())
+	}
+	if m.Hits.Value() != 2 || m.Misses.Value() != 1 {
+		t.Fatalf("hits/misses = %d/%d", m.Hits.Value(), m.Misses.Value())
+	}
+	if m.Latency.Snapshot().Count != 3 {
+		t.Fatalf("latency count = %d", m.Latency.Snapshot().Count)
+	}
+}
+
+func TestRequestLogger(t *testing.T) {
+	var b strings.Builder
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	l := NewRequestLogger(&b, func() time.Time { return now })
+	l.ObserveRequest(RequestEvent{
+		Component: "resolver", Method: "GET", Path: "/resolve",
+		Status: 200, Bytes: 64, Duration: 1500 * time.Microsecond, Cache: "",
+	})
+	line := b.String()
+	for _, want := range []string{
+		"ts=2026-08-06T12:00:00Z", "component=resolver", "method=GET",
+		`path="/resolve"`, "status=200", "bytes=64", "dur=1.5ms",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %q: %s", want, line)
+		}
+	}
+	if strings.Contains(line, "cache=") {
+		t.Errorf("empty cache state leaked into line: %s", line)
+	}
+}
+
+func TestMultiHookSkipsNil(t *testing.T) {
+	n := 0
+	hook := MultiHook(nil, HookFunc(func(RequestEvent) { n++ }), nil, HookFunc(func(RequestEvent) { n++ }))
+	hook.ObserveRequest(RequestEvent{})
+	if n != 2 {
+		t.Fatalf("fanout reached %d hooks, want 2", n)
+	}
+}

@@ -1,0 +1,360 @@
+// Package obs provides the repository's observability primitives: atomic
+// counters, fixed-bucket histograms, a named-metric registry with an
+// expvar-style text endpoint, and a per-request event hook interface for
+// HTTP components. Everything is stdlib-only and safe for concurrent use,
+// and the recording paths (Counter.Add, Histogram.Observe) perform no heap
+// allocations, so instrumentation can ride on hot paths.
+//
+// The package is deliberately dependency-free in both directions: it knows
+// nothing about the simulator or the idICN daemons. internal/sim builds its
+// Observer implementation on these types, and cmd/idicnd wires them into
+// its proxy/resolver/origin handlers and /debug/metrics endpoint.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// writeText emits the counter in the registry's text format.
+func (c *Counter) writeText(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %d\n", name, c.Value())
+}
+
+// funcVar is a lazily evaluated gauge backed by a callback.
+type funcVar func() int64
+
+func (f funcVar) writeText(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %d\n", name, f())
+}
+
+// metric is anything the registry can render on the text endpoint.
+type metric interface {
+	writeText(w io.Writer, name string)
+}
+
+// Registry holds named metrics and renders them as a plain-text page, one
+// `name value` line per scalar and a count/sum/bucket group per histogram —
+// the expvar-style /debug/metrics surface of cmd/idicnd.
+type Registry struct {
+	mu    sync.Mutex
+	names []string // registration order
+	vars  map[string]metric
+}
+
+// NewRegistry returns an empty metric registry.
+func NewRegistry() *Registry {
+	return &Registry{vars: make(map[string]metric)}
+}
+
+// register adds a metric under name, panicking on duplicates: metric names
+// are wired once at startup, so a collision is a programming error.
+func (r *Registry) register(name string, m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.vars[name]; ok {
+		panic("obs: duplicate metric " + name)
+	}
+	r.names = append(r.names, name)
+	r.vars[name] = m
+}
+
+// Counter registers and returns a new counter under name.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.register(name, c)
+	return c
+}
+
+// Histogram registers and returns a new histogram with the given bucket
+// upper bounds (see NewHistogram).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, h)
+	return h
+}
+
+// Func registers a gauge evaluated at render time — the bridge for
+// components that already keep their own counters (cache sizes, hit
+// totals).
+func (r *Registry) Func(name string, fn func() int64) {
+	r.register(name, funcVar(fn))
+}
+
+// WriteText renders every metric in registration order.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	vars := make([]metric, len(names))
+	for i, n := range names {
+		vars[i] = r.vars[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		vars[i].writeText(w, n)
+	}
+}
+
+// Handler returns an http.Handler serving the text rendering, suitable for
+// mounting at /debug/metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// Histogram is a fixed-bucket histogram with atomic recording: Observe is
+// lock-free and allocation-free. Bucket i counts observations v <= bounds[i]
+// (after earlier buckets); one implicit overflow bucket counts everything
+// above the last bound.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; immutable after construction
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomicFloat
+	min     atomicFloat
+	max     atomicFloat
+}
+
+// NewHistogram builds a histogram from ascending bucket upper bounds. It
+// panics on empty or unsorted bounds — bucket layouts are static
+// configuration, not data.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// LinearBuckets returns n bounds: start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// ExpBuckets returns n bounds growing geometrically from start by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is a general-purpose latency layout in seconds: 100µs to
+// ~52s, doubling.
+func LatencyBuckets() []float64 { return ExpBuckets(100e-6, 2, 20) }
+
+// SizeBuckets is a general-purpose payload-size layout in bytes: 256B to
+// 2GiB, quadrupling.
+func SizeBuckets() []float64 { return ExpBuckets(256, 4, 12) }
+
+// Observe records one value. It is safe for concurrent use and performs no
+// heap allocation.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; the slice is short enough that
+	// this beats branching heuristics and stays branch-predictable.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.storeMin(v)
+	h.max.storeMax(v)
+}
+
+// BucketCount is one rendered histogram bucket: the count of observations
+// at or below LE (cumulative, Prometheus-style). The final bucket has
+// LE = +Inf.
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON renders the bucket bound the way Prometheus text format does:
+// finite bounds as numbers, the overflow bucket as the string "+Inf"
+// (encoding/json rejects non-finite floats outright).
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "\"+Inf\""
+	if !math.IsInf(b.LE, 1) {
+		le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+	}
+	return []byte(`{"le":` + le + `,"count":` + strconv.FormatInt(b.Count, 10) + `}`), nil
+}
+
+// Snapshot is a point-in-time copy of a histogram, JSON-marshalable for the
+// -metrics-json output.
+type Snapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot returns the histogram's current state with cumulative bucket
+// counts. Min and Max are 0 when the histogram is empty.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.load(),
+		Buckets: make([]BucketCount, len(h.buckets)),
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets[i] = BucketCount{LE: le, Count: cum}
+	}
+	if s.Count > 0 {
+		s.Min = h.min.load()
+		s.Max = h.max.load()
+	}
+	return s
+}
+
+// Mean returns the mean observed value, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.load() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts,
+// attributing each bucket's mass to its upper bound — a conservative
+// (over-) estimate. It returns 0 for an empty histogram and Max for the
+// overflow bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	for _, b := range s.Buckets {
+		if b.Count >= rank {
+			if math.IsInf(b.LE, 1) {
+				return s.Max
+			}
+			return b.LE
+		}
+	}
+	return s.Max
+}
+
+// writeText renders the histogram as count/sum/cumulative-bucket lines.
+func (h *Histogram) writeText(w io.Writer, name string) {
+	s := h.Snapshot()
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum)
+	for _, b := range s.Buckets {
+		if math.IsInf(b.LE, 1) {
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, b.Count)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b.LE, b.Count)
+		}
+	}
+}
+
+// atomicFloat is a float64 with CAS-based add/min/max, stored as bits.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMin(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// SortedNames returns the registry's metric names, sorted — a convenience
+// for tests and debug dumps.
+func (r *Registry) SortedNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.names...)
+	sort.Strings(out)
+	return out
+}

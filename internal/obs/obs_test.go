@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("Value = %d, want 42", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+// TestHistogramBucketing drives the edge cases of fixed-bucket assignment:
+// zero, values exactly on a bound, the last bound, and overflow.
+func TestHistogramBucketing(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	tests := []struct {
+		name   string
+		value  float64
+		bucket int // index into the cumulative Buckets slice where count first becomes 1
+	}{
+		{"zero", 0, 0},
+		{"below first bound", 0.5, 0},
+		{"exactly first bound", 1, 0},
+		{"just above first bound", 1.0001, 1},
+		{"interior", 3, 2},
+		{"exactly last bound", 8, 3},
+		{"just above last bound (overflow)", 8.0001, 4},
+		{"far overflow", 1e12, 4},
+		{"negative", -1, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(bounds)
+			h.Observe(tc.value)
+			s := h.Snapshot()
+			if s.Count != 1 {
+				t.Fatalf("Count = %d, want 1", s.Count)
+			}
+			if len(s.Buckets) != len(bounds)+1 {
+				t.Fatalf("len(Buckets) = %d, want %d", len(s.Buckets), len(bounds)+1)
+			}
+			for i, b := range s.Buckets {
+				want := int64(0)
+				if i >= tc.bucket {
+					want = 1 // cumulative counts: every bucket at or above the target sees it
+				}
+				if b.Count != want {
+					t.Errorf("bucket %d (le=%g): count %d, want %d", i, b.LE, b.Count, want)
+				}
+			}
+			if !math.IsInf(s.Buckets[len(s.Buckets)-1].LE, 1) {
+				t.Errorf("last bucket LE = %g, want +Inf", s.Buckets[len(s.Buckets)-1].LE)
+			}
+			if s.Min != tc.value || s.Max != tc.value {
+				t.Errorf("Min/Max = %g/%g, want %g", s.Min, s.Max, tc.value)
+			}
+		})
+	}
+}
+
+// TestSnapshotJSON guards the -metrics-json path: encoding/json rejects
+// non-finite floats, so the overflow bucket's +Inf bound must marshal as
+// the string "+Inf" while finite bounds stay numeric.
+func TestSnapshotJSON(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(100)
+	out, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	js := string(out)
+	for _, want := range []string{`{"le":0.5,"count":1}`, `{"le":2,"count":2}`, `{"le":"+Inf","count":3}`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("JSON %s missing %s", js, want)
+		}
+	}
+	var decoded struct {
+		Count   int64 `json:"count"`
+		Buckets []struct {
+			LE    any   `json:"le"`
+			Count int64 `json:"count"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if decoded.Count != 3 || len(decoded.Buckets) != 3 {
+		t.Fatalf("decoded = %+v, want count 3 with 3 buckets", decoded)
+	}
+	if le, ok := decoded.Buckets[2].LE.(string); !ok || le != "+Inf" {
+		t.Fatalf("overflow bucket LE = %v, want \"+Inf\"", decoded.Buckets[2].LE)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot = %+v, want zeros", s)
+	}
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty Mean/Quantile = %g/%g, want 0/0", h.Mean(), h.Quantile(0.5))
+	}
+}
+
+func TestHistogramSumMinMaxQuantile(t *testing.T) {
+	h := NewHistogram(LinearBuckets(1, 1, 10)) // bounds 1..10
+	for v := 1.0; v <= 10; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 10 || s.Sum != 55 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if got := h.Mean(); got != 5.5 {
+		t.Fatalf("Mean = %g, want 5.5", got)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("Quantile(0.5) = %g, want 5", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("Quantile(1) = %g, want 10", got)
+	}
+	// Overflow mass resolves to Max, not +Inf.
+	h.Observe(1000)
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("Quantile(1) with overflow = %g, want 1000", got)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestBucketLayouts(t *testing.T) {
+	lin := LinearBuckets(0, 2, 4)
+	if want := []float64{0, 2, 4, 6}; !equal(lin, want) {
+		t.Fatalf("LinearBuckets = %v, want %v", lin, want)
+	}
+	exp := ExpBuckets(1, 10, 3)
+	if want := []float64{1, 10, 100}; !equal(exp, want) {
+		t.Fatalf("ExpBuckets = %v, want %v", exp, want)
+	}
+	// The stock layouts must satisfy NewHistogram's ordering invariant.
+	NewHistogram(LatencyBuckets())
+	NewHistogram(SizeBuckets())
+}
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegistryText(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total")
+	c.Add(3)
+	h := reg.Histogram("latency_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	reg.Func("cache_objects", func() int64 { return 7 })
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"requests_total 3\n",
+		"latency_seconds_count 2\n",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="+Inf"} 2`,
+		"cache_objects 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg.Counter("x")
+}
+
+func TestHistogramObserveAllocationFree(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.003) }); allocs > 0 {
+		t.Fatalf("Observe allocates %.2f per call, want 0", allocs)
+	}
+}

@@ -8,8 +8,15 @@ import (
 // (caches full, replica index populated) so that the measured window only
 // sees the hot serve path.
 func warmEngine(t testing.TB, d Design) (*Engine, []Request) {
+	return warmEngineObserved(t, d, nil)
+}
+
+// warmEngineObserved is warmEngine with an Observer attached to the config,
+// for pinning the instrumented serve path's allocation behavior.
+func warmEngineObserved(t testing.TB, d Design, o Observer) (*Engine, []Request) {
 	t.Helper()
 	cfg, reqs := sweepWorkload(t)
+	cfg.Observer = o
 	e, err := New(d.Apply(cfg))
 	if err != nil {
 		t.Fatal(err)
@@ -42,12 +49,59 @@ func TestServeRequestAllocationFree(t *testing.T) {
 	}
 }
 
+// TestServeRequestBoundedAllocsObserved pins the cost of turning the
+// observability layer on: with a MetricsObserver attached the warm serve
+// path must stay allocation-free too — every recording primitive (atomic
+// counters, fixed-bucket histograms, the per-PoP histogram table) works on
+// pre-sized state, so instrumentation never perturbs what it measures.
+func TestServeRequestBoundedAllocsObserved(t *testing.T) {
+	for _, d := range []Design{EDGE, EDGECoop, ICNSP, ICNNR} {
+		t.Run(d.Name, func(t *testing.T) {
+			m := NewMetricsObserver(0)
+			e, tail := warmEngineObserved(t, d, m)
+			i := 0
+			perReq := testing.AllocsPerRun(2000, func() {
+				e.serveRequest(tail[i%len(tail)])
+				i++
+			})
+			if perReq > 0.05 {
+				t.Fatalf("%s: %.4f allocs/request with observer attached, want ~0", d.Name, perReq)
+			}
+			total := int64(0)
+			for l := ServeLeaf; l <= ServeOrigin; l++ {
+				total += m.Served(l)
+			}
+			if total == 0 {
+				t.Fatalf("%s: observer saw no serves", d.Name)
+			}
+		})
+	}
+}
+
 // BenchmarkServeRequest measures the per-request cost of the warm serve path
-// for each design. Run with -benchmem: allocs/op must stay at 0.
+// for each design with observability disabled. Run with -benchmem: allocs/op
+// must stay at 0 — `make bench-smoke` gates on it.
 func BenchmarkServeRequest(b *testing.B) {
 	for _, d := range []Design{EDGE, EDGECoop, ICNSP, ICNNR} {
 		b.Run(d.Name, func(b *testing.B) {
 			e, tail := warmEngine(b, d)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.serveRequest(tail[i%len(tail)])
+			}
+		})
+	}
+}
+
+// BenchmarkServeRequestObserved is BenchmarkServeRequest with a
+// MetricsObserver attached, tracking the observability layer's overhead.
+// Named so the bench-smoke alloc gate (anchored on BenchmarkServeRequest$)
+// does not match it.
+func BenchmarkServeRequestObserved(b *testing.B) {
+	for _, d := range []Design{EDGE, EDGECoop, ICNSP, ICNNR} {
+		b.Run(d.Name, func(b *testing.B) {
+			e, tail := warmEngineObserved(b, d, NewMetricsObserver(0))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

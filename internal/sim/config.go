@@ -142,6 +142,13 @@ type Config struct {
 	// this knob quantifies how much of ICN-NR's edge survives if they do
 	// not (see experiments.AblationLookupCost).
 	NRLookupPenalty float64
+
+	// Observer, when non-nil, receives one ServeEvent per request and one
+	// EvictEvent per cache eviction. The engine nil-checks it once per
+	// event, so the zero-allocation serve loop is untouched when disabled.
+	// An observer shared across parallel runs (see Options.Observer) must
+	// be safe for concurrent use; MetricsObserver is.
+	Observer Observer
 }
 
 // Design names a point in the placement x routing design space, with the

@@ -30,8 +30,11 @@ type Engine struct {
 	popLatency   []float64 // per arrival PoP
 	popRequests  []int64
 	transfers    int64
+	evictions    int64
 	stats        ServeStats
 	servedDepth  []int64 // histogram by serving-node tree depth; origin last
+
+	obs Observer // optional event sink; nil-checked once per event
 
 	steps []step // scratch: request path
 	resp  []step // scratch: response path for NR
@@ -81,6 +84,7 @@ type Result struct {
 	MaxOriginLoad int64   // requests served by the busiest origin PoP
 	TotalOrigin   int64   // requests served by any origin
 	Transfers     int64   // total link crossings by responses
+	Evictions     int64   // cache evictions during the measured window
 	Stats         ServeStats
 
 	// PoPLatency and PoPRequests break mean latency down by the PoP a
@@ -199,6 +203,7 @@ func New(cfg Config) (*Engine, error) {
 		popLatency:   make([]float64, net.PoPs()),
 		popRequests:  make([]int64, net.PoPs()),
 		servedDepth:  make([]int64, net.Depth+2),
+		obs:          cfg.Observer,
 	}
 	if cfg.Routing == RouteNearestReplica {
 		e.replicas = newReplicaIndex(cfg.Objects)
@@ -284,10 +289,20 @@ func (e *Engine) provisionCaches() {
 }
 
 func (e *Engine) newStore(node topo.NodeID, capEntries int, slots, meanSize float64) store {
-	var onEvict func(int32)
-	if e.replicas != nil {
-		ri := e.replicas
-		onEvict = func(obj int32) { ri.remove(obj, node) }
+	// The eviction hook keeps the replica index honest, feeds the run's
+	// eviction total, and (when an Observer is attached) emits one EvictEvent
+	// per displaced object. PoP and depth are resolved once, at provisioning.
+	pop, local := e.net.Split(node)
+	depth := e.net.DepthOf(local)
+	ri := e.replicas
+	onEvict := func(obj int32) {
+		e.evictions++
+		if ri != nil {
+			ri.remove(obj, node)
+		}
+		if e.obs != nil {
+			e.obs.ObserveEvict(EvictEvent{PoP: int32(pop), Depth: depth, Object: obj})
+		}
 	}
 	if e.cfg.Sizes != nil {
 		budget := int64(math.Round(slots * meanSize))
@@ -295,11 +310,7 @@ func (e *Engine) newStore(node topo.NodeID, capEntries int, slots, meanSize floa
 	}
 	switch e.cfg.Policy {
 	case PolicyLFU:
-		var hook func(int32, struct{})
-		if onEvict != nil {
-			ev := onEvict
-			hook = func(k int32, _ struct{}) { ev(k) }
-		}
+		hook := func(k int32, _ struct{}) { onEvict(k) }
 		return lfuStore{c: cache.NewLFU[int32, struct{}](capEntries, hook)}
 	default:
 		return lruStore{c: cache.NewIntLRU(capEntries, onEvict)}
@@ -397,6 +408,7 @@ type snapshot struct {
 	popLatency   []float64
 	popRequests  []int64
 	transfers    int64
+	evictions    int64
 	stats        ServeStats
 	servedDepth  []int64
 	treeLoad     []int64
@@ -410,6 +422,7 @@ func (e *Engine) snapshot() *snapshot {
 		popLatency:   append([]float64(nil), e.popLatency...),
 		popRequests:  append([]int64(nil), e.popRequests...),
 		transfers:    e.transfers,
+		evictions:    e.evictions,
 		stats:        e.stats,
 		servedDepth:  append([]int64(nil), e.servedDepth...),
 		treeLoad:     append([]int64(nil), e.treeLoad...),
@@ -432,6 +445,7 @@ func (e *Engine) result(n int64, snap *snapshot) Result {
 	res := Result{
 		Requests:  n,
 		Transfers: e.transfers - snap.transfers,
+		Evictions: e.evictions - snap.evictions,
 		Stats: ServeStats{
 			Leaf:    e.stats.Leaf - snap.stats.Leaf,
 			Sibling: e.stats.Sibling - snap.stats.Sibling,
@@ -480,6 +494,23 @@ func (e *Engine) addLatency(pop int32, v float64) {
 	e.popRequests[pop]++
 }
 
+// finish completes one request: it charges the latency and, when an Observer
+// is attached, emits the serve event. The nil check is the observability
+// layer's entire hot-path cost when disabled.
+func (e *Engine) finish(q Request, level ServeLevel, depth, lookupHops int, latency float64) {
+	e.addLatency(q.PoP, latency)
+	if e.obs != nil {
+		e.obs.ObserveServe(ServeEvent{
+			PoP:        q.PoP,
+			Object:     q.Object,
+			Level:      level,
+			Depth:      depth,
+			LookupHops: lookupHops,
+			Latency:    latency,
+		})
+	}
+}
+
 func (e *Engine) serveRequest(q Request) {
 	if e.cfg.Routing == RouteNearestReplica {
 		e.serveNearestReplica(q)
@@ -513,9 +544,9 @@ func (e *Engine) serveShortestPath(q Request) {
 		node := net.Node(int(st.pop), st.local)
 		atOrigin := i == len(e.steps)-1
 		if !atOrigin && e.admissible(node) && e.caches[node].Lookup(q.Object) {
-			e.recordServe(node, i, q)
+			level := e.recordServe(node, i, q)
 			e.deliver(i, q.Object)
-			e.addLatency(q.PoP, latency)
+			e.finish(q, level, net.DepthOf(st.local), 0, latency)
 			return
 		}
 		// Scoped cooperation: a caching node that missed checks every cache
@@ -530,7 +561,7 @@ func (e *Engine) serveShortestPath(q Request) {
 				for k := 1; k < len(path); k++ {
 					detour += e.treeEdgeCost(path[k-1], path[k])
 				}
-				e.addLatency(q.PoP, latency+detour)
+				e.finish(q, ServeSibling, net.DepthOf(peer), len(path)-1, latency+detour)
 				e.deliverVia(i, path, q)
 				return
 			}
@@ -540,7 +571,7 @@ func (e *Engine) serveShortestPath(q Request) {
 			e.stats.Origin++
 			e.servedDepth[len(e.servedDepth)-1]++
 			e.deliver(i, q.Object)
-			e.addLatency(q.PoP, latency)
+			e.finish(q, ServeOrigin, -1, 0, latency)
 			return
 		}
 		// Advance one hop toward the origin.
@@ -642,17 +673,20 @@ func (e *Engine) treeEdgeCost(a, b int32) float64 {
 }
 
 // recordServe updates serve statistics for a cache hit at request-path index
-// i and charges the node's capacity.
-func (e *Engine) recordServe(node topo.NodeID, i int, q Request) {
+// i, charges the node's capacity, and returns where the hit landed.
+func (e *Engine) recordServe(node topo.NodeID, i int, q Request) ServeLevel {
 	e.markServed(node)
 	_, local := e.net.Split(node)
 	switch {
 	case i == 0:
 		e.stats.Leaf++
+		return ServeLeaf
 	case local != 0 || e.steps[i].pop == q.PoP:
 		e.stats.Tree++
+		return ServeTree
 	default:
 		e.stats.Core++
+		return ServeCore
 	}
 }
 
@@ -741,7 +775,7 @@ func (e *Engine) serveNearestReplica(q Request) {
 	// a Zipf workload — take this path.
 	if leafNode := net.Node(pop, leafLocal); e.admissible(leafNode) && e.caches[leafNode].Contains(q.Object) {
 		e.caches[leafNode].Lookup(q.Object)
-		e.serveFromNode(q, leafNode, leafLocal)
+		e.serveFromNode(q, leafNode, leafLocal, 0, 0)
 		return
 	}
 
@@ -760,21 +794,22 @@ func (e *Engine) serveNearestReplica(q Request) {
 	}
 	if found && dist <= originDist {
 		e.caches[node].Lookup(q.Object) // touch the serving cache
-		e.totalLatency += e.cfg.NRLookupPenalty
-		e.popLatency[q.PoP] += e.cfg.NRLookupPenalty
-		e.serveFromNode(q, node, leafLocal)
+		e.serveFromNode(q, node, leafLocal, dist, e.cfg.NRLookupPenalty)
 		return
 	}
 	// Origin serves; response returns along the shortest path.
 	e.originServed[origin]++
 	e.stats.Origin++
 	e.servedDepth[len(e.servedDepth)-1]++
-	e.serveFromNode(q, net.Node(origin, 0), leafLocal)
+	e.serveFromNode(q, net.Node(origin, 0), leafLocal, 0, 0)
 }
 
 // serveFromNode accounts latency, link loads, and response-path caching for
-// a response travelling from src to the request leaf.
-func (e *Engine) serveFromNode(q Request, src topo.NodeID, leafLocal int32) {
+// a response travelling from src to the request leaf. lookupHops records how
+// far the replica lookup reached (0 for leaf hits and origin serves) and
+// extra is a fixed latency surcharge (the NR lookup penalty), both folded
+// into the request's completion accounting.
+func (e *Engine) serveFromNode(q Request, src topo.NodeID, leafLocal int32, lookupHops int, extra float64) {
 	net := e.net
 	pop := int(q.PoP)
 	srcPop, srcLocal := net.Split(src)
@@ -822,15 +857,20 @@ func (e *Engine) serveFromNode(q Request, src topo.NodeID, leafLocal int32) {
 	}
 
 	// Serve statistics for cache hits (origin hits were counted already).
+	level, depth := ServeOrigin, -1
 	if e.caches[src] != nil && !(srcPop == int(e.cfg.Origins[q.Object]) && srcLocal == 0) {
 		e.markServed(src)
+		depth = net.DepthOf(srcLocal)
 		switch {
 		case src == net.Node(pop, leafLocal):
 			e.stats.Leaf++
+			level = ServeLeaf
 		case srcPop == pop || srcLocal != 0:
 			e.stats.Tree++
+			level = ServeTree
 		default:
 			e.stats.Core++
+			level = ServeCore
 		}
 	}
 
@@ -856,5 +896,5 @@ func (e *Engine) serveFromNode(q Request, src topo.NodeID, leafLocal int32) {
 		}
 	}
 	e.transfers += int64(len(e.resp) - 1)
-	e.addLatency(q.PoP, latency)
+	e.finish(q, level, depth, lookupHops, latency+extra)
 }

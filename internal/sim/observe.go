@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"idicn/internal/obs"
+)
+
+// ServeLevel classifies where a request was ultimately served, mirroring the
+// ServeStats breakdown (paper §4.1's hit-location accounting).
+type ServeLevel int
+
+const (
+	// ServeLeaf: the arrival leaf's own cache.
+	ServeLeaf ServeLevel = iota
+	// ServeSibling: a nearby cache found by the scoped cooperative lookup.
+	ServeSibling
+	// ServeTree: another cache within an access tree.
+	ServeTree
+	// ServeCore: a backbone (PoP root) cache of another PoP.
+	ServeCore
+	// ServeOrigin: the origin server (a miss at every cache level).
+	ServeOrigin
+
+	numServeLevels
+)
+
+// String returns the level's metric-friendly name.
+func (l ServeLevel) String() string {
+	switch l {
+	case ServeLeaf:
+		return "leaf"
+	case ServeSibling:
+		return "sibling"
+	case ServeTree:
+		return "tree"
+	case ServeCore:
+		return "core"
+	case ServeOrigin:
+		return "origin"
+	}
+	return "unknown"
+}
+
+// ServeEvent describes one completed request: where it was served, how deep
+// the serving cache sat, how much looking around it took, and what it cost.
+type ServeEvent struct {
+	PoP    int32 // arrival PoP
+	Object int32
+	Level  ServeLevel
+	// Depth is the tree depth of the serving cache (Network.Depth = leaves,
+	// 0 = PoP roots); -1 for origin serves.
+	Depth int
+	// LookupHops counts the extra location work the serve needed: the
+	// cooperative-lookup detour length for ServeSibling, or the replica
+	// distance for nearest-replica serves that missed the arrival leaf.
+	LookupHops int
+	Latency    float64
+}
+
+// EvictEvent describes one cache eviction: which PoP and tree depth lost an
+// object.
+type EvictEvent struct {
+	PoP    int32
+	Depth  int
+	Object int32
+}
+
+// Observer receives per-request and per-eviction events from an Engine.
+// Callbacks run synchronously on the simulation goroutine and must not
+// allocate if the run's zero-alloc guarantees matter to the caller; an
+// observer shared across parallel runs must be safe for concurrent use.
+// MetricsObserver satisfies both.
+type Observer interface {
+	ObserveServe(ServeEvent)
+	ObserveEvict(EvictEvent)
+}
+
+// MetricsObserver aggregates engine events into obs counters and histograms:
+// serves per cache level, evictions, replica-lookup hops, and latency both
+// overall and per arrival PoP. All recording paths are atomic and
+// allocation-free once the per-PoP table covers the topology (size it with
+// NewMetricsObserver's pops argument), so it can ride the engine hot path
+// and be shared across parallel runs.
+type MetricsObserver struct {
+	served     [numServeLevels]obs.Counter
+	evictions  obs.Counter
+	latency    *obs.Histogram
+	lookupHops *obs.Histogram
+
+	mu  sync.Mutex                       // guards growth of the per-PoP table
+	pop atomic.Pointer[[]*obs.Histogram] // latency histograms by arrival PoP
+}
+
+// latencyBounds covers the simulator's unit-cost latencies: 0..31 hops plus
+// an overflow bucket for deep-multiplier configurations.
+func latencyBounds() []float64 { return obs.LinearBuckets(0, 1, 32) }
+
+// NewMetricsObserver returns an observer with per-PoP latency histograms
+// preallocated for pops arrival PoPs (pass Config.Network.PoPs(); the table
+// grows on demand if a run sees more).
+func NewMetricsObserver(pops int) *MetricsObserver {
+	m := &MetricsObserver{
+		latency:    obs.NewHistogram(latencyBounds()),
+		lookupHops: obs.NewHistogram(obs.LinearBuckets(0, 1, 16)),
+	}
+	hists := make([]*obs.Histogram, pops)
+	for i := range hists {
+		hists[i] = obs.NewHistogram(latencyBounds())
+	}
+	m.pop.Store(&hists)
+	return m
+}
+
+// ObserveServe implements Observer.
+func (m *MetricsObserver) ObserveServe(ev ServeEvent) {
+	m.served[ev.Level].Inc()
+	m.latency.Observe(ev.Latency)
+	if ev.LookupHops > 0 {
+		m.lookupHops.Observe(float64(ev.LookupHops))
+	}
+	m.popHist(ev.PoP).Observe(ev.Latency)
+}
+
+// ObserveEvict implements Observer.
+func (m *MetricsObserver) ObserveEvict(EvictEvent) { m.evictions.Inc() }
+
+// popHist returns the latency histogram for pop, growing the table if the
+// constructor's size hint was too small. The steady-state path is one atomic
+// load and an index.
+func (m *MetricsObserver) popHist(pop int32) *obs.Histogram {
+	if hists := *m.pop.Load(); int(pop) < len(hists) {
+		return hists[pop]
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hists := *m.pop.Load()
+	for int(pop) >= len(hists) {
+		hists = append(hists, obs.NewHistogram(latencyBounds()))
+	}
+	m.pop.Store(&hists)
+	return hists[pop]
+}
+
+// Served returns the number of requests served at level.
+func (m *MetricsObserver) Served(level ServeLevel) int64 { return m.served[level].Value() }
+
+// Evictions returns the number of cache evictions observed.
+func (m *MetricsObserver) Evictions() int64 { return m.evictions.Value() }
+
+// Latency returns the overall request-latency histogram.
+func (m *MetricsObserver) Latency() *obs.Histogram { return m.latency }
+
+// LookupHops returns the histogram of replica-lookup / cooperative-detour
+// hop counts (serves that needed no lookup are not recorded here).
+func (m *MetricsObserver) LookupHops() *obs.Histogram { return m.lookupHops }
+
+// PoPLatency returns the latency histogram for requests arriving at pop, or
+// nil if the observer never saw that PoP.
+func (m *MetricsObserver) PoPLatency(pop int) *obs.Histogram {
+	hists := *m.pop.Load()
+	if pop < 0 || pop >= len(hists) {
+		return nil
+	}
+	return hists[pop]
+}
+
+// MetricsSnapshot is a point-in-time, JSON-marshalable copy of a
+// MetricsObserver — the payload behind `icnsim -metrics-json`.
+type MetricsSnapshot struct {
+	Served     map[string]int64 `json:"served"`
+	Evictions  int64            `json:"evictions"`
+	Latency    obs.Snapshot     `json:"latency"`
+	LookupHops obs.Snapshot     `json:"lookup_hops"`
+	PoPLatency []obs.Snapshot   `json:"pop_latency"`
+}
+
+// Snapshot captures the observer's current state.
+func (m *MetricsObserver) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Served:     make(map[string]int64, numServeLevels),
+		Evictions:  m.evictions.Value(),
+		Latency:    m.latency.Snapshot(),
+		LookupHops: m.lookupHops.Snapshot(),
+	}
+	for l := ServeLevel(0); l < numServeLevels; l++ {
+		s.Served[l.String()] = m.served[l].Value()
+	}
+	hists := *m.pop.Load()
+	s.PoPLatency = make([]obs.Snapshot, len(hists))
+	for i, h := range hists {
+		s.PoPLatency[i] = h.Snapshot()
+	}
+	return s
+}

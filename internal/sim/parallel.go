@@ -15,37 +15,46 @@ type Job struct {
 	Reqs   []Request
 }
 
-// defaultWorkers overrides the worker count used when RunConfigs is called
-// with workers <= 0; zero or negative means "use GOMAXPROCS".
-var defaultWorkers atomic.Int32
-
-// SetDefaultWorkers sets the pool size used by RunConfigs (and everything
-// built on it: CompareDesigns, the experiment sweeps) when no explicit count
-// is given. n <= 0 restores the default, runtime.GOMAXPROCS(0). It is safe
-// for concurrent use; cmd/icnsim wires its -workers flag here.
-func SetDefaultWorkers(n int) {
-	if n < 0 {
-		n = 0
-	}
-	defaultWorkers.Store(int32(n))
+// Options configures the batched simulation entry points (Run, CompareSets,
+// Compare). The zero value is ready to use: DefaultWorkers() workers and no
+// observer. There is no package-level mutable state behind it — callers that
+// want a non-default worker count say so here (cmd/icnsim resolves its
+// -workers flag into this field).
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means DefaultWorkers().
+	Workers int
+	// Observer, when non-nil, is attached to every job whose Config does
+	// not already carry its own. Because jobs run concurrently, it must be
+	// safe for concurrent use (MetricsObserver is).
+	Observer Observer
 }
 
-// DefaultWorkers returns the effective worker count for RunConfigs calls
-// with workers <= 0.
-func DefaultWorkers() int {
-	if n := defaultWorkers.Load(); n > 0 {
-		return int(n)
+// DefaultWorkers returns the worker count used when Options.Workers (or a
+// deprecated positional workers argument) is <= 0: runtime.GOMAXPROCS(0).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// runJob executes one job in a fresh Engine, attaching observer if the job's
+// own Config did not set one.
+func runJob(j Job, observer Observer) (Result, error) {
+	cfg := j.Config
+	if observer != nil && cfg.Observer == nil {
+		cfg.Observer = observer
 	}
-	return runtime.GOMAXPROCS(0)
+	e, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(j.Reqs), nil
 }
 
-// RunConfigs executes every job on a bounded worker pool and returns one
-// Result per job, in job order. workers <= 0 uses DefaultWorkers(). Results
-// are deterministic and independent of the worker count: each job runs in
-// its own Engine, and a run's outcome depends only on (Config, Reqs), never
-// on scheduling. On failure the error of the lowest-indexed failing job is
-// returned (so error reporting is deterministic too).
-func RunConfigs(workers int, jobs []Job) ([]Result, error) {
+// Run executes every job on a bounded worker pool and returns one Result per
+// job, in job order. Results are deterministic and independent of the worker
+// count: each job runs in its own Engine, and a run's outcome depends only
+// on (Config, Reqs), never on scheduling. On failure the error of the
+// lowest-indexed failing job is returned (so error reporting is
+// deterministic too).
+func Run(jobs []Job, opt Options) ([]Result, error) {
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -56,9 +65,9 @@ func RunConfigs(workers int, jobs []Job) ([]Result, error) {
 	errs := make([]error, len(jobs))
 	if workers <= 1 {
 		// Sequential fast path: no goroutine or channel overhead for
-		// single-job batches or -workers=1.
+		// single-job batches or Workers: 1.
 		for i := range jobs {
-			results[i], errs[i] = RunConfig(jobs[i].Config, jobs[i].Reqs)
+			results[i], errs[i] = runJob(jobs[i], opt.Observer)
 		}
 	} else {
 		var next atomic.Int64
@@ -72,7 +81,7 @@ func RunConfigs(workers int, jobs []Job) ([]Result, error) {
 					if i >= len(jobs) {
 						return
 					}
-					results[i], errs[i] = RunConfig(jobs[i].Config, jobs[i].Reqs)
+					results[i], errs[i] = runJob(jobs[i], opt.Observer)
 				}
 			}()
 		}
@@ -84,4 +93,12 @@ func RunConfigs(workers int, jobs []Job) ([]Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// RunConfigs executes every job with a positional worker count.
+//
+// Deprecated: use Run with Options{Workers: workers}, which also carries an
+// optional Observer. This wrapper remains for the original API's callers.
+func RunConfigs(workers int, jobs []Job) ([]Result, error) {
+	return Run(jobs, Options{Workers: workers})
 }

@@ -56,23 +56,51 @@ func TestRunConfigsMatchesSequential(t *testing.T) {
 	}
 }
 
-func TestRunConfigsDefaultWorkers(t *testing.T) {
-	SetDefaultWorkers(3)
-	defer SetDefaultWorkers(0)
-	if DefaultWorkers() != 3 {
-		t.Fatalf("DefaultWorkers = %d after SetDefaultWorkers(3)", DefaultWorkers())
+func TestRunDefaultWorkers(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers = %d, want >= 1", DefaultWorkers())
 	}
+	// Zero-value Options resolve to the default pool and still run jobs.
 	cfg := tinyConfig()
-	res, err := RunConfigs(0, []Job{{Config: cfg, Reqs: []Request{req(0, 0, 0)}}})
+	res, err := Run([]Job{{Config: cfg, Reqs: []Request{req(0, 0, 0)}}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res) != 1 || res[0].Requests != 1 {
 		t.Fatalf("unexpected results %+v", res)
 	}
-	SetDefaultWorkers(0)
-	if DefaultWorkers() < 1 {
-		t.Fatalf("DefaultWorkers = %d, want >= 1", DefaultWorkers())
+}
+
+// TestRunAttachesObserver pins the Options.Observer contract: the observer
+// is attached to every job without its own, sees exactly one serve event per
+// request across the whole batch, and never overrides a per-job observer.
+func TestRunAttachesObserver(t *testing.T) {
+	cfg := tinyConfig()
+	reqs := []Request{req(0, 0, 0), req(0, 1, 0), req(1, 0, 1)}
+	shared := NewMetricsObserver(cfg.Network.PoPs())
+	own := NewMetricsObserver(cfg.Network.PoPs())
+	withOwn := cfg
+	withOwn.Observer = own
+	_, err := Run([]Job{
+		{Config: cfg, Reqs: reqs},
+		{Config: cfg, Reqs: reqs},
+		{Config: withOwn, Reqs: reqs},
+	}, Options{Workers: 2, Observer: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(m *MetricsObserver) int64 {
+		var n int64
+		for l := ServeLevel(0); l < numServeLevels; l++ {
+			n += m.Served(l)
+		}
+		return n
+	}
+	if got := total(shared); got != int64(2*len(reqs)) {
+		t.Fatalf("shared observer saw %d serves, want %d", got, 2*len(reqs))
+	}
+	if got := total(own); got != int64(len(reqs)) {
+		t.Fatalf("per-job observer saw %d serves, want %d", got, len(reqs))
 	}
 }
 

@@ -1,12 +1,13 @@
 package sim
 
-// RunConfig builds an Engine for cfg and simulates the request stream.
+// RunConfig builds an Engine for cfg and simulates the request stream: the
+// single-job convenience wrapper over Run.
 func RunConfig(cfg Config, reqs []Request) (Result, error) {
-	e, err := New(cfg)
+	results, err := Run([]Job{{Config: cfg, Reqs: reqs}}, Options{Workers: 1})
 	if err != nil {
 		return Result{}, err
 	}
-	return e.Run(reqs), nil
+	return results[0], nil
 }
 
 // BaselineConfig strips cfg of all caching: every request is served by its
@@ -36,19 +37,19 @@ type DesignResult struct {
 }
 
 // DesignSet groups one workload with the designs to evaluate on it: the
-// unit of work of CompareDesignSets.
+// unit of work of CompareSets.
 type DesignSet struct {
 	Base    Config
 	Designs []Design
 	Reqs    []Request
 }
 
-// CompareDesignSets evaluates every set's designs against its own
-// no-caching baseline, fanning all runs (one baseline plus one run per
-// design, per set) across the RunConfigs worker pool in a single batch.
-// Output ordering and values are deterministic regardless of the worker
-// count: out[i][j] is set i's design j.
-func CompareDesignSets(workers int, sets []DesignSet) ([][]DesignResult, error) {
+// CompareSets evaluates every set's designs against its own no-caching
+// baseline, fanning all runs (one baseline plus one run per design, per set)
+// across the Run worker pool in a single batch. Output ordering and values
+// are deterministic regardless of the worker count: out[i][j] is set i's
+// design j. An opt.Observer sees every run of the batch, baselines included.
+func CompareSets(sets []DesignSet, opt Options) ([][]DesignResult, error) {
 	jobs := make([]Job, 0, len(sets)*2)
 	for _, s := range sets {
 		jobs = append(jobs, Job{Config: BaselineConfig(s.Base), Reqs: s.Reqs})
@@ -56,7 +57,7 @@ func CompareDesignSets(workers int, sets []DesignSet) ([][]DesignResult, error) 
 			jobs = append(jobs, Job{Config: d.Apply(s.Base), Reqs: s.Reqs})
 		}
 	}
-	results, err := RunConfigs(workers, jobs)
+	results, err := Run(jobs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -79,15 +80,31 @@ func CompareDesignSets(workers int, sets []DesignSet) ([][]DesignResult, error) 
 	return out, nil
 }
 
-// CompareDesigns runs every design on the same base configuration and
-// request stream, returning per-design improvements over the shared
-// no-caching baseline. This is the computation behind each topology group in
-// Figures 6 and 7. The baseline and all designs run concurrently on the
-// default worker pool.
-func CompareDesigns(base Config, designs []Design, reqs []Request) ([]DesignResult, error) {
-	out, err := CompareDesignSets(0, []DesignSet{{Base: base, Designs: designs, Reqs: reqs}})
+// CompareDesignSets evaluates design sets with a positional worker count.
+//
+// Deprecated: use CompareSets with Options{Workers: workers}. This wrapper
+// remains for the original API's callers.
+func CompareDesignSets(workers int, sets []DesignSet) ([][]DesignResult, error) {
+	return CompareSets(sets, Options{Workers: workers})
+}
+
+// Compare runs every design on the same base configuration and request
+// stream, returning per-design improvements over the shared no-caching
+// baseline. This is the computation behind each topology group in Figures 6
+// and 7.
+func Compare(base Config, designs []Design, reqs []Request, opt Options) ([]DesignResult, error) {
+	out, err := CompareSets([]DesignSet{{Base: base, Designs: designs, Reqs: reqs}}, opt)
 	if err != nil {
 		return nil, err
 	}
 	return out[0], nil
+}
+
+// CompareDesigns runs every design against the shared baseline on the
+// default worker pool.
+//
+// Deprecated: use Compare, which takes Options (workers, observer). This
+// wrapper remains for the original API's callers.
+func CompareDesigns(base Config, designs []Design, reqs []Request) ([]DesignResult, error) {
+	return Compare(base, designs, reqs, Options{})
 }
