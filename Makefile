@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmtcheck vet build test race bench-smoke bench bench-json clean
+.PHONY: check fmtcheck vet build test race bench-smoke chaos-smoke bench bench-json clean
 
-check: fmtcheck vet build test race bench-smoke
+check: fmtcheck vet build test race chaos-smoke bench-smoke
 
 fmtcheck:
 	@unformatted="$$(gofmt -l .)"; \
@@ -35,6 +35,12 @@ bench-smoke:
 	echo "$$out" | awk '/^BenchmarkServeRequest\// && $$NF == "allocs/op" && $$(NF-1)+0 > 0 { bad = 1; print "bench-smoke: FAIL: serve path allocates with observer disabled: " $$0 } END { exit bad }'
 	$(GO) test ./internal/sim -run '^$$' -bench '^BenchmarkServeRequestObserved$$' -benchtime 1000x -benchmem
 	$(GO) test . -run '^$$' -bench 'BenchmarkFigure6Parallel' -benchtime 1x
+
+# The stack-level chaos drill under the race detector: a seeded resolver
+# blackout over 30% of a run must leave >= 99% of requests completing via
+# graceful degradation, with reproducible injected-fault counts.
+chaos-smoke:
+	$(GO) test -race -count=1 -run '^TestChaosResolverBlackout$$' ./internal/idicn/integration
 
 # Full benchmark pass over every artifact regeneration.
 bench:

@@ -8,6 +8,7 @@
 //	       [-alpha 1.04] [-objects N] [-sweep-topology ATT] [-workers N]
 //	icnsim -exp sens-latency|sens-capacity|sens-objsize|sens-policy|ablation-universe
 //	icnsim -exp all     # everything, in paper order
+//	icnsim -failures 0,0.1,0.3,0.5   # degradation curve under cache/resolver outages
 //	icnsim -bench-json BENCH_sim.json   # hot-path perf log (ns/op, allocs/op)
 //	icnsim -exp fig6 -metrics-json metrics.json   # observer histograms for the run
 //
@@ -28,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,6 +52,7 @@ func main() {
 		locality    = flag.Float64("locality", 0, "temporal locality of the request stream (0=IID, ~0.7=trace-like)")
 		topoFile    = flag.String("topology-file", "", "load a custom sweep topology from a file (see internal/topo/parse.go for the format)")
 		traceFile   = flag.String("trace", "", "request log (tracegen format) for the trace-designs experiment")
+		failures    = flag.String("failures", "", "comma-separated cache-failure fractions for the degradation experiment (e.g. 0,0.1,0.3,0.5); implies -exp degradation")
 		seeds       = flag.Int("seeds", 5, "independent seeds for the variance experiment")
 		workers     = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS); results are identical at any count")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -134,17 +137,27 @@ func main() {
 	if *workers > 0 {
 		fmt.Fprintf(os.Stderr, "icnsim: using %d workers\n", *workers)
 	}
+	var failFractions []float64
+	if *failures != "" {
+		var err error
+		if failFractions, err = parseFractions(*failures); err != nil {
+			fatalf("icnsim: -failures: %v", err)
+		}
+	}
 	ids := strings.Split(*exp, ",")
-	if *exp == "all" {
+	if *failures != "" && *exp == "all" {
+		// -failures alone runs just the degradation curve.
+		ids = []string{"degradation"}
+	} else if *exp == "all" {
 		ids = []string{
 			"table2", "fig2", "fig6", "fig7", "table3",
 			"fig8a", "fig8b", "fig8c", "table4", "table4-norm", "fig9", "fig10",
 			"sens-latency", "sens-capacity", "sens-objsize", "sens-policy",
-			"flood", "depth-profile", "ablation-universe", "ablation-lookup", "ablation-deployment", "ablation-locality", "ablation-policy", "ablation-warmup", "ablation-coop",
+			"flood", "depth-profile", "degradation", "ablation-universe", "ablation-lookup", "ablation-deployment", "ablation-locality", "ablation-policy", "ablation-warmup", "ablation-coop",
 		}
 	}
 	for _, id := range ids {
-		if err := run(strings.TrimSpace(id), p); err != nil {
+		if err := run(strings.TrimSpace(id), p, failFractions); err != nil {
 			fmt.Fprintf(os.Stderr, "icnsim: %s: %v\n", id, err)
 			os.Exit(1)
 		}
@@ -181,7 +194,23 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-func run(id string, p experiments.Params) error {
+// parseFractions parses a comma-separated list of failure fractions.
+func parseFractions(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fraction %q", part)
+		}
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("fraction %g outside [0,1]", f)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func run(id string, p experiments.Params, failFractions []float64) error {
 	start := time.Now()
 	var out string
 	var title string
@@ -374,6 +403,13 @@ func run(id string, p experiments.Params) error {
 			return err
 		}
 		out = experiments.FormatSweep("warmup", pts)
+	case "degradation":
+		title = "Degradation curve: improvements under cache blackouts and resolver outage"
+		rows, err := experiments.DegradationCurve(p, failFractions)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatDegradation(rows)
 	case "ablation-universe":
 		title = "Ablation: object-universe size (workload warmth) vs design improvements"
 		rows, err := experiments.AblationObjectUniverse(p, nil)

@@ -13,14 +13,14 @@ func TestRunDispatch(t *testing.T) {
 	p.Depth = 2
 	p.SweepTopology = "Abilene"
 	for _, id := range []string{"fig2", "table2", "fig1", "sens-policy"} {
-		if err := run(id, p); err != nil {
+		if err := run(id, p, nil); err != nil {
 			t.Errorf("%s: %v", id, err)
 		}
 	}
-	if err := run("nonsense", p); err == nil {
+	if err := run("nonsense", p, nil); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("trace-designs", p); err == nil {
+	if err := run("trace-designs", p, nil); err == nil {
 		t.Error("trace-designs without -trace accepted")
 	}
 }

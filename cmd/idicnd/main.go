@@ -26,6 +26,8 @@ import (
 	"os/signal"
 	"strings"
 
+	"idicn/internal/faults"
+	"idicn/internal/httpx"
 	"idicn/internal/idicn/dnsbridge"
 	"idicn/internal/idicn/names"
 	"idicn/internal/idicn/origin"
@@ -38,12 +40,22 @@ func main() {
 	demo := flag.Bool("demo", false, "run a one-shot fetch through the proxy and exit")
 	contentDir := flag.String("content", "", "publish every file in this directory at startup")
 	logRequests := flag.Bool("log-requests", false, "log one structured line per HTTP request to stderr")
+	faultSpec := flag.String("faults", "", "fault-injection plan, e.g. 'resolver:blackout,from=300,to=600;origin:latency,d=20ms,p=0.5' (see internal/faults)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault plan's RNG; same seed, same faults")
 	flag.Parse()
 	var logW io.Writer
 	if *logRequests {
 		logW = os.Stderr
 	}
-	if err := run(*demo, *contentDir, logW); err != nil {
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		var err error
+		if plan, err = faults.ParsePlan(*faultSpec, *faultSeed); err != nil {
+			fmt.Fprintf(os.Stderr, "idicnd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(*demo, *contentDir, logW, plan); err != nil {
 		fmt.Fprintf(os.Stderr, "idicnd: %v\n", err)
 		os.Exit(1)
 	}
@@ -67,16 +79,23 @@ type stack struct {
 // newStack wires the resolver, origin, and edge proxy together, wrapping
 // each HTTP surface with request instrumentation. listen must start serving
 // the handler and return its base URL. logW, when non-nil, receives one
-// structured log line per request (the -log-requests flag). The returned
-// stack's debugURL serves /debug/metrics with live counters from every
-// component.
-func newStack(listen func(http.Handler) (string, error), logW io.Writer) (*stack, error) {
+// structured log line per request (the -log-requests flag). plan, when
+// non-nil, injects the configured faults into each component's server side
+// (the -faults flag), with per-kind counters in the metrics registry. The
+// returned stack's debugURL serves /debug/metrics with live counters from
+// every component.
+func newStack(listen func(http.Handler) (string, error), logW io.Writer, plan *faults.Plan) (*stack, error) {
 	metrics := obs.NewRegistry()
 	var logger obs.RequestHook
 	if logW != nil {
 		logger = obs.NewRequestLogger(logW, nil)
 	}
 	wrap := func(component string, h http.Handler) http.Handler {
+		if plan != nil {
+			inj := plan.Injector(component)
+			inj.RegisterMetrics(metrics)
+			h = inj.Middleware(h)
+		}
 		return obs.Instrument(component,
 			obs.MultiHook(obs.NewHTTPMetrics(metrics, component), logger), h)
 	}
@@ -136,10 +155,10 @@ func newStack(listen func(http.Handler) (string, error), logW io.Writer) (*stack
 	}, nil
 }
 
-func run(demo bool, contentDir string, logW io.Writer) error {
+func run(demo bool, contentDir string, logW io.Writer, plan *faults.Plan) error {
 	ctx := context.Background()
 
-	st, err := newStack(serve, logW)
+	st, err := newStack(serve, logW, plan)
 	if err != nil {
 		return err
 	}
@@ -226,6 +245,6 @@ func serve(h http.Handler) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	go http.Serve(lis, h)
+	go httpx.Serve(lis, h)
 	return "http://" + lis.Addr().String(), nil
 }

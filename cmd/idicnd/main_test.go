@@ -16,13 +16,13 @@ func TestRunDemo(t *testing.T) {
 	if err := os.WriteFile(dir+"/extra.txt", []byte("from a file"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(true, dir, io.Discard); err != nil {
+	if err := run(true, dir, io.Discard, nil); err != nil {
 		t.Fatalf("demo run failed: %v", err)
 	}
 }
 
 func TestRunRejectsBadContentDir(t *testing.T) {
-	if err := run(true, "/nonexistent/surely", nil); err == nil {
+	if err := run(true, "/nonexistent/surely", nil, nil); err == nil {
 		t.Fatal("bad content dir accepted")
 	}
 }
@@ -43,7 +43,7 @@ func TestStackDebugMetrics(t *testing.T) {
 		return s.URL, nil
 	}
 	var logBuf bytes.Buffer
-	st, err := newStack(listen, &logBuf)
+	st, err := newStack(listen, &logBuf, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

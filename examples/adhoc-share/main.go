@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"time"
 
+	"idicn/internal/httpx"
 	"idicn/internal/idicn/adhoc"
 )
 
@@ -56,7 +57,7 @@ func main() {
 	must(err)
 	shareURL := "http://" + lis.Addr().String()
 	share := adhoc.NewShareProxy(cache, responder, shareURL)
-	go http.Serve(lis, share)
+	go httpx.Serve(lis, share)
 	must(share.PublishAll())
 	fmt.Println("alice shares", cache.Hosts(), "at", shareURL)
 

@@ -14,6 +14,7 @@ import (
 	"net"
 	"net/http"
 
+	"idicn/internal/httpx"
 	"idicn/internal/idicn/mobility"
 	"idicn/internal/idicn/names"
 	"idicn/internal/idicn/origin"
@@ -96,6 +97,6 @@ func serve(h http.Handler) string {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(lis, h)
+	go httpx.Serve(lis, h)
 	return "http://" + lis.Addr().String()
 }

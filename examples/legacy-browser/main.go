@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"idicn/internal/httpx"
 	"idicn/internal/idicn/client"
 	"idicn/internal/idicn/dnsbridge"
 	"idicn/internal/idicn/names"
@@ -98,6 +99,6 @@ func serve(h http.Handler) string {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(lis, h)
+	go httpx.Serve(lis, h)
 	return "http://" + lis.Addr().String()
 }

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -660,5 +662,56 @@ func TestTable4Normalized(t *testing.T) {
 			t.Errorf("arity %d: normalized gap %.2f exceeds plain %.2f",
 				rows[i].Arity, rows[i].LatencyGain, plain[i].LatencyGain)
 		}
+	}
+}
+
+func TestDegradationCurve(t *testing.T) {
+	p := testParams()
+	rows, err := DegradationCurve(p, []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // {EDGE, ICN-NR, ICN-NR/res-down} x {0, 0.3}
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byKey := map[string]DegradationRow{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s@%g", r.Design, r.FailFraction)] = r
+	}
+	// Healthy rows are the reference: 100% retained by construction.
+	for _, d := range []string{"EDGE", "ICN-NR"} {
+		if got := byKey[d+"@0"].RetainedLatency; math.Abs(got-100) > 1e-9 {
+			t.Errorf("%s healthy retained = %.2f, want 100", d, got)
+		}
+	}
+	// Failures degrade but never below the no-cache baseline: improvements
+	// stay non-negative, retained fraction strictly below healthy.
+	for key, r := range byKey {
+		if r.Imp.Latency < -1 {
+			t.Errorf("%s: latency improvement %.2f fell below the no-cache baseline", key, r.Imp.Latency)
+		}
+	}
+	if e0, e3 := byKey["EDGE@0"], byKey["EDGE@0.3"]; e3.Imp.Latency >= e0.Imp.Latency {
+		t.Errorf("EDGE not degraded by failures: %.2f -> %.2f", e0.Imp.Latency, e3.Imp.Latency)
+	}
+	// Losing the resolution system costs ICN-NR part of its edge, but
+	// on-path caches keep it above zero.
+	nr, nrDown := byKey["ICN-NR@0"], byKey["ICN-NR/res-down@0"]
+	if nrDown.Imp.Latency >= nr.Imp.Latency {
+		t.Errorf("resolver outage did not hurt ICN-NR: %.2f -> %.2f", nr.Imp.Latency, nrDown.Imp.Latency)
+	}
+	if nrDown.Imp.Latency <= 0 {
+		t.Errorf("resolver-down ICN-NR lost all benefit: %.2f", nrDown.Imp.Latency)
+	}
+	// Determinism: the seeded failure plan reproduces exactly.
+	again, err := DegradationCurve(p, []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Error("degradation curve not reproducible")
+	}
+	if out := FormatDegradation(rows); !strings.Contains(out, "Retained%") {
+		t.Error("FormatDegradation header missing")
 	}
 }

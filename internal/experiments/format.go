@@ -154,3 +154,20 @@ func FormatFigure1(series map[string][]int64, points int) string {
 func newTab(b *strings.Builder) *tabwriter.Writer {
 	return tabwriter.NewWriter(b, 2, 4, 2, ' ', 0)
 }
+
+// FormatDegradation renders the failure-degradation curve.
+func FormatDegradation(rows []DegradationRow) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "Design\tFailed caches\tResolver\tLatency%\tCongestion%\tOriginLoad%\tRetained%")
+	for _, r := range rows {
+		res := "up"
+		if r.ResolverDown {
+			res = "down"
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%s\t%.2f\t%.2f\t%.2f\t%.1f\n",
+			r.Design, r.FailFraction, res, r.Imp.Latency, r.Imp.Congestion, r.Imp.OriginLoad, r.RetainedLatency)
+	}
+	w.Flush()
+	return b.String()
+}

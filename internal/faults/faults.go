@@ -1,0 +1,435 @@
+// Package faults is a deterministic, seeded fault-injection harness for the
+// idICN stack: it perturbs HTTP traffic with injected latency, dropped
+// connections, 5xx bursts, truncated and slowed response bodies, and full
+// component blackouts with scheduled recovery.
+//
+// A Plan is a set of Rules, each scoped to one component ("resolver",
+// "origin", "proxy", or "" for all) and either probabilistic (seeded RNG, so
+// the same seed reproduces the same fault sequence) or windowed by the
+// component's request index (blackout from request 300 to 600, then
+// recovery). Plans compile into per-component Injectors exposed two ways:
+//
+//   - Injector.Middleware wraps an http.Handler, injecting faults on the
+//     server side (the component itself misbehaves);
+//   - Injector.RoundTripper wraps an http.RoundTripper, injecting faults on
+//     the client side (the network between components misbehaves).
+//
+// Every injected fault increments a per-kind obs counter, so chaos runs are
+// observable and — because injection is deterministic — two runs of the same
+// seeded plan over the same request sequence report identical counts.
+//
+// The package is stdlib-only and safe for concurrent use.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"idicn/internal/obs"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// KindLatency delays the request by Rule.Delay before it proceeds.
+	KindLatency Kind = iota
+	// KindDrop abruptly severs the connection (transport error on the
+	// client side, aborted response on the server side).
+	KindDrop
+	// KindStatus short-circuits the request with Rule.Status (default 503),
+	// modelling 5xx bursts from an overloaded component.
+	KindStatus
+	// KindTruncate cuts the response body off after Rule.Bytes bytes and
+	// severs the connection, modelling a mid-transfer failure.
+	KindTruncate
+	// KindSlow inserts Rule.Delay before every body read/write, modelling a
+	// pathologically slow peer.
+	KindSlow
+	// KindBlackout fails the request exactly like KindDrop but is
+	// conventionally used with a From/To window: the component is entirely
+	// dark for the window and recovers on schedule.
+	KindBlackout
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"latency", "drop", "status", "truncate", "slow", "blackout"}
+
+// String returns the kind's plan-syntax name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString parses a plan-syntax kind name.
+func KindFromString(s string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Rule scopes one fault to a component, a request-index window, and a
+// probability.
+type Rule struct {
+	// Component names the injector this rule belongs to; "" applies to every
+	// component.
+	Component string
+	Kind      Kind
+	// P is the per-request injection probability. Zero means "always when
+	// the window matches" — the deterministic form used for scheduled
+	// blackouts.
+	P float64
+	// From and To bound the rule to the component's request indices
+	// [From, To); To == 0 leaves the window open-ended. A rule with
+	// From == To == 0 applies to every request.
+	From, To int64
+	// Delay is the injected latency (KindLatency) or per-chunk stall
+	// (KindSlow).
+	Delay time.Duration
+	// Status is the injected response code for KindStatus (default 503).
+	Status int
+	// Bytes is how much of the body KindTruncate lets through.
+	Bytes int64
+}
+
+// matches reports whether the rule's window contains request index n.
+func (r Rule) matches(n int64) bool {
+	if n < r.From {
+		return false
+	}
+	return r.To == 0 || n < r.To
+}
+
+// Plan is a complete, seeded fault schedule for a deployment.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// Injector compiles the plan's rules for one component. The injector's RNG
+// is seeded from the plan seed and the component name, so per-component
+// fault sequences are independent of each other and reproducible.
+func (p *Plan) Injector(component string) *Injector {
+	inj := &Injector{component: component, sleep: sleepCtx}
+	if p == nil {
+		return inj
+	}
+	for _, r := range p.Rules {
+		if r.Component == "" || r.Component == component {
+			inj.rules = append(inj.rules, r)
+		}
+	}
+	h := fnv.New64a()
+	io.WriteString(h, component)
+	inj.rng = rand.New(rand.NewSource(p.Seed ^ int64(h.Sum64())))
+	return inj
+}
+
+// ErrInjected marks every error produced by fault injection, so resilience
+// layers (and tests) can tell injected failures from real ones.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Decision is the set of faults chosen for one request. Multiple rules may
+// fire at once (latency plus a 5xx, say); Drop and Blackout dominate.
+type Decision struct {
+	Delay    time.Duration
+	Drop     bool
+	Status   int
+	Truncate int64 // body bytes to allow; -1 = no truncation
+	Slow     time.Duration
+}
+
+// faulty reports whether any fault fired.
+func (d Decision) faulty() bool {
+	return d.Delay > 0 || d.Drop || d.Status != 0 || d.Truncate >= 0 || d.Slow > 0
+}
+
+// Injector applies one component's rules to its request stream. The zero
+// value (or an injector from a nil plan) injects nothing and is safe to wire
+// unconditionally.
+type Injector struct {
+	component string
+	rules     []Rule
+
+	mu  sync.Mutex
+	n   int64 // request index, drives rule windows
+	rng *rand.Rand
+
+	counts [numKinds]obs.Counter
+
+	// sleep is the interruptible delay used for latency/slow faults;
+	// injectable so tests need no wall-clock waits.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Component returns the component name this injector was compiled for.
+func (i *Injector) Component() string { return i.component }
+
+// Requests returns how many requests the injector has classified.
+func (i *Injector) Requests() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.n
+}
+
+// Count returns how many faults of one kind have been injected.
+func (i *Injector) Count(k Kind) int64 { return i.counts[k].Value() }
+
+// Counts returns the injected-fault totals by kind name, omitting zeros.
+func (i *Injector) Counts() map[string]int64 {
+	out := make(map[string]int64)
+	for k := Kind(0); k < numKinds; k++ {
+		if v := i.counts[k].Value(); v > 0 {
+			out[k.String()] = v
+		}
+	}
+	return out
+}
+
+// Total returns the total number of injected faults across all kinds.
+func (i *Injector) Total() int64 {
+	var t int64
+	for k := Kind(0); k < numKinds; k++ {
+		t += i.counts[k].Value()
+	}
+	return t
+}
+
+// RegisterMetrics exposes the injector's per-kind fault counters in reg
+// under faults_<component>_<kind>_total names.
+func (i *Injector) RegisterMetrics(reg *obs.Registry) {
+	for k := Kind(0); k < numKinds; k++ {
+		c := &i.counts[k]
+		reg.Func(fmt.Sprintf("faults_%s_%s_total", i.component, k), c.Value)
+	}
+}
+
+// decide classifies the next request. The request index advances and the RNG
+// draws under one lock, so a run of N requests always consumes the same RNG
+// prefix and total fault counts are reproducible for a given seed even when
+// requests race.
+func (i *Injector) decide() Decision {
+	d := Decision{Truncate: -1}
+	if len(i.rules) == 0 {
+		return d
+	}
+	i.mu.Lock()
+	n := i.n
+	i.n++
+	for _, r := range i.rules {
+		if !r.matches(n) {
+			continue
+		}
+		if r.P > 0 && i.rng.Float64() >= r.P {
+			continue
+		}
+		i.counts[r.Kind].Inc()
+		switch r.Kind {
+		case KindLatency:
+			d.Delay += r.Delay
+		case KindDrop, KindBlackout:
+			d.Drop = true
+		case KindStatus:
+			d.Status = r.Status
+			if d.Status == 0 {
+				d.Status = http.StatusServiceUnavailable
+			}
+		case KindTruncate:
+			d.Truncate = r.Bytes
+		case KindSlow:
+			d.Slow = r.Delay
+		}
+	}
+	i.mu.Unlock()
+	return d
+}
+
+// sleepCtx waits for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Middleware wraps next so the component injects this injector's faults on
+// the serving side. Dropped/blacked-out requests abort the connection
+// (clients observe an unexpected EOF, as with a crashed process); truncated
+// bodies are cut mid-stream.
+func (i *Injector) Middleware(next http.Handler) http.Handler {
+	if i == nil || len(i.rules) == 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := i.decide()
+		if !d.faulty() {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if d.Delay > 0 {
+			if err := i.sleep(r.Context(), d.Delay); err != nil {
+				return
+			}
+		}
+		if d.Drop {
+			panic(http.ErrAbortHandler)
+		}
+		if d.Status != 0 {
+			http.Error(w, fmt.Sprintf("%v: injected status %d", ErrInjected, d.Status), d.Status)
+			return
+		}
+		ww := http.ResponseWriter(w)
+		if d.Truncate >= 0 || d.Slow > 0 {
+			ww = &faultyWriter{ResponseWriter: w, ctx: r.Context(), remaining: d.Truncate, slow: d.Slow, sleep: i.sleep}
+		}
+		next.ServeHTTP(ww, r)
+	})
+}
+
+// faultyWriter truncates and/or slows a response body. Exceeding the
+// truncation budget aborts the connection so the client sees a broken
+// transfer rather than a clean short body.
+type faultyWriter struct {
+	http.ResponseWriter
+	ctx       context.Context
+	remaining int64 // -1 = unlimited
+	slow      time.Duration
+	sleep     func(ctx context.Context, d time.Duration) error
+}
+
+func (w *faultyWriter) Write(p []byte) (int, error) {
+	if w.slow > 0 {
+		if err := w.sleep(w.ctx, w.slow); err != nil {
+			return 0, err
+		}
+	}
+	if w.remaining < 0 {
+		return w.ResponseWriter.Write(p)
+	}
+	if w.remaining == 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if int64(len(p)) <= w.remaining {
+		n, err := w.ResponseWriter.Write(p)
+		w.remaining -= int64(n)
+		return n, err
+	}
+	n, _ := w.ResponseWriter.Write(p[:w.remaining])
+	w.remaining -= int64(n)
+	// Push the partial body onto the wire before severing the connection, so
+	// clients observe a genuinely truncated transfer rather than no response.
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// Transport wraps next so requests through it suffer this injector's faults
+// on the client side — the "network between components" view. A nil next
+// uses http.DefaultTransport.
+func (i *Injector) Transport(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if i == nil || len(i.rules) == 0 {
+		return next
+	}
+	return &transport{inj: i, next: next}
+}
+
+type transport struct {
+	inj  *Injector
+	next http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.inj.decide()
+	if !d.faulty() {
+		return t.next.RoundTrip(req)
+	}
+	if d.Delay > 0 {
+		if err := t.inj.sleep(req.Context(), d.Delay); err != nil {
+			return nil, err
+		}
+	}
+	if d.Drop {
+		return nil, fmt.Errorf("%w: connection to %s dropped", ErrInjected, req.URL.Host)
+	}
+	if d.Status != 0 {
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", d.Status, http.StatusText(d.Status)),
+			StatusCode: d.Status,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"X-Faults-Injected": []string{"status"}},
+			Body:       http.NoBody,
+			Request:    req,
+		}, nil
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.Truncate >= 0 || d.Slow > 0 {
+		resp.Body = &faultyBody{rc: resp.Body, ctx: req.Context(), remaining: d.Truncate, slow: d.Slow, sleep: t.inj.sleep}
+	}
+	return resp, nil
+}
+
+// faultyBody truncates and/or slows a response body on the client side.
+// Hitting the truncation budget surfaces an unexpected-EOF error, matching
+// what a severed TCP stream produces.
+type faultyBody struct {
+	rc        io.ReadCloser
+	ctx       context.Context
+	remaining int64 // -1 = unlimited
+	slow      time.Duration
+	sleep     func(ctx context.Context, d time.Duration) error
+}
+
+func (b *faultyBody) Read(p []byte) (int, error) {
+	if b.slow > 0 {
+		if err := b.sleep(b.ctx, b.slow); err != nil {
+			return 0, err
+		}
+	}
+	if b.remaining < 0 {
+		return b.rc.Read(p)
+	}
+	if b.remaining == 0 {
+		return 0, fmt.Errorf("%w: body truncated", ErrInjected)
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		return n, err
+	}
+	return n, err
+}
+
+func (b *faultyBody) Close() error { return b.rc.Close() }

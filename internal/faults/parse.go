@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParsePlan compiles the textual fault-plan syntax used by daemon flags and
+// documented in README.md:
+//
+//	plan  := rule (';' rule)*
+//	rule  := component ':' kind (',' key '=' value)*
+//	kind  := latency | drop | status | truncate | slow | blackout
+//	keys  := p (probability, 0..1)
+//	         from, to (request-index window, [from, to); to=0 open-ended)
+//	         d (duration, for latency/slow)
+//	         status (HTTP code, for status)
+//	         bytes (body budget, for truncate)
+//
+// component "any" (or "*") applies the rule to every component. Examples:
+//
+//	resolver:blackout,from=300,to=600
+//	origin:latency,d=20ms,p=0.5;origin:status,status=503,p=0.1
+//	proxy:truncate,bytes=64,p=0.05
+func ParsePlan(spec string, seed int64) (*Plan, error) {
+	p := &Plan{Seed: seed}
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		r, err := parseRule(raw)
+		if err != nil {
+			return nil, fmt.Errorf("faults: rule %q: %w", raw, err)
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("faults: empty plan %q", spec)
+	}
+	return p, nil
+}
+
+func parseRule(raw string) (Rule, error) {
+	head, opts, _ := strings.Cut(raw, ",")
+	comp, kindName, ok := strings.Cut(head, ":")
+	if !ok {
+		return Rule{}, fmt.Errorf("want component:kind")
+	}
+	comp = strings.TrimSpace(comp)
+	if comp == "any" || comp == "*" {
+		comp = ""
+	}
+	kind, ok := KindFromString(strings.TrimSpace(kindName))
+	if !ok {
+		return Rule{}, fmt.Errorf("unknown kind %q", kindName)
+	}
+	r := Rule{Component: comp, Kind: kind}
+	if opts == "" {
+		return r, nil
+	}
+	for _, kv := range strings.Split(opts, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Rule{}, fmt.Errorf("option %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "p":
+			r.P, err = strconv.ParseFloat(val, 64)
+			if err == nil && (r.P < 0 || r.P > 1) {
+				err = fmt.Errorf("probability %g outside [0,1]", r.P)
+			}
+		case "from":
+			r.From, err = strconv.ParseInt(val, 10, 64)
+		case "to":
+			r.To, err = strconv.ParseInt(val, 10, 64)
+		case "d":
+			r.Delay, err = time.ParseDuration(val)
+		case "status":
+			r.Status, err = strconv.Atoi(val)
+		case "bytes":
+			r.Bytes, err = strconv.ParseInt(val, 10, 64)
+		default:
+			err = fmt.Errorf("unknown option %q", key)
+		}
+		if err != nil {
+			return Rule{}, fmt.Errorf("option %q: %v", kv, err)
+		}
+	}
+	if r.To != 0 && r.To <= r.From {
+		return Rule{}, fmt.Errorf("window [%d,%d) is empty", r.From, r.To)
+	}
+	return r, nil
+}
+
+// String renders the plan back into the parseable syntax.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i, r := range p.Rules {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		comp := r.Component
+		if comp == "" {
+			comp = "any"
+		}
+		fmt.Fprintf(&b, "%s:%s", comp, r.Kind)
+		if r.P > 0 {
+			fmt.Fprintf(&b, ",p=%g", r.P)
+		}
+		if r.From != 0 {
+			fmt.Fprintf(&b, ",from=%d", r.From)
+		}
+		if r.To != 0 {
+			fmt.Fprintf(&b, ",to=%d", r.To)
+		}
+		if r.Delay != 0 {
+			fmt.Fprintf(&b, ",d=%s", r.Delay)
+		}
+		if r.Status != 0 {
+			fmt.Fprintf(&b, ",status=%d", r.Status)
+		}
+		if r.Bytes != 0 {
+			fmt.Fprintf(&b, ",bytes=%d", r.Bytes)
+		}
+	}
+	return b.String()
+}

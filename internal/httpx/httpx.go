@@ -1,0 +1,36 @@
+// Package httpx centralises hardened http.Server construction. Every server
+// the repo starts must bound how long a client may dawdle: an unbounded
+// ReadTimeout lets a slow-loris connection pin a goroutine (and eventually
+// the whole accept loop's file descriptors) forever, which is exactly the
+// kind of adverse condition the fault-injection harness exercises.
+package httpx
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Default timeouts. Generous enough for any legitimate request in this
+// repo's workloads (loopback experiments and tests), tight enough that a
+// stalled client cannot hold a connection open indefinitely.
+const (
+	ReadHeaderTimeout = 10 * time.Second
+	ReadTimeout       = 30 * time.Second
+	IdleTimeout       = 2 * time.Minute
+)
+
+// NewServer returns an http.Server for h with the hardened timeouts set.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
+}
+
+// Serve is http.Serve with the hardened timeouts applied.
+func Serve(lis net.Listener, h http.Handler) error {
+	return NewServer(h).Serve(lis)
+}

@@ -1,0 +1,46 @@
+package httpx
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestNewServerSetsTimeouts(t *testing.T) {
+	srv := NewServer(http.NotFoundHandler())
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Fatalf("timeouts not set: header=%v read=%v idle=%v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout)
+	}
+}
+
+// TestServeClosesSlowLoris: a connection that never finishes its headers is
+// cut off by the server rather than held open forever.
+func TestServeClosesSlowLoris(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	srv := NewServer(http.NotFoundHandler())
+	srv.ReadHeaderTimeout = 50 * time.Millisecond
+	srv.ReadTimeout = 50 * time.Millisecond
+	go srv.Serve(lis)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err) // headers deliberately unterminated
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Fatalf("waiting for server to drop the connection: %v", err)
+	}
+	// ReadAll returning nil means the server closed the half-open request.
+}

@@ -18,6 +18,7 @@ import (
 
 	"idicn/internal/idicn/metalink"
 	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/resilience"
 )
 
 // NetworkConfig is what a host learns from its network at attach time. WPAD
@@ -187,14 +188,30 @@ type Client struct {
 	PAC           *PAC
 	HTTP          *http.Client
 	VerifyLocally bool
+	// Retry governs transient-failure handling: per-attempt timeouts and
+	// capped exponential backoff with deterministic jitter. The zero value
+	// means 3 attempts, 10ms base delay. Authoritative failures (404, PAC
+	// routing errors, verification failures) are never retried.
+	Retry resilience.Policy
 }
 
 // ErrNoProxy is returned when the PAC routes a name DIRECT (idICN names
 // cannot be fetched without a proxy or resolver).
 var ErrNoProxy = errors.New("client: PAC routes idICN name DIRECT")
 
-// Fetch retrieves and (optionally locally) verifies the content for a name.
+// Fetch retrieves and (optionally locally) verifies the content for a name,
+// retrying transient proxy failures under the Retry policy.
 func (c *Client) Fetch(ctx context.Context, n names.Name) ([]byte, error) {
+	var body []byte
+	err := c.Retry.Do(ctx, func(ctx context.Context) error {
+		var err error
+		body, err = c.fetchOnce(ctx, n)
+		return err
+	})
+	return body, err
+}
+
+func (c *Client) fetchOnce(ctx context.Context, n names.Name) ([]byte, error) {
 	hc := c.HTTP
 	if hc == nil {
 		hc = &http.Client{Timeout: 10 * time.Second}
@@ -202,11 +219,11 @@ func (c *Client) Fetch(ctx context.Context, n names.Name) ([]byte, error) {
 	host := n.DNS()
 	proxyAddr := c.PAC.ProxyFor(host)
 	if proxyAddr == "" {
-		return nil, fmt.Errorf("%w: %s", ErrNoProxy, host)
+		return nil, resilience.Permanent(fmt.Errorf("%w: %s", ErrNoProxy, host))
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+proxyAddr+"/", nil)
 	if err != nil {
-		return nil, err
+		return nil, resilience.Permanent(err)
 	}
 	req.Host = host
 	resp, err := hc.Do(req)
@@ -219,15 +236,19 @@ func (c *Client) Fetch(ctx context.Context, n names.Name) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("client: %s: status %s: %s", n, resp.Status, strings.TrimSpace(string(body)))
+		err := fmt.Errorf("client: %s: status %s: %s", n, resp.Status, strings.TrimSpace(string(body)))
+		if resp.StatusCode == http.StatusNotFound {
+			return nil, resilience.Permanent(err) // authoritative: no such name
+		}
+		return nil, err
 	}
 	if c.VerifyLocally {
 		v, err := metalink.VerifyResponse(resp.Header, body)
 		if err != nil {
-			return nil, fmt.Errorf("client: local verification of %s failed: %w", n, err)
+			return nil, resilience.Permanent(fmt.Errorf("client: local verification of %s failed: %w", n, err))
 		}
 		if v.Name != n {
-			return nil, fmt.Errorf("client: proxy returned %s, requested %s", v.Name, n)
+			return nil, resilience.Permanent(fmt.Errorf("client: proxy returned %s, requested %s", v.Name, n))
 		}
 	}
 	return body, nil

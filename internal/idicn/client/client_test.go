@@ -3,14 +3,18 @@ package client
 import (
 	"context"
 	"crypto/ed25519"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"idicn/internal/idicn/names"
 	"idicn/internal/idicn/origin"
 	"idicn/internal/idicn/proxy"
+	"idicn/internal/idicn/resilience"
 	"idicn/internal/idicn/resolver"
 )
 
@@ -174,5 +178,81 @@ func TestClientLocalVerificationCatchesBadProxy(t *testing.T) {
 	got, err := c.Fetch(context.Background(), n)
 	if err != nil || string(got) != "lies" {
 		t.Fatalf("trusting client: %q %v", got, err)
+	}
+}
+
+// testName builds a valid self-certifying name for a throwaway principal.
+func testName(t *testing.T, label string) names.Name {
+	t.Helper()
+	seed := make([]byte, ed25519.SeedSize)
+	seed[0] = 99
+	p, err := names.PrincipalFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Name(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestFetchRetriesTransientFailures: a proxy that 503s twice before
+// answering must not surface an error to the caller.
+func TestFetchRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "proxy: resolver unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "finally")
+	}))
+	defer srv.Close()
+
+	pac, err := ParsePAC(strings.ReplaceAll(samplePAC, "127.0.0.1:3128", strings.TrimPrefix(srv.URL, "http://")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{PAC: pac, Retry: resilience.Policy{
+		MaxAttempts: 3,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}}
+	// The name's P component is irrelevant here: the fake proxy answers for
+	// anything and the client is not verifying locally.
+	n := testName(t, "video")
+	body, err := c.Fetch(context.Background(), n)
+	if err != nil {
+		t.Fatalf("Fetch with transient 503s: %v", err)
+	}
+	if string(body) != "finally" {
+		t.Fatalf("body = %q", body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("proxy saw %d requests, want 3", got)
+	}
+}
+
+// TestFetchDoesNotRetryNotFound: 404 is authoritative and must fail fast.
+func TestFetchDoesNotRetryNotFound(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	pac, err := ParsePAC(strings.ReplaceAll(samplePAC, "127.0.0.1:3128", strings.TrimPrefix(srv.URL, "http://")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{PAC: pac, Retry: resilience.Policy{
+		MaxAttempts: 5,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}}
+	if _, err := c.Fetch(context.Background(), testName(t, "video")); err == nil {
+		t.Fatal("Fetch of missing name succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("404 was retried: proxy saw %d requests, want 1", got)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
@@ -19,10 +20,18 @@ import (
 	"sync"
 	"time"
 
+	"idicn/internal/httpx"
 	"idicn/internal/idicn/metalink"
 	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/resilience"
 	"idicn/internal/idicn/resolver"
 )
+
+// Resolver is the fetcher's view of the resolution system. *resolver.Client,
+// *resolver.MultiClient, and *resolver.HedgedClient all satisfy it.
+type Resolver interface {
+	Resolve(ctx context.Context, name string) (resolver.Result, error)
+}
 
 // Host is a mobile content server: it can publish named content, then move
 // to a new network location and re-register every name with a bumped
@@ -66,7 +75,7 @@ func (h *Host) listen() error {
 	if err != nil {
 		return fmt.Errorf("mobility: listen: %w", err)
 	}
-	srv := &http.Server{Handler: http.HandlerFunc(h.serve)}
+	srv := httpx.NewServer(http.HandlerFunc(h.serve))
 	h.mu.Lock()
 	h.lis = lis
 	h.srv = srv
@@ -182,12 +191,18 @@ func (h *Host) serve(w http.ResponseWriter, r *http.Request) {
 // request from the bytes it already has, then verifies the assembled
 // content against the name.
 type Fetcher struct {
-	Resolver *resolver.Client
+	Resolver Resolver
 	Client   *http.Client
 	// MaxAttempts bounds reconnect attempts (default 5).
 	MaxAttempts int
-	// RetryDelay waits between attempts (default 10ms).
+	// RetryDelay is the base of the capped exponential backoff between
+	// attempts (default 10ms, doubling per attempt up to MaxDelay, with
+	// deterministic jitter from Seed).
 	RetryDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+	// Seed drives the backoff jitter; the same seed yields the same delays.
+	Seed int64
 
 	// Resumes counts how many times transfers were resumed mid-stream.
 	resumes int
@@ -211,14 +226,15 @@ func (f *Fetcher) Fetch(ctx context.Context, n names.Name) ([]byte, error) {
 	if attempts <= 0 {
 		attempts = 5
 	}
-	delay := f.RetryDelay
-	if delay <= 0 {
-		delay = 10 * time.Millisecond
-	}
 	hc := f.Client
 	if hc == nil {
 		hc = &http.Client{Timeout: 10 * time.Second}
 	}
+	// Backoff schedule shared with the rest of the stack: capped exponential
+	// with deterministic jitter, so a herd of resuming clients does not
+	// re-stampede the host the instant it reappears.
+	pol := resilience.Policy{BaseDelay: f.RetryDelay, MaxDelay: f.MaxDelay}
+	rng := rand.New(rand.NewSource(f.Seed))
 
 	var buf []byte
 	total := int64(-1)
@@ -228,7 +244,7 @@ func (f *Fetcher) Fetch(ctx context.Context, n names.Name) ([]byte, error) {
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
-			case <-time.After(delay):
+			case <-time.After(pol.Backoff(attempt-1, rng)):
 			}
 		}
 		res, err := f.Resolver.Resolve(ctx, n.String())

@@ -9,6 +9,7 @@ package origin
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"idicn/internal/cache"
 	"idicn/internal/idicn/metalink"
 	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/resilience"
 	"idicn/internal/idicn/resolver"
 )
 
@@ -51,6 +53,11 @@ type Server struct {
 	originHits int64
 	front      *cache.LRU[string, *Object]
 	clock      func() time.Time
+
+	// registerRetry governs retries of resolver registrations during
+	// Publish. The zero value retries transient failures a few times with
+	// backoff; verification and stale-sequence rejections never retry.
+	registerRetry resilience.Policy
 }
 
 // Option configures a Server.
@@ -70,6 +77,12 @@ func WithFrontCache(entries int) Option {
 // WithClock overrides time.Now, for tests.
 func WithClock(now func() time.Time) Option {
 	return func(s *Server) { s.clock = now }
+}
+
+// WithRegisterPolicy overrides the retry schedule used when registering
+// published names with the resolver.
+func WithRegisterPolicy(p resilience.Policy) Option {
+	return func(s *Server) { s.registerRetry = p }
 }
 
 // New creates an origin server. resolverClient may be nil, in which case
@@ -134,7 +147,14 @@ func (s *Server) Publish(ctx context.Context, label, contentType string, body []
 		if err != nil {
 			return names.Name{}, err
 		}
-		if err := s.resolver.Register(ctx, reg); err != nil {
+		err = s.registerRetry.Do(ctx, func(ctx context.Context) error {
+			err := s.resolver.Register(ctx, reg)
+			if errors.Is(err, resolver.ErrBadRegistration) || errors.Is(err, resolver.ErrStaleSeq) {
+				return resilience.Permanent(err) // more tries cannot fix these
+			}
+			return err
+		})
+		if err != nil {
 			return names.Name{}, fmt.Errorf("origin: registering %s: %w", n, err)
 		}
 	}

@@ -3,16 +3,20 @@ package origin
 import (
 	"context"
 	"crypto/ed25519"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"idicn/internal/idicn/metalink"
 	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/resilience"
 	"idicn/internal/idicn/resolver"
 )
 
@@ -279,5 +283,72 @@ func TestPublishDir(t *testing.T) {
 	}
 	if _, err := org.PublishDir(context.Background(), dir+"/missing"); err == nil {
 		t.Error("missing dir accepted")
+	}
+}
+
+// flaky503 fails the first n requests with 503, then delegates to next.
+type flaky503 struct {
+	mu   sync.Mutex
+	left int
+	next http.Handler
+}
+
+func (f *flaky503) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	fail := f.left > 0
+	if fail {
+		f.left--
+	}
+	f.mu.Unlock()
+	if fail {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+func TestPublishRetriesTransientRegistration(t *testing.T) {
+	reg := resolver.NewRegistry()
+	flaky := &flaky503{left: 2, next: resolver.NewServer(reg)}
+	resSrv := httptest.NewServer(flaky)
+	defer resSrv.Close()
+
+	org := New(principal(t, 11), resolver.NewClient(resSrv.URL, resSrv.Client()), "http://origin.example",
+		WithRegisterPolicy(resilience.Policy{
+			MaxAttempts: 3,
+			Seed:        1,
+			Sleep:       func(context.Context, time.Duration) error { return nil },
+		}))
+	n, err := org.Publish(context.Background(), "durable", "text/plain", []byte("x"))
+	if err != nil {
+		t.Fatalf("publish did not survive two transient 503s: %v", err)
+	}
+	if _, err := reg.Resolve(context.Background(), n.String()); err != nil {
+		t.Errorf("name not registered after retries: %v", err)
+	}
+}
+
+func TestPublishDoesNotRetryPermanentRejection(t *testing.T) {
+	// A resolver that rejects every registration as forged: the retry layer
+	// must recognise the rejection as permanent and give up after one try.
+	var calls atomic.Int64
+	resSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad signature", http.StatusForbidden)
+	}))
+	defer resSrv.Close()
+
+	org := New(principal(t, 12), resolver.NewClient(resSrv.URL, resSrv.Client()), "http://origin.example",
+		WithRegisterPolicy(resilience.Policy{
+			MaxAttempts: 5,
+			Seed:        1,
+			Sleep:       func(context.Context, time.Duration) error { return nil },
+		}))
+	_, err := org.Publish(context.Background(), "rejected", "text/plain", []byte("x"))
+	if !errors.Is(err, resolver.ErrBadRegistration) {
+		t.Fatalf("err = %v, want ErrBadRegistration", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("resolver saw %d registration attempts, want 1 (no retry on permanent rejection)", got)
 	}
 }

@@ -1,0 +1,297 @@
+package proxy
+
+import (
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/origin"
+	"idicn/internal/idicn/resilience"
+	"idicn/internal/idicn/resolver"
+)
+
+// scriptedResolver wraps a real resolver client with a kill switch, so tests
+// can black-hole resolution without tearing down servers.
+type scriptedResolver struct {
+	inner *resolver.Client
+	down  atomic.Bool
+	calls atomic.Int64
+}
+
+func (s *scriptedResolver) Resolve(ctx context.Context, name string) (resolver.Result, error) {
+	s.calls.Add(1)
+	if s.down.Load() {
+		return resolver.Result{}, errors.New("resolver: connection refused (injected)")
+	}
+	return s.inner.Resolve(ctx, name)
+}
+
+// degradeStack is newStack with a scripted resolver between proxy and
+// registry and a controllable clock.
+type degradeStack struct {
+	org      *origin.Server
+	res      *scriptedResolver
+	proxy    *Proxy
+	proxySrv *httptest.Server
+	now      time.Time
+	nowMu    sync.Mutex
+}
+
+func (s *degradeStack) clock() time.Time {
+	s.nowMu.Lock()
+	defer s.nowMu.Unlock()
+	return s.now
+}
+
+func (s *degradeStack) advance(d time.Duration) {
+	s.nowMu.Lock()
+	s.now = s.now.Add(d)
+	s.nowMu.Unlock()
+}
+
+func newDegradeStack(t *testing.T, opts ...Option) *degradeStack {
+	t.Helper()
+	registry := resolver.NewRegistry()
+	resSrv := httptest.NewServer(resolver.NewServer(registry))
+	t.Cleanup(resSrv.Close)
+
+	seed := make([]byte, ed25519.SeedSize)
+	seed[0] = 77
+	p, err := names.PrincipalFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var org *origin.Server
+	orgSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		org.ServeHTTP(w, r)
+	}))
+	t.Cleanup(orgSrv.Close)
+	org = origin.New(p, resolver.NewClient(resSrv.URL, resSrv.Client()), orgSrv.URL)
+
+	s := &degradeStack{org: org, now: time.Unix(1_700_000_000, 0)}
+	s.res = &scriptedResolver{inner: resolver.NewClient(resSrv.URL, resSrv.Client())}
+	opts = append([]Option{WithClock(s.clock)}, opts...)
+	s.proxy = New(s.res, opts...)
+	// Keep retries instant in tests.
+	s.proxy.ResolvePolicy = resilience.Policy{
+		MaxAttempts: 2,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+	s.proxySrv = httptest.NewServer(s.proxy)
+	t.Cleanup(s.proxySrv.Close)
+	return s
+}
+
+func (s *degradeStack) getName(t *testing.T, n names.Name) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, s.proxySrv.URL+"/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Host = n.DNS()
+	resp, err := s.proxySrv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+// TestServeStaleOnResolverOutage: an expired cache entry is served (marked
+// STALE) when the resolver goes dark, instead of erroring.
+func TestServeStaleOnResolverOutage(t *testing.T) {
+	s := newDegradeStack(t)
+	s.proxy.TTL = time.Minute
+	content := []byte("stale but authentic")
+	n, err := s.org.Publish(context.Background(), "story", "text/plain", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := s.getName(t, n); resp.StatusCode != http.StatusOK || body != string(content) {
+		t.Fatalf("warm-up fetch: status %d body %q", resp.StatusCode, body)
+	}
+
+	s.advance(2 * time.Minute) // cache entry is now past TTL
+	s.res.down.Store(true)
+	resp, body := s.getName(t, n)
+	if resp.StatusCode != http.StatusOK || body != string(content) {
+		t.Fatalf("degraded fetch: status %d body %q", resp.StatusCode, body)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "STALE" {
+		t.Errorf("X-Cache = %q, want STALE", xc)
+	}
+	if st := s.proxy.Stats(); st.StaleServes != 1 {
+		t.Errorf("StaleServes = %d, want 1", st.StaleServes)
+	}
+
+	// Resolver returns: the next fetch re-resolves and serves fresh again.
+	s.res.down.Store(false)
+	if resp, _ := s.getName(t, n); resp.Header.Get("X-Cache") != "MISS" {
+		t.Errorf("post-recovery X-Cache = %q, want MISS", resp.Header.Get("X-Cache"))
+	}
+}
+
+// TestOriginFallbackRememberedLocations: with no cache entry at all, the
+// proxy replays the last resolved locations for the name.
+func TestOriginFallbackRememberedLocations(t *testing.T) {
+	s := newDegradeStack(t, WithCacheEntries(1))
+	content := []byte("first object")
+	n1, err := s.org.Publish(context.Background(), "first", "text/plain", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := s.org.Publish(context.Background(), "second", "text/plain", []byte("second object"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.getName(t, n1)
+	s.getName(t, n2) // evicts n1 from the 1-entry cache
+
+	s.res.down.Store(true)
+	resp, body := s.getName(t, n1)
+	if resp.StatusCode != http.StatusOK || body != string(content) {
+		t.Fatalf("fallback fetch: status %d body %q", resp.StatusCode, body)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "FALLBACK" {
+		t.Errorf("X-Cache = %q, want FALLBACK", xc)
+	}
+	if st := s.proxy.Stats(); st.Fallbacks != 1 {
+		t.Errorf("Fallbacks = %d, want 1", st.Fallbacks)
+	}
+}
+
+// TestOriginFallbackPublisherBase: a name never resolved before is fetched
+// via the publisher's origin base learned from a sibling name — the
+// authority implied by the shared P component.
+func TestOriginFallbackPublisherBase(t *testing.T) {
+	s := newDegradeStack(t)
+	if _, err := s.org.Publish(context.Background(), "known", "text/plain", []byte("known object")); err != nil {
+		t.Fatal(err)
+	}
+	nKnown, _ := names.Parse("known." + s.org.Principal().KeyHash().String())
+	s.getName(t, nKnown) // teaches the proxy this publisher's origin base
+
+	content := []byte("never resolved before")
+	nNew, err := s.org.Publish(context.Background(), "fresh", "text/plain", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.res.down.Store(true)
+	resp, body := s.getName(t, nNew)
+	if resp.StatusCode != http.StatusOK || body != string(content) {
+		t.Fatalf("publisher-base fallback: status %d body %q", resp.StatusCode, body)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "FALLBACK" {
+		t.Errorf("X-Cache = %q, want FALLBACK", xc)
+	}
+}
+
+// TestBreakerSkipsDeadResolver: consecutive failures open the circuit and
+// later requests skip the resolver entirely.
+func TestBreakerSkipsDeadResolver(t *testing.T) {
+	s := newDegradeStack(t)
+	s.proxy.ResolvePolicy.MaxAttempts = 1
+	s.proxy.Breaker = resilience.Breaker{Threshold: 2, Cooldown: time.Hour, Clock: s.clock}
+	s.res.down.Store(true)
+
+	n, _ := names.Parse("ghost." + s.org.Principal().KeyHash().String())
+	for i := 0; i < 2; i++ {
+		if _, _, err := s.proxy.Get(context.Background(), n); err == nil {
+			t.Fatalf("request %d succeeded with resolver down and nothing cached", i)
+		}
+	}
+	before := s.res.calls.Load()
+	_, _, err := s.proxy.Get(context.Background(), n)
+	if !errors.Is(err, ErrResolverDown) {
+		t.Fatalf("err = %v, want ErrResolverDown", err)
+	}
+	if got := s.res.calls.Load(); got != before {
+		t.Fatalf("open breaker still called the resolver (%d -> %d calls)", before, got)
+	}
+
+	// After cooldown the probe goes through and recovery closes the circuit.
+	s.advance(time.Hour)
+	s.res.down.Store(false)
+	content := []byte("back online")
+	nReal, err := s.org.Publish(context.Background(), "ghost", "text/plain", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.proxy.Get(context.Background(), nReal); err != nil {
+		t.Fatalf("post-recovery fetch: %v", err)
+	}
+	if s.proxy.Breaker.Open() {
+		t.Error("breaker still open after successful probe")
+	}
+}
+
+// TestNotFoundIsNotDegraded: an authoritative "name does not exist" answer
+// must surface as 404, not trigger stale serving or trip the breaker.
+func TestNotFoundIsNotDegraded(t *testing.T) {
+	s := newDegradeStack(t)
+	s.proxy.Breaker = resilience.Breaker{Threshold: 1, Cooldown: time.Hour}
+	n, _ := names.Parse("nosuch." + s.org.Principal().KeyHash().String())
+	_, _, err := s.proxy.Get(context.Background(), n)
+	if !errors.Is(err, resolver.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if s.proxy.Breaker.Open() {
+		t.Error("not-found answer tripped the breaker")
+	}
+	if calls := s.res.calls.Load(); calls != 1 {
+		t.Errorf("not-found was retried: %d resolver calls, want 1", calls)
+	}
+}
+
+// TestSingleflightCancelledFollower: a follower whose context is cancelled
+// detaches immediately instead of waiting for the leader to finish.
+func TestSingleflightCancelledFollower(t *testing.T) {
+	var g flightGroup
+	block := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		g.do(context.Background(), "k", func() (*CachedObject, error) {
+			<-block
+			return &CachedObject{}, nil
+		})
+	}()
+	// Wait until the leader holds the flight.
+	for {
+		g.mu.Lock()
+		_, ok := g.flights["k"]
+		g.mu.Unlock()
+		if ok {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	obj, shared, err := g.do(ctx, "k", func() (*CachedObject, error) {
+		t.Error("follower executed fn")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+	if obj != nil || !shared {
+		t.Fatalf("follower returned obj=%v shared=%v", obj, shared)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("cancelled follower blocked for %v", waited)
+	}
+	close(block) // leader still completes normally
+	<-leaderDone
+}

@@ -15,4 +15,14 @@ func (p *Proxy) RegisterMetrics(reg *obs.Registry) {
 	reg.Func("proxy_peer_probes", p.peerProbes.Load)
 	reg.Func("proxy_peer_served", p.peerServed.Load)
 	reg.Func("proxy_cached_objects", func() int64 { return int64(p.CacheLen()) })
+	reg.Func("proxy_stale_serves", p.staleServes.Load)
+	reg.Func("proxy_origin_fallbacks", p.fallbacks.Load)
+	reg.Func("proxy_resolve_errors", p.resolveErrors.Load)
+	reg.Func("proxy_breaker_skips", p.breakerSkips.Load)
+	reg.Func("proxy_breaker_open", func() int64 {
+		if p.Breaker.Open() {
+			return 1
+		}
+		return 0
+	})
 }

@@ -23,8 +23,15 @@ import (
 	"idicn/internal/cache"
 	"idicn/internal/idicn/metalink"
 	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/resilience"
 	"idicn/internal/idicn/resolver"
 )
+
+// Resolver is the proxy's view of the resolution system. *resolver.Client,
+// *resolver.MultiClient, and *resolver.HedgedClient all satisfy it.
+type Resolver interface {
+	Resolve(ctx context.Context, name string) (resolver.Result, error)
+}
 
 // CachedObject is a verified content object held by the proxy.
 type CachedObject struct {
@@ -41,15 +48,24 @@ type Stats struct {
 	Misses        int64 // fetched from origin/mirror
 	Rejected      int64 // fetched but failed verification
 	LegacyFetches int64 // passed through to non-idICN hosts
+	StaleServes   int64 // served expired cache entries during resolver outages
+	Fallbacks     int64 // served via remembered origin locations, bypassing the resolver
 }
 
 // Proxy is the edge proxy. It is safe for concurrent use.
 type Proxy struct {
-	resolver *resolver.Client
+	resolver Resolver
 	client   *http.Client
 
 	mu    sync.Mutex
 	cache *cache.LRU[string, *CachedObject]
+	// Degradation memory: the last successfully resolved content locations
+	// per name, and per-publisher origin base URLs derived from them. When
+	// the resolver is unreachable these let the proxy go straight to the
+	// authority implied by the self-certifying name — the content is still
+	// verified against the name, so no trust is lost.
+	lastLocs map[string][]string
+	pubBase  map[string]string // key: P (keyhash string)
 
 	// AllowLegacy enables pass-through fetching for non-idICN hosts.
 	AllowLegacy bool
@@ -57,12 +73,22 @@ type Proxy struct {
 	// is immutable under self-certifying names, so this is safe; a TTL
 	// merely bounds staleness after republication).
 	TTL time.Duration
+	// ResolvePolicy retries transient resolution failures (per-attempt
+	// timeouts, capped backoff). The zero value means 3 attempts with 10ms
+	// base delay; resolver "not found" answers are never retried.
+	ResolvePolicy resilience.Policy
+	// Breaker trips after consecutive resolver failures so a dead resolver
+	// is skipped (straight to degraded serving) instead of timing out every
+	// request. Zero value: threshold 5, cooldown 1s.
+	Breaker resilience.Breaker
 
 	peers   []string // sibling proxies for scoped cooperative lookup
 	flights flightGroup
 
 	hits, misses, rejected, legacy   atomic.Int64
 	peerHits, peerProbes, peerServed atomic.Int64
+	staleServes, fallbacks           atomic.Int64
+	resolveErrors, breakerSkips      atomic.Int64
 	clock                            func() time.Time
 }
 
@@ -85,11 +111,13 @@ func WithClock(now func() time.Time) Option {
 }
 
 // New creates an edge proxy using the given resolver.
-func New(res *resolver.Client, opts ...Option) *Proxy {
+func New(res Resolver, opts ...Option) *Proxy {
 	p := &Proxy{
 		resolver: res,
 		client:   &http.Client{Timeout: 10 * time.Second},
 		cache:    cache.NewLRU[string, *CachedObject](4096, nil),
+		lastLocs: make(map[string][]string),
+		pubBase:  make(map[string]string),
 		clock:    time.Now,
 	}
 	for _, o := range opts {
@@ -105,6 +133,8 @@ func (p *Proxy) Stats() Stats {
 		Misses:        p.misses.Load(),
 		Rejected:      p.rejected.Load(),
 		LegacyFetches: p.legacy.Load(),
+		StaleServes:   p.staleServes.Load(),
+		Fallbacks:     p.fallbacks.Load(),
 	}
 }
 
@@ -164,7 +194,7 @@ func (p *Proxy) serveName(w http.ResponseWriter, r *http.Request, host string) {
 		p.serveCoopLookup(w, n)
 		return
 	}
-	obj, fromCache, err := p.Get(r.Context(), n)
+	obj, src, err := p.get(r.Context(), n)
 	if err != nil {
 		status := http.StatusBadGateway
 		if errors.Is(err, resolver.ErrNotFound) {
@@ -180,27 +210,58 @@ func (p *Proxy) serveName(w http.ResponseWriter, r *http.Request, host string) {
 	if obj.ContentType != "" {
 		w.Header().Set("Content-Type", obj.ContentType)
 	}
-	if fromCache {
+	switch src {
+	case srcHit:
 		w.Header().Set("X-Cache", "HIT")
-	} else {
+	case srcStale:
+		w.Header().Set("X-Cache", "STALE")
+	case srcFallback:
+		w.Header().Set("X-Cache", "FALLBACK")
+	default:
 		w.Header().Set("X-Cache", "MISS")
 	}
 	http.ServeContent(w, r, obj.Name.Label, obj.Fetched, strings.NewReader(string(obj.Body)))
 }
 
+// source says how an object was obtained, for X-Cache headers and metrics.
+type source int
+
+const (
+	srcMiss     source = iota // resolved and fetched upstream
+	srcHit                    // fresh cache entry
+	srcPeer                   // sibling proxy's cache
+	srcStale                  // expired cache entry, served during an outage
+	srcFallback               // fetched via remembered locations, resolver down
+)
+
+// ErrResolverDown is wrapped into errors returned when the resolution system
+// is unreachable (or the circuit breaker is open) and no degraded path could
+// serve the object.
+var ErrResolverDown = errors.New("proxy: resolver unavailable")
+
 // Get returns the verified object for a name, from cache when fresh
 // (fromCache true), otherwise via resolution and fetch. All content is
 // authenticated against the name before being cached or returned,
 // implementing the paper's "the proxy authenticates the content using
-// enclosed digital signatures" (step 7).
+// enclosed digital signatures" (step 7). When the resolver is unreachable
+// the proxy degrades instead of failing: expired cache entries are served
+// stale, then remembered origin locations are tried directly.
 func (p *Proxy) Get(ctx context.Context, n names.Name) (*CachedObject, bool, error) {
+	obj, src, err := p.get(ctx, n)
+	return obj, src == srcHit, err
+}
+
+func (p *Proxy) get(ctx context.Context, n names.Name) (*CachedObject, source, error) {
 	key := n.String()
 	p.mu.Lock()
-	obj, ok := p.cache.Get(key)
+	stale, ok := p.cache.Get(key)
 	p.mu.Unlock()
-	if ok && (p.TTL == 0 || p.clock().Sub(obj.Fetched) < p.TTL) {
+	if ok && (p.TTL == 0 || p.clock().Sub(stale.Fetched) < p.TTL) {
 		p.hits.Add(1)
-		return obj, true, nil
+		return stale, srcHit, nil
+	}
+	if !ok {
+		stale = nil
 	}
 
 	// Scoped cooperation before the resolution system: ask sibling proxies
@@ -210,31 +271,113 @@ func (p *Proxy) Get(ctx context.Context, n names.Name) (*CachedObject, bool, err
 			p.mu.Lock()
 			p.cache.Put(key, obj)
 			p.mu.Unlock()
-			return obj, false, nil
+			return obj, srcPeer, nil
 		}
 	}
 
-	res, err := p.resolver.Resolve(ctx, key)
+	res, err := p.resolve(ctx, key)
 	if err != nil {
-		return nil, false, err
+		if errors.Is(err, resolver.ErrNotFound) {
+			return nil, srcMiss, err // authoritative: the name does not exist
+		}
+		return p.degrade(ctx, n, key, stale, err)
 	}
+	p.remember(n, key, res.Locations)
+	obj, err := p.fetchAny(ctx, n, key, res.Locations)
+	if err != nil {
+		return nil, srcMiss, err
+	}
+	p.misses.Add(1)
+	return obj, srcMiss, nil
+}
+
+// resolve wraps the resolver call with the retry policy and circuit
+// breaker. "Not found" is an authoritative healthy answer: it is never
+// retried and it resets the breaker.
+func (p *Proxy) resolve(ctx context.Context, key string) (resolver.Result, error) {
+	if !p.Breaker.Allow() {
+		p.breakerSkips.Add(1)
+		return resolver.Result{}, fmt.Errorf("%w: circuit open", ErrResolverDown)
+	}
+	var res resolver.Result
+	err := p.ResolvePolicy.Do(ctx, func(ctx context.Context) error {
+		var err error
+		res, err = p.resolver.Resolve(ctx, key)
+		if errors.Is(err, resolver.ErrNotFound) {
+			return resilience.Permanent(err)
+		}
+		return err
+	})
+	if err == nil || errors.Is(err, resolver.ErrNotFound) {
+		p.Breaker.Record(nil)
+	} else {
+		p.resolveErrors.Add(1)
+		p.Breaker.Record(err)
+	}
+	return res, err
+}
+
+// remember records the resolved locations (and the publisher origin base
+// derived from them) so future requests can survive a resolver outage.
+func (p *Proxy) remember(n names.Name, key string, locations []string) {
+	locs := append([]string(nil), locations...)
+	p.mu.Lock()
+	p.lastLocs[key] = locs
+	for _, loc := range locs {
+		// Origin content URLs end in "/content/<label>"; the prefix is the
+		// publisher's serving base, valid for all of its labels.
+		if i := strings.LastIndex(loc, "/content/"); i > 0 {
+			p.pubBase[n.Key.String()] = loc[:i]
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// degrade is the resolver-outage path: serve the expired cache entry if one
+// exists, else go directly to remembered locations for this name or to the
+// publisher's origin base. Content fetched this way is still verified
+// against the self-certifying name, so degradation never weakens
+// authenticity.
+func (p *Proxy) degrade(ctx context.Context, n names.Name, key string, stale *CachedObject, cause error) (*CachedObject, source, error) {
+	if stale != nil {
+		p.staleServes.Add(1)
+		return stale, srcStale, nil
+	}
+	p.mu.Lock()
+	locs := append([]string(nil), p.lastLocs[key]...)
+	if base, ok := p.pubBase[n.Key.String()]; ok {
+		locs = append(locs, base+"/content/"+n.Label)
+	}
+	p.mu.Unlock()
+	if len(locs) > 0 {
+		if obj, err := p.fetchAny(ctx, n, key, locs); err == nil {
+			p.fallbacks.Add(1)
+			return obj, srcFallback, nil
+		}
+	}
+	return nil, srcMiss, fmt.Errorf("%w: %v", ErrResolverDown, cause)
+}
+
+// fetchAny tries each location in order, caching and returning the first
+// verified object.
+func (p *Proxy) fetchAny(ctx context.Context, n names.Name, key string, locations []string) (*CachedObject, error) {
 	var lastErr error
-	for _, loc := range res.Locations {
+	for _, loc := range locations {
 		obj, err := p.fetchVerified(ctx, n, loc)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		p.misses.Add(1)
 		p.mu.Lock()
 		p.cache.Put(key, obj)
 		p.mu.Unlock()
-		return obj, false, nil
+		return obj, nil
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("proxy: no locations for %s", key)
 	}
-	return nil, false, lastErr
+	return nil, lastErr
 }
 
 func (p *Proxy) fetchVerified(ctx context.Context, n names.Name, loc string) (*CachedObject, error) {

@@ -25,17 +25,24 @@ type flight struct {
 }
 
 // do runs fn once per concurrent set of callers with the same key. The
-// leader executes fn; followers block until it finishes and share the
-// outcome. Followers report shared=true.
-func (g *flightGroup) do(key string, fn func() (*CachedObject, error)) (obj *CachedObject, shared bool, err error) {
+// leader executes fn; followers wait until it finishes and share the
+// outcome, reporting shared=true. A follower whose ctx ends detaches
+// immediately with the ctx error instead of waiting out the leader — a
+// cancelled client must not stay pinned to a slow or black-holed upstream
+// fetch it no longer wants.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*CachedObject, error)) (obj *CachedObject, shared bool, err error) {
 	g.mu.Lock()
 	if g.flights == nil {
 		g.flights = make(map[string]*flight)
 	}
 	if f, ok := g.flights[key]; ok {
 		g.mu.Unlock()
-		<-f.done
-		return f.obj, true, f.err
+		select {
+		case <-f.done:
+			return f.obj, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	g.flights[key] = f
@@ -61,7 +68,7 @@ func (p *Proxy) GetCoalesced(ctx context.Context, n names.Name) (*CachedObject, 
 		p.hits.Add(1)
 		return obj, true, nil
 	}
-	obj, shared, err := p.flights.do(key, func() (*CachedObject, error) {
+	obj, shared, err := p.flights.do(ctx, key, func() (*CachedObject, error) {
 		o, _, err := p.Get(ctx, n)
 		return o, err
 	})

@@ -1,0 +1,88 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"idicn/internal/idicn/resilience"
+)
+
+// HedgedClient queries a consortium of resolver replicas with staggered
+// hedging: replica 0 is asked first, and each further replica joins after
+// HedgeDelay (or immediately when the previous one errors out). The first
+// successful resolution wins and cancels the rest. Compared to MultiClient's
+// sequential failover this bounds the tail latency a slow or blackholed
+// replica can add — the incremental-deployment story of the paper depends on
+// lookups staying cheap even when some consortium members misbehave.
+type HedgedClient struct {
+	clients []*Client
+	// HedgeDelay is the stagger between replica launches; <= 0 means 50ms.
+	HedgeDelay time.Duration
+	// AttemptTimeout bounds each replica's lookup; 0 leaves the parent
+	// deadline (and the underlying http.Client timeout) in charge.
+	AttemptTimeout time.Duration
+}
+
+// NewHedgedClient builds a hedged consortium client from resolver base URLs.
+// hc may be nil for a default client.
+func NewHedgedClient(urls []string, hc *http.Client) *HedgedClient {
+	h := &HedgedClient{}
+	for _, u := range urls {
+		h.clients = append(h.clients, NewClient(u, hc))
+	}
+	return h
+}
+
+func (h *HedgedClient) hedgeDelay() time.Duration {
+	if h.HedgeDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return h.HedgeDelay
+}
+
+// Resolve races the replicas (staggered) and returns the first successful
+// resolution, following delegations like MultiClient.
+func (h *HedgedClient) Resolve(ctx context.Context, name string) (Result, error) {
+	if len(h.clients) == 0 {
+		return Result{}, fmt.Errorf("%w: %s (no resolvers configured)", ErrNotFound, name)
+	}
+	return resilience.Hedge(ctx, len(h.clients), h.hedgeDelay(), func(ctx context.Context, i int) (Result, error) {
+		if h.AttemptTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, h.AttemptTimeout)
+			defer cancel()
+		}
+		return h.clients[i].ResolveFollowing(ctx, name)
+	})
+}
+
+// Register submits a registration to every replica, succeeding if at least
+// one accepts (stale-sequence answers count: the record is already at least
+// as new). Registrations are not latency-critical, so they fan out in
+// parallel rather than hedged.
+func (h *HedgedClient) Register(ctx context.Context, reg Registration) error {
+	if len(h.clients) == 0 {
+		return errors.New("resolver: no resolvers configured")
+	}
+	errs := make(chan error, len(h.clients))
+	for _, c := range h.clients {
+		go func() { errs <- c.Register(ctx, reg) }()
+	}
+	var lastErr error
+	accepted := false
+	for range h.clients {
+		err := <-errs
+		if err == nil || errors.Is(err, ErrStaleSeq) {
+			accepted = true
+			continue
+		}
+		lastErr = err
+	}
+	if accepted {
+		return nil
+	}
+	return lastErr
+}

@@ -124,6 +124,13 @@ func (c *Client) Register(ctx context.Context, reg Registration) error {
 	case http.StatusConflict:
 		return fmt.Errorf("%w: %s", ErrStaleSeq, strings.TrimSpace(string(msg)))
 	default:
+		// The resolver itself only answers 200/409/4xx; a 5xx comes from
+		// infrastructure between us and it (an overloaded front, a fault
+		// injector) and is transient — don't dress it up as a verification
+		// failure, which callers rightly treat as permanent.
+		if resp.StatusCode >= 500 {
+			return fmt.Errorf("resolver: register: transient %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
 		return fmt.Errorf("%w: %s", ErrBadRegistration, strings.TrimSpace(string(msg)))
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"idicn/internal/idicn/names"
 )
@@ -79,14 +80,49 @@ type Result struct {
 }
 
 // Registry is the in-memory name store. It is safe for concurrent use.
+// Registrations may carry a TTL (see WithTTL): expired records are treated
+// as absent everywhere — lookups miss them and a re-registration is accepted
+// regardless of its sequence number, so a host whose clock drifted backwards
+// across an outage (and therefore reuses an old seq) can still come back.
 type Registry struct {
 	mu      sync.RWMutex
-	records map[string]Registration // key: flat name ("L.P" or "P")
+	records map[string]storedRecord // key: flat name ("L.P" or "P")
+	ttl     time.Duration           // 0: registrations never expire
+	clock   func() time.Time
+}
+
+type storedRecord struct {
+	Registration
+	at time.Time // registration time, for TTL expiry
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithTTL makes registrations expire d after they were (re-)registered.
+// d <= 0 keeps the default behaviour of never expiring.
+func WithTTL(d time.Duration) Option {
+	return func(g *Registry) { g.ttl = d }
+}
+
+// WithClock overrides the registry's notion of now, for tests.
+func WithClock(now func() time.Time) Option {
+	return func(g *Registry) { g.clock = now }
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{records: make(map[string]Registration)}
+func NewRegistry(opts ...Option) *Registry {
+	g := &Registry{records: make(map[string]storedRecord), clock: time.Now}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// expired reports whether rec is past its TTL. Callers hold g.mu (read or
+// write).
+func (g *Registry) expired(rec storedRecord) bool {
+	return g.ttl > 0 && g.clock().Sub(rec.at) >= g.ttl
 }
 
 // Register verifies and stores a registration. It returns ErrStaleSeq when
@@ -103,10 +139,10 @@ func (g *Registry) Register(ctx context.Context, r Registration) error {
 	name := r.Name()
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if old, ok := g.records[name]; ok && old.Seq >= r.Seq {
+	if old, ok := g.records[name]; ok && !g.expired(old) && old.Seq >= r.Seq {
 		return fmt.Errorf("%w: have seq %d, got %d", ErrStaleSeq, old.Seq, r.Seq)
 	}
-	g.records[name] = r
+	g.records[name] = storedRecord{Registration: r, at: g.clock()}
 	return nil
 }
 
@@ -148,13 +184,13 @@ func (g *Registry) Resolve(ctx context.Context, name string) (Result, error) {
 	name = strings.ToLower(strings.TrimSuffix(name, "."+names.Domain))
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	if rec, ok := g.records[name]; ok {
-		return result(rec, true), nil
+	if rec, ok := g.records[name]; ok && !g.expired(rec) {
+		return result(rec.Registration, true), nil
 	}
 	// Publisher fallback: strip the label.
 	if i := strings.IndexByte(name, '.'); i >= 0 {
-		if rec, ok := g.records[name[i+1:]]; ok {
-			return result(rec, false), nil
+		if rec, ok := g.records[name[i+1:]]; ok && !g.expired(rec) {
+			return result(rec.Registration, false), nil
 		}
 	}
 	return Result{}, fmt.Errorf("%w: %s", ErrNotFound, name)
@@ -169,20 +205,28 @@ func result(rec Registration, exact bool) Result {
 	}
 }
 
-// Len returns the number of stored records.
+// Len returns the number of live (unexpired) records.
 func (g *Registry) Len() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return len(g.records)
+	n := 0
+	for _, rec := range g.records {
+		if !g.expired(rec) {
+			n++
+		}
+	}
+	return n
 }
 
-// Names returns all registered flat names, sorted.
+// Names returns all live registered flat names, sorted.
 func (g *Registry) Names() []string {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	out := make([]string, 0, len(g.records))
-	for n := range g.records {
-		out = append(out, n)
+	for n, rec := range g.records {
+		if !g.expired(rec) {
+			out = append(out, n)
+		}
 	}
 	sort.Strings(out)
 	return out

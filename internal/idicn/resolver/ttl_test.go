@@ -1,0 +1,223 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, advanceable clock for TTL tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// TestRegistrationTTL drives expiry and re-registration through a table of
+// clock-skew scenarios: a re-registering host may have drifted forward,
+// backward (reusing an old seq), or not at all. Expired records must be
+// invisible to lookups and must not block re-registration on seq.
+func TestRegistrationTTL(t *testing.T) {
+	const ttl = time.Minute
+	cases := []struct {
+		name string
+		// advance between first registration and the expiry check
+		age time.Duration
+		// seq used by the re-registration attempt (first used seq 5)
+		reSeq uint64
+		// whether the record should still resolve before re-registration
+		liveBefore bool
+		// whether the re-registration must be accepted
+		reAccepted bool
+	}{
+		{name: "fresh record, higher seq", age: ttl / 2, reSeq: 6, liveBefore: true, reAccepted: true},
+		{name: "fresh record, stale seq rejected", age: ttl / 2, reSeq: 5, liveBefore: true, reAccepted: false},
+		{name: "expired record, same seq (no skew)", age: ttl, reSeq: 5, liveBefore: false, reAccepted: true},
+		{name: "expired record, lower seq (clock ran backwards)", age: 2 * ttl, reSeq: 1, liveBefore: false, reAccepted: true},
+		{name: "expired record, higher seq", age: ttl + time.Second, reSeq: 9, liveBefore: false, reAccepted: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := &fakeClock{now: time.Unix(1_000_000, 0)}
+			reg := NewRegistry(WithTTL(ttl), WithClock(clock.Now))
+			p := principal(t, 7)
+			first, err := NewRegistration(p, "movie", 5, []string{"http://a.example/movie"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reg.Register(context.Background(), first); err != nil {
+				t.Fatal(err)
+			}
+			n, _ := p.Name("movie")
+
+			clock.Advance(tc.age)
+			_, err = reg.Resolve(context.Background(), n.String())
+			if live := err == nil; live != tc.liveBefore {
+				t.Fatalf("resolve after %v: live=%v (err=%v), want live=%v", tc.age, live, err, tc.liveBefore)
+			}
+			if wantLen := 0; tc.liveBefore {
+				wantLen = 1
+				if got := reg.Names(); len(got) != wantLen {
+					t.Fatalf("Names() = %v, want %d live names", got, wantLen)
+				}
+			} else if reg.Len() != 0 {
+				t.Fatalf("Len() = %d with an expired record, want 0", reg.Len())
+			}
+
+			second, err := NewRegistration(p, "movie", tc.reSeq, []string{"http://b.example/movie"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = reg.Register(context.Background(), second)
+			if tc.reAccepted {
+				if err != nil {
+					t.Fatalf("re-registration with seq %d rejected: %v", tc.reSeq, err)
+				}
+				res, err := reg.Resolve(context.Background(), n.String())
+				if err != nil {
+					t.Fatalf("resolve after re-registration: %v", err)
+				}
+				if res.Locations[0] != "http://b.example/movie" {
+					t.Fatalf("resolved stale locations %v after re-registration", res.Locations)
+				}
+			} else if !errors.Is(err, ErrStaleSeq) {
+				t.Fatalf("re-registration with seq %d: err = %v, want ErrStaleSeq", tc.reSeq, err)
+			}
+		})
+	}
+}
+
+// TestTTLRefreshOnReRegister: each accepted registration restarts the clock.
+func TestTTLRefreshOnReRegister(t *testing.T) {
+	const ttl = time.Minute
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	reg := NewRegistry(WithTTL(ttl), WithClock(clock.Now))
+	p := principal(t, 8)
+	n, _ := p.Name("movie")
+	for seq := uint64(1); seq <= 3; seq++ {
+		r, err := NewRegistration(p, "movie", seq, []string{"http://a.example/movie"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Register(context.Background(), r); err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		clock.Advance(ttl - time.Second) // just inside the window each round
+		if _, err := reg.Resolve(context.Background(), n.String()); err != nil {
+			t.Fatalf("seq %d aged %v: %v", seq, ttl-time.Second, err)
+		}
+	}
+	clock.Advance(2 * time.Second) // now past the last refresh
+	if _, err := reg.Resolve(context.Background(), n.String()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("resolve past TTL: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestZeroTTLNeverExpires: the default configuration keeps PR-2 behaviour.
+func TestZeroTTLNeverExpires(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	reg := NewRegistry(WithClock(clock.Now))
+	p := principal(t, 9)
+	r, err := NewRegistration(p, "movie", 1, []string{"http://a.example/movie"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(context.Background(), r); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(1000 * time.Hour)
+	n, _ := p.Name("movie")
+	if _, err := reg.Resolve(context.Background(), n.String()); err != nil {
+		t.Fatalf("no-TTL registry expired a record: %v", err)
+	}
+}
+
+// TestHedgedClientFailover: replica 0 is black-holed; the hedge must still
+// resolve via replica 1 well before replica 0's timeout.
+func TestHedgedClientFailover(t *testing.T) {
+	reg := NewRegistry()
+	p := principal(t, 10)
+	r, err := NewRegistration(p, "movie", 1, []string{"http://origin.example/movie"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(context.Background(), r); err != nil {
+		t.Fatal(err)
+	}
+	good := httptest.NewServer(NewServer(reg))
+	defer good.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // blackhole: hang until the hedge cancels us
+	}))
+	defer dead.Close()
+
+	h := NewHedgedClient([]string{dead.URL, good.URL}, nil)
+	h.HedgeDelay = 5 * time.Millisecond
+	n, _ := p.Name("movie")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	res, err := h.Resolve(ctx, n.String())
+	if err != nil {
+		t.Fatalf("hedged resolve with one dead replica: %v", err)
+	}
+	if len(res.Locations) != 1 || res.Locations[0] != "http://origin.example/movie" {
+		t.Fatalf("hedged resolve = %+v", res)
+	}
+}
+
+// TestHedgedClientRegister: registration fans out and succeeds when any
+// replica accepts.
+func TestHedgedClientRegister(t *testing.T) {
+	reg := NewRegistry()
+	good := httptest.NewServer(NewServer(reg))
+	defer good.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+
+	h := NewHedgedClient([]string{dead.URL, good.URL}, nil)
+	p := principal(t, 11)
+	r, err := NewRegistration(p, "movie", 1, []string{"http://origin.example/movie"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register(context.Background(), r); err != nil {
+		t.Fatalf("hedged register with one dead replica: %v", err)
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("registry has %d records after hedged register, want 1", reg.Len())
+	}
+}
+
+// TestHedgedClientAllDead: every replica failing surfaces an error.
+func TestHedgedClientAllDead(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	h := NewHedgedClient([]string{dead.URL, dead.URL}, nil)
+	h.HedgeDelay = time.Millisecond
+	if _, err := h.Resolve(context.Background(), "x.abcd"); err == nil {
+		t.Fatal("hedged resolve succeeded with all replicas dead")
+	}
+	empty := NewHedgedClient(nil, nil)
+	if _, err := empty.Resolve(context.Background(), "x.abcd"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty consortium: err = %v, want ErrNotFound", err)
+	}
+}

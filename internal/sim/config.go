@@ -149,6 +149,11 @@ type Config struct {
 	// An observer shared across parallel runs (see Options.Observer) must
 	// be safe for concurrent use; MetricsObserver is.
 	Observer Observer
+
+	// FailurePlan, when non-nil, schedules cache-node and resolver outages
+	// at request-indexed epochs (see FailurePlan). Nil keeps the serve path
+	// allocation-free and failure-free.
+	FailurePlan *FailurePlan
 }
 
 // Design names a point in the placement x routing design space, with the

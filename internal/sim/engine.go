@@ -26,6 +26,12 @@ type Engine struct {
 	served       []int64 // per node, within the current capacity window
 	nearestOK    func(topo.NodeID) bool
 
+	// Failure-plan state (nil/zero when Config.FailurePlan is nil).
+	failed       []bool  // per node: currently blacked out
+	cacheNodes   []int32 // provisioned cache nodes, built lazily
+	nextEpoch    int
+	resolverDown bool
+
 	totalLatency float64
 	popLatency   []float64 // per arrival PoP
 	popRequests  []int64
@@ -191,6 +197,11 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.SiblingCoop && cfg.CoopScope == 0 {
 		cfg.CoopScope = 2 // sibling via the shared parent
 	}
+	if cfg.FailurePlan != nil {
+		if err := cfg.FailurePlan.validate(); err != nil {
+			return nil, err
+		}
+	}
 
 	net := cfg.Network
 	e := &Engine{
@@ -217,6 +228,9 @@ func New(cfg Config) (*Engine, error) {
 			e.scopePrev[i] = scopeUnseen
 		}
 		e.scopeAncestor = make([]bool, net.TreeSize())
+	}
+	if cfg.FailurePlan != nil {
+		e.failed = make([]bool, net.NodeCount())
 	}
 	e.nearestOK = func(n topo.NodeID) bool { return e.admissible(n) }
 	e.provisionCaches()
@@ -329,10 +343,13 @@ func (e *Engine) CacheCount() int {
 	return n
 }
 
-// admissible reports whether a cache node may serve right now (exists and is
-// under its capacity limit).
+// admissible reports whether a cache node may serve right now (exists, is not
+// blacked out by the failure plan, and is under its capacity limit).
 func (e *Engine) admissible(n topo.NodeID) bool {
 	if e.caches[n] == nil {
+		return false
+	}
+	if e.failed != nil && e.failed[n] {
 		return false
 	}
 	if e.served == nil {
@@ -390,6 +407,9 @@ func (e *Engine) Run(reqs []Request) Result {
 		}
 		if e.served != nil && i%e.cfg.CapacityWindow == 0 {
 			clear(e.served)
+		}
+		if e.failed != nil {
+			e.advanceFailures(int64(i))
 		}
 		e.serveRequest(q)
 	}
@@ -513,6 +533,14 @@ func (e *Engine) finish(q Request, level ServeLevel, depth, lookupHops int, late
 
 func (e *Engine) serveRequest(q Request) {
 	if e.cfg.Routing == RouteNearestReplica {
+		// With the resolution system down (FailureEpoch.ResolverDown) the
+		// replica lookup is unavailable; the request degrades to the shortest
+		// path toward the origin, still served by any on-path cache — the
+		// simulator's analogue of the proxy's direct-to-origin fallback.
+		if e.resolverDown {
+			e.serveShortestPath(q)
+			return
+		}
 		e.serveNearestReplica(q)
 		return
 	}
@@ -753,6 +781,9 @@ func (e *Engine) chargeLink(a, b step, load int64) {
 }
 
 func (e *Engine) insert(node topo.NodeID, obj int32) {
+	if e.failed != nil && e.failed[node] {
+		return // a blacked-out node neither serves nor admits new content
+	}
 	e.caches[node].Insert(obj)
 	if e.replicas != nil {
 		if e.caches[node].Contains(obj) { // sized caches may reject oversize objects
