@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: check fmtcheck vet build test race bench-smoke chaos-smoke bench bench-json clean
+.PHONY: check fmtcheck lint vet build test race bench-smoke chaos-smoke bench bench-json clean
 
-check: fmtcheck vet build test race chaos-smoke bench-smoke
+check: fmtcheck lint vet build test race chaos-smoke bench-smoke
+
+# Project-invariant static analysis (see README "Static analysis"): the
+# icnvet suite must report zero findings on the repository.
+lint:
+	$(GO) run ./cmd/icnvet ./...
 
 fmtcheck:
 	@unformatted="$$(gofmt -l .)"; \
@@ -19,8 +24,11 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest) execution order to flush out
+# order-dependent tests; -count=1 defeats caching so the shuffle actually
+# runs every time.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -count=1 ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a pass name, a position, and a message.
+type Finding struct {
+	Pass    string `json:"pass"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Pass, f.Message)
+}
+
+// Pass is one project-invariant check, run independently over every unit.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(u *Unit) []Finding
+}
+
+// passes returns the full suite in reporting order.
+func passes() []Pass {
+	return []Pass{
+		{Name: "noalloc", Doc: "functions marked //icn:noalloc must not contain allocating constructs", Run: runNoalloc},
+		{Name: "ctxfirst", Doc: "context.Context must be the first parameter and never a struct field", Run: runCtxfirst},
+		{Name: "rawserver", Doc: "http.Server construction and ListenAndServe only inside internal/httpx", Run: runRawserver},
+		{Name: "determinism", Doc: "no wall clock, global rand, or map-order iteration in sim/experiments/faults", Run: runDeterminism},
+		{Name: "errcheck-lite", Doc: "error returns from io/os/net/encoding calls must be checked", Run: runErrcheckLite},
+		{Name: "metricname", Doc: "obs metric names are snake_case with _total/_seconds suffixes", Run: runMetricname},
+	}
+}
+
+// finding builds a Finding at pos.
+func (u *Unit) finding(pass string, pos token.Pos, format string, args ...any) Finding {
+	p := u.Fset.Position(pos)
+	return Finding{Pass: pass, File: p.Filename, Line: p.Line, Col: p.Column, Message: fmt.Sprintf(format, args...)}
+}
+
+// runUnit runs every pass over u and drops findings silenced by an
+// //icnvet:ignore directive.
+func runUnit(u *Unit) []Finding {
+	ignored := ignoreDirectives(u)
+	var out []Finding
+	for _, p := range passes() {
+		for _, f := range p.Run(u) {
+			if ignored[ignoreKey{file: f.File, line: f.Line, pass: f.Pass}] {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Pass < b.Pass
+	})
+}
+
+type ignoreKey struct {
+	file string
+	line int
+	pass string
+}
+
+// ignoreDirectives collects //icnvet:ignore <pass>[,<pass>] comments. A
+// directive silences matching findings on its own line and on the line
+// directly below it (covering both trailing comments and standalone
+// comment lines above the flagged statement).
+func ignoreDirectives(u *Unit) map[ignoreKey]bool {
+	out := make(map[ignoreKey]bool)
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//icnvet:ignore")
+				if !ok {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				for _, pass := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					out[ignoreKey{file: pos.Filename, line: pos.Line, pass: pass}] = true
+					out[ignoreKey{file: pos.Filename, line: pos.Line + 1, pass: pass}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether a doc comment group contains the given
+// directive as a line of its own (e.g. //icn:noalloc).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//"+directive {
+			return true
+		}
+	}
+	return false
+}
+
+// typeOf returns the static type of e, or nil.
+func (u *Unit) typeOf(e ast.Expr) types.Type {
+	if tv, ok := u.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// calleeFunc resolves the *types.Func a call statically dispatches to
+// (package-level function or method), or nil for builtins, conversions,
+// and calls of func-typed values.
+func (u *Unit) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := u.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := u.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := u.Info.Uses[id].(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of fn's defining package, or "" for
+// builtins and universe-scope objects.
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name
+// (not a method).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Name() == name && funcPkgPath(fn) == pkgPath &&
+		fn.Signature().Recv() == nil
+}
+
+// pathWithin reports whether the import path is pkg or a subpackage of it.
+func pathWithin(path, pkg string) bool {
+	return path == pkg || strings.HasPrefix(path, pkg+"/")
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// declSite pairs a function declaration with the unit that holds it.
+type declSite struct {
+	Unit *Unit
+	Decl *ast.FuncDecl
+}
+
+// callGraph is a static over-approximation of the module's call relation:
+// direct calls resolve to their callee, and calls through an interface
+// method fan out to that method on every module type implementing the
+// interface. Function literals are attributed to their enclosing
+// declaration, so a helper invoked inside a closure still counts as called.
+type callGraph struct {
+	Decls map[*types.Func]declSite
+	edges map[*types.Func][]*types.Func
+}
+
+// buildCallGraph indexes every function declaration in units and records
+// the call edges out of each body.
+func buildCallGraph(units []*Unit) *callGraph {
+	g := &callGraph{
+		Decls: make(map[*types.Func]declSite),
+		edges: make(map[*types.Func][]*types.Func),
+	}
+
+	// All named (non-alias) types declared in the module, for interface
+	// dispatch: a call to iface.Method may land on any of these.
+	var named []*types.Named
+	for _, u := range units {
+		for _, obj := range u.Info.Defs {
+			tn, ok := obj.(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok {
+				named = append(named, n)
+			}
+		}
+		for _, f := range u.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+					g.Decls[fn] = declSite{Unit: u, Decl: fd}
+				}
+			}
+		}
+	}
+
+	for fn, site := range g.Decls {
+		u, fd := site.Unit, site.Decl
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := u.calleeFunc(call)
+			if callee == nil {
+				return true
+			}
+			g.edges[fn] = append(g.edges[fn], callee)
+			if recv := callee.Signature().Recv(); recv != nil {
+				if iface, ok := recv.Type().Underlying().(*types.Interface); ok {
+					g.edges[fn] = append(g.edges[fn], implementors(named, iface, callee.Name())...)
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// implementors returns the named method on every module type (or its
+// pointer) that satisfies iface.
+func implementors(named []*types.Named, iface *types.Interface, method string) []*types.Func {
+	var out []*types.Func
+	for _, n := range named {
+		if types.IsInterface(n) {
+			continue
+		}
+		var recv types.Type
+		switch {
+		case types.Implements(n, iface):
+			recv = n
+		case types.Implements(types.NewPointer(n), iface):
+			recv = types.NewPointer(n)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, n.Obj().Pkg(), method)
+		if m, ok := obj.(*types.Func); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ReachableFrom returns every declared function reachable from roots over
+// the recorded edges (roots included).
+func (g *callGraph) ReachableFrom(roots []*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	queue := append([]*types.Func(nil), roots...)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		queue = append(queue, g.edges[fn]...)
+	}
+	return seen
+}

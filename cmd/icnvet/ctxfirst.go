@@ -1,0 +1,65 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runCtxfirst enforces the context discipline of the resolver/client APIs:
+// an exported function or method that takes a context.Context must take it
+// as the first parameter, and no struct may store a context.Context —
+// contexts are call-scoped, so a stored one silently outlives its request.
+func runCtxfirst(u *Unit) []Finding {
+	var out []Finding
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if !n.Name.IsExported() || n.Type.Params == nil {
+					return true
+				}
+				idx := 0
+				for _, field := range n.Type.Params.List {
+					names := len(field.Names)
+					if names == 0 {
+						names = 1 // unnamed parameter
+					}
+					if isContextType(u.typeOf(field.Type)) && idx != 0 {
+						out = append(out, u.finding("ctxfirst", field.Pos(),
+							"%s takes context.Context as parameter %d; contexts go first", n.Name.Name, idx+1))
+					}
+					idx += names
+				}
+			case *ast.StructType:
+				if n.Fields == nil {
+					return true
+				}
+				for _, field := range n.Fields.List {
+					if isContextType(u.typeOf(field.Type)) {
+						name := "embedded field"
+						if len(field.Names) > 0 {
+							name = "field " + field.Names[0].Name
+						}
+						out = append(out, u.finding("ctxfirst", field.Pos(),
+							"%s stores a context.Context in a struct; pass it per call instead", name))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errcheckPkgs are the exact stdlib packages whose dropped errors the pass
+// hunts; errcheckPrefixes widen the net to their subtree (encoding/json,
+// net/http, ...). The list deliberately excludes fmt: dropped Fprintf
+// errors are wall-to-wall in formatting helpers and almost never load-
+// bearing, while a dropped Close/Write/Flush silently loses data.
+var errcheckPkgs = map[string]bool{
+	"io":             true,
+	"os":             true,
+	"net":            true,
+	"bufio":          true,
+	"text/tabwriter": true,
+}
+
+var errcheckPrefixes = []string{"net/", "os/", "encoding/", "compress/", "archive/", "io/"}
+
+// runErrcheckLite flags expression statements that drop an error returned
+// by an io/os/net/encoding-family call. Deferred calls are exempt (there
+// is no good place for the error to go without restructuring), as is an
+// explicit assignment to blank — `_ = f.Close()` states the decision where
+// review can see it.
+func runErrcheckLite(u *Unit) []Finding {
+	var out []Finding
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := u.calleeFunc(call)
+			if fn == nil || !errcheckScoped(funcPkgPath(fn)) || !returnsError(fn) {
+				return true
+			}
+			out = append(out, u.finding("errcheck-lite", call.Pos(),
+				"unchecked error from %s", calleeLabel(fn)))
+			return true
+		})
+	}
+	return out
+}
+
+func errcheckScoped(path string) bool {
+	if errcheckPkgs[path] {
+		return true
+	}
+	for _, p := range errcheckPrefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsError reports whether any of fn's results is the error type.
+func returnsError(fn *types.Func) bool {
+	res := fn.Signature().Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeLabel renders fn as pkg.Func or (pkg.Type).Method for diagnostics.
+func calleeLabel(fn *types.Func) string {
+	sig := fn.Signature()
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		return "(" + types.TypeString(t, types.RelativeTo(fn.Pkg())) + ")." + fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}

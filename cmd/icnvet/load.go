@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked, non-test package of the module, ready for the
+// analysis passes.
+type Unit struct {
+	Path  string // import path (module path + directory)
+	Dir   string // absolute directory
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+	Fset  *token.FileSet
+}
+
+// loader parses and type-checks module packages on demand, resolving
+// module-internal imports from source and everything else through the
+// toolchain's export data (falling back to type-checking the standard
+// library from source when export data is unavailable).
+type loader struct {
+	root    string // module root directory (holds go.mod)
+	module  string // module path from go.mod
+	fset    *token.FileSet
+	std     types.Importer
+	srcStd  types.Importer
+	units   map[string]*Unit // by import path
+	loading map[string]bool  // import-cycle guard
+}
+
+func newLoader(root string) (*loader, error) {
+	mod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	module := ""
+	for _, line := range strings.Split(string(mod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("icnvet: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		root:    root,
+		module:  module,
+		fset:    fset,
+		std:     importer.Default(),
+		srcStd:  importer.ForCompiler(fset, "source", nil),
+		units:   make(map[string]*Unit),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// findModuleRoot walks upward from dir to the directory holding go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("icnvet: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer over the chain: module packages from
+// source, the standard library from export data (source fallback).
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		u, err := l.load(path, filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module))))
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err != nil {
+		pkg, err = l.srcStd.Import(path)
+	}
+	return pkg, err
+}
+
+// load parses and type-checks the package in dir under the given import
+// path, memoizing the result.
+func (l *loader) load(path, dir string) (*Unit, error) {
+	if u, ok := l.units[path]; ok {
+		return u, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("icnvet: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("icnvet: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	cfg := &types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("icnvet: type-checking %s: %w", path, err)
+	}
+	u := &Unit{Path: path, Dir: dir, Pkg: pkg, Info: info, Files: files, Fset: l.fset}
+	l.units[path] = u
+	return u, nil
+}
+
+// LoadAll loads every non-test package in the module, in deterministic
+// (path-sorted) order. Directories named testdata, hidden directories, and
+// underscore-prefixed directories are skipped, matching the go tool.
+func (l *loader) LoadAll() ([]*Unit, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var units []*Unit
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.module
+		if rel != "." {
+			path = l.module + "/" + filepath.ToSlash(rel)
+		}
+		u, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}

@@ -1,0 +1,73 @@
+// Command icnvet is the repository's project-invariant static analyzer: a
+// stdlib-only (go/ast, go/parser, go/types) suite of passes that mechanically
+// enforce what PRs 1–3 established by convention — the zero-alloc serve
+// path, context-first APIs, hardened http.Server construction, seeded
+// determinism in the simulator, checked io errors, and obs metric naming.
+//
+// Usage:
+//
+//	go run ./cmd/icnvet ./...        # human-readable findings, exit 1 if any
+//	go run ./cmd/icnvet -json ./...  # one JSON object per finding per line
+//
+// It always analyzes every non-test package of the enclosing module; the
+// ./... argument is accepted for familiarity. Intentional violations are
+// silenced one line at a time with `//icnvet:ignore <pass>` (see README,
+// "Static analysis").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as one JSON object per line")
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := newLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	units, err := l.LoadAll()
+	if err != nil {
+		fatal(err)
+	}
+
+	var findings []Finding
+	for _, u := range units {
+		findings = append(findings, runUnit(u)...)
+	}
+	sortFindings(findings)
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, f := range findings {
+		if *jsonOut {
+			if err := enc.Encode(f); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "icnvet: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icnvet:", err)
+	os.Exit(2)
+}

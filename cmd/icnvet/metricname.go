@@ -1,0 +1,149 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// obsPath is the observability package whose registration calls carry the
+// metric-name literals this pass vets.
+const obsPath = "idicn/internal/obs"
+
+// registration methods on obs.Registry and the suffix rule each imposes.
+// Counters are monotonic (_total); histograms are unit-suffixed (_seconds
+// for latencies, _bytes for sizes); Func gauges carry no mandated suffix.
+var metricSuffixes = map[string][]string{
+	"Counter":   {"_total"},
+	"Histogram": {"_seconds", "_bytes"},
+	"Func":      nil,
+}
+
+// runMetricname checks every string literal passed as a metric name to
+// obs.Registry registration calls: lowercase snake_case throughout, with
+// the per-kind suffix convention. Names built at runtime (fmt.Sprintf) are
+// skipped — only literals are mechanically checkable.
+func runMetricname(u *Unit) []Finding {
+	var out []Finding
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := u.calleeFunc(call)
+			if fn == nil || funcPkgPath(fn) != obsPath {
+				return true
+			}
+			suffixes, ok := metricSuffixes[fn.Name()]
+			if !ok || fn.Signature().Recv() == nil {
+				return true
+			}
+			parts, complete, lastLit := stringLitParts(call.Args[0])
+			if len(parts) == 0 {
+				return true // dynamically built name; nothing to check
+			}
+			for _, p := range parts {
+				if !snakeCasePart(p.text) {
+					out = append(out, u.finding("metricname", p.pos,
+						"metric name part %q is not lower snake_case", p.text))
+				}
+			}
+			if complete {
+				name := ""
+				for _, p := range parts {
+					name += p.text
+				}
+				if !snakeCaseName(name) {
+					out = append(out, u.finding("metricname", call.Args[0].Pos(),
+						"metric name %q is not lower snake_case", name))
+				}
+			}
+			if suffixes != nil && lastLit != nil {
+				okSuffix := false
+				for _, s := range suffixes {
+					if strings.HasSuffix(lastLit.text, s) {
+						okSuffix = true
+						break
+					}
+				}
+				if !okSuffix {
+					out = append(out, u.finding("metricname", lastLit.pos,
+						"%s metric name %q must end in %s", fn.Name(), lastLit.text, strings.Join(suffixes, " or ")))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type litPart struct {
+	text string
+	pos  token.Pos
+}
+
+// stringLitParts collects the string-literal fragments of expr, which may
+// be a single literal or a tree of + concatenations mixing literals with
+// runtime values. complete reports whether every fragment was a literal;
+// lastLit is the final fragment if (and only if) it is a literal, i.e. the
+// suffix of the resulting name is statically known.
+func stringLitParts(expr ast.Expr) (parts []litPart, complete bool, lastLit *litPart) {
+	complete = true
+	var endsWithLit bool
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.BasicLit:
+			if e.Kind == token.STRING {
+				if s, err := strconv.Unquote(e.Value); err == nil {
+					parts = append(parts, litPart{text: s, pos: e.Pos()})
+					endsWithLit = true
+					return
+				}
+			}
+			complete = false
+			endsWithLit = false
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				walk(e.X)
+				walk(e.Y)
+				return
+			}
+			complete = false
+			endsWithLit = false
+		default:
+			complete = false
+			endsWithLit = false
+		}
+	}
+	walk(expr)
+	if endsWithLit && len(parts) > 0 {
+		lastLit = &parts[len(parts)-1]
+	}
+	return parts, complete, lastLit
+}
+
+// snakeCasePart accepts a fragment of a snake_case name: lowercase
+// letters, digits, underscores.
+func snakeCasePart(s string) bool {
+	for _, r := range s {
+		if !(r == '_' || (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')) {
+			return false
+		}
+	}
+	return true
+}
+
+// snakeCaseName accepts a complete metric name: snake_case fragments
+// joined by single underscores, starting with a letter.
+func snakeCaseName(s string) bool {
+	if s == "" || !(s[0] >= 'a' && s[0] <= 'z') {
+		return false
+	}
+	if strings.Contains(s, "__") || strings.HasSuffix(s, "_") {
+		return false
+	}
+	return snakeCasePart(s)
+}

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// allocPkgs are stdlib packages whose exported functions allocate as a
+// matter of course; calling them from an //icn:noalloc function is flagged
+// without looking inside.
+var allocPkgs = map[string]bool{
+	"fmt":     true,
+	"strings": true,
+	"strconv": true,
+	"sort":    true,
+	"errors":  true,
+	"bytes":   true,
+	"regexp":  true,
+}
+
+// runNoalloc checks every function whose doc comment carries //icn:noalloc:
+// the engine serve path and its helpers. The body must contain no
+// allocating construct: make/new, escaping or reference-typed composite
+// literals, append that grows a fresh slice instead of reusing its
+// argument, closures that capture variables, non-constant string
+// concatenation, boxing a non-pointer value into an interface, or calls
+// into allocating stdlib packages.
+func runNoalloc(u *Unit) []Finding {
+	var out []Finding
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "icn:noalloc") {
+				continue
+			}
+			out = append(out, checkNoallocBody(u, fd)...)
+		}
+	}
+	return out
+}
+
+func checkNoallocBody(u *Unit, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	flag := func(pos token.Pos, format string, args ...any) {
+		out = append(out, u.finding("noalloc", pos, format, args...))
+	}
+
+	// Appends of the form x = append(x, ...) or x = append(x[:0], ...)
+	// reuse their argument's backing array once it reaches steady-state
+	// capacity — the scratch-slice idiom the serve path is built on. Every
+	// other append grows a fresh slice per call.
+	allowedAppend := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !u.isBuiltin(call, "append") || len(call.Args) == 0 {
+				continue
+			}
+			base := ast.Unparen(call.Args[0])
+			if s, ok := base.(*ast.SliceExpr); ok {
+				base = ast.Unparen(s.X)
+			}
+			if types.ExprString(base) == types.ExprString(as.Lhs[i]) {
+				allowedAppend[call] = true
+			}
+		}
+		return true
+	})
+
+	// handledLit marks composite literals reported (or cleared) by their
+	// parent &T{...} so the literal itself is not re-reported.
+	handledLit := map[*ast.CompositeLit]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case u.isBuiltin(n, "make"):
+				flag(n.Pos(), "make in //icn:noalloc function %s", fd.Name.Name)
+			case u.isBuiltin(n, "new"):
+				flag(n.Pos(), "new in //icn:noalloc function %s", fd.Name.Name)
+			case u.isBuiltin(n, "append") && !allowedAppend[n]:
+				flag(n.Pos(), "append grows a fresh slice in //icn:noalloc function %s (use x = append(x, ...) scratch reuse)", fd.Name.Name)
+			}
+			if fn := u.calleeFunc(n); fn != nil && allocPkgs[funcPkgPath(fn)] {
+				flag(n.Pos(), "call to allocating stdlib function %s.%s in //icn:noalloc function %s", fn.Pkg().Name(), fn.Name(), fd.Name.Name)
+			}
+			out = append(out, u.checkCallBoxing(fd, n)...)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					handledLit[lit] = true
+					flag(n.Pos(), "escaping composite literal &%s{...} in //icn:noalloc function %s", types.ExprString(lit.Type), fd.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if handledLit[n] {
+				return true
+			}
+			t := u.typeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				flag(n.Pos(), "%s literal allocates in //icn:noalloc function %s", typeKindName(t), fd.Name.Name)
+			}
+		case *ast.FuncLit:
+			if captured := u.capturedVars(fd, n); len(captured) > 0 {
+				flag(n.Pos(), "closure captures %s in //icn:noalloc function %s", captured[0], fd.Name.Name)
+			}
+			return false // the literal's body is not part of the hot path proper
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && u.isNonConstString(n) {
+				flag(n.Pos(), "string concatenation in //icn:noalloc function %s", fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(u.typeOf(n.Lhs[0])) {
+				flag(n.Pos(), "string concatenation (+=) in //icn:noalloc function %s", fd.Name.Name)
+			}
+		case *ast.GoStmt:
+			flag(n.Pos(), "goroutine start in //icn:noalloc function %s", fd.Name.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func (u *Unit) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = u.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (u *Unit) isNonConstString(e ast.Expr) bool {
+	tv, ok := u.Info.Types[e]
+	return ok && tv.Type != nil && isStringType(tv.Type) && tv.Value == nil
+}
+
+func typeKindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+// checkCallBoxing flags arguments whose concrete, non-pointer-shaped value
+// is implicitly converted to an interface parameter — each such call boxes
+// the value on the heap. Conversions written as I(x) are caught the same
+// way via the conversion's "signature".
+func (u *Unit) checkCallBoxing(fd *ast.FuncDecl, call *ast.CallExpr) []Finding {
+	var out []Finding
+	if tv, ok := u.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Explicit conversion T(x).
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && u.boxes(call.Args[0]) {
+			out = append(out, u.finding("noalloc", call.Pos(), "interface boxing of non-pointer value in //icn:noalloc function %s", fd.Name.Name))
+		}
+		return out
+	}
+	sigType := u.typeOf(call.Fun)
+	if sigType == nil {
+		return out
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return out
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if call.Ellipsis.IsValid() {
+				pt = last
+			} else if s, ok := last.Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if u.boxes(arg) {
+			out = append(out, u.finding("noalloc", arg.Pos(), "interface boxing of non-pointer value in //icn:noalloc function %s", fd.Name.Name))
+		}
+	}
+	return out
+}
+
+// boxes reports whether passing e to an interface-typed slot heap-allocates:
+// its static type is concrete and not pointer-shaped, and the value is not
+// a constant (small constants are interned by the runtime) or nil.
+func (u *Unit) boxes(e ast.Expr) bool {
+	tv, ok := u.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return false
+	}
+	t := tv.Type
+	if types.IsInterface(t) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: fits an interface word without boxing
+	}
+	return true
+}
+
+// capturedVars returns the names of variables a func literal captures from
+// its enclosing //icn:noalloc function — captures force the closure (and
+// the captured variables) onto the heap.
+func (u *Unit) capturedVars(fd *ast.FuncDecl, lit *ast.FuncLit) []string {
+	declared := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := u.Info.Defs[id]; obj != nil {
+				declared[obj] = true
+			}
+		}
+		return true
+	})
+	var names []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := u.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || declared[obj] || seen[obj] {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but outside
+		// the literal. Package-level variables are shared, not captured.
+		if obj.Pos() >= fd.Pos() && obj.Pos() < fd.End() &&
+			!(obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+			seen[obj] = true
+			names = append(names, obj.Name())
+		}
+		return true
+	})
+	return names
+}

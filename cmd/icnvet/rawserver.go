@@ -1,0 +1,53 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// httpxPath is the one package allowed to construct http.Server values: it
+// centralises the hardened read/idle timeouts every listener must carry.
+const httpxPath = "idicn/internal/httpx"
+
+// runRawserver flags raw http.Server composite literals and the
+// http.ListenAndServe shortcuts outside internal/httpx. A server built any
+// other way ships without timeouts and is slow-loris bait.
+func runRawserver(u *Unit) []Finding {
+	if u.Path == httpxPath {
+		return nil
+	}
+	var out []Finding
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if isHTTPServerType(u.typeOf(n)) {
+					out = append(out, u.finding("rawserver", n.Pos(),
+						"raw http.Server literal; construct servers via internal/httpx for hardened timeouts"))
+				}
+			case *ast.CallExpr:
+				fn := u.calleeFunc(n)
+				if isPkgFunc(fn, "net/http", "ListenAndServe") || isPkgFunc(fn, "net/http", "ListenAndServeTLS") ||
+					isPkgFunc(fn, "net/http", "Serve") || isPkgFunc(fn, "net/http", "ServeTLS") {
+					out = append(out, u.finding("rawserver",
+						n.Pos(), "http.%s starts a server without timeouts; use internal/httpx", fn.Name()))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isHTTPServerType reports whether t is net/http.Server.
+func isHTTPServerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Server" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises the ctxfirst pass: exported functions and
+// methods must take context.Context first, and no struct may store one.
+package fixture
+
+import "context"
+
+// Fetch takes its context second — flagged.
+func Fetch(name string, ctx context.Context) error { // want "takes context.Context as parameter 2"
+	_ = ctx
+	_ = name
+	return nil
+}
+
+// Resolve takes its context first — clean.
+func Resolve(ctx context.Context, name string) error {
+	_ = ctx
+	_ = name
+	return nil
+}
+
+// unexported functions are outside the API contract — clean even ctx-last.
+func helper(name string, ctx context.Context) {
+	_ = ctx
+	_ = name
+}
+
+type session struct {
+	name string
+	ctx  context.Context // want "stores a context.Context in a struct"
+}
+
+// Run is a method: the receiver does not count as a parameter, so a leading
+// context is still first — clean.
+func (s *session) Run(ctx context.Context, tries int) {
+	_ = ctx
+	_ = tries
+	_ = s.name
+}

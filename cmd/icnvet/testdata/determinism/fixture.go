@@ -1,0 +1,46 @@
+// Package fixture exercises the determinism pass. vet_test.go declares this
+// package under idicn/internal/sim so it falls inside the seeded scopes.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func draw() int {
+	return rand.Intn(6) // want "rand.Intn draws from the global generator"
+}
+
+// seeded draws from an injected generator — clean.
+func seeded(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is random"
+		total += v
+	}
+	return total
+}
+
+// keys sorts before emitting, so the range is genuinely order-insensitive
+// and carries the documented justification directive — clean.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//icnvet:ignore determinism
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

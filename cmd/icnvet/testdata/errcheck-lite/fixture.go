@@ -1,0 +1,39 @@
+// Package fixture exercises the errcheck-lite pass: expression statements
+// dropping an error from io/os/net/encoding-family calls are flagged;
+// deferred calls and explicit blank assignments are not.
+package fixture
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+func drops(f *os.File, w io.Writer, r io.Reader) {
+	f.Close()                     // want "unchecked error from (File).Close"
+	io.Copy(w, r)                 // want "unchecked error from io.Copy"
+	json.NewEncoder(w).Encode(42) // want "unchecked error from (Encoder).Encode"
+}
+
+func deferred(f *os.File) error {
+	defer f.Close() // deferred: exempt
+	return nil
+}
+
+func decided(f *os.File) {
+	_ = f.Close() // explicit blank assignment: the drop is visible in review
+}
+
+func checked(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// fmt-family and local calls are out of scope.
+func local() {
+	noop()
+}
+
+func noop() error { return nil }

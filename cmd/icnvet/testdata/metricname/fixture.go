@@ -1,0 +1,20 @@
+// Package fixture exercises the metricname pass over real obs.Registry
+// registration calls: snake_case names with _total counters and
+// _seconds/_bytes histograms.
+package fixture
+
+import "idicn/internal/obs"
+
+func register(r *obs.Registry, component string) {
+	r.Counter("requests_total")
+	r.Counter("BadName_total")  // want "not lower snake_case"
+	r.Counter("requests_count") // want "must end in _total"
+	r.Histogram("serve_seconds", []float64{0.001, 0.01})
+	r.Histogram("object_bytes", []float64{1024})
+	r.Histogram("serve_latency", nil) // want "must end in _seconds or _bytes"
+	r.Func("queue_depth", func() int64 { return 0 })
+
+	// Concatenations: literal fragments are checked, runtime parts skipped.
+	r.Counter(component + "_served_total")
+	r.Counter("cache_" + component) // dynamic suffix: not statically checkable
+}

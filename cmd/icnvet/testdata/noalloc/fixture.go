@@ -1,0 +1,82 @@
+// Package fixture exercises the noalloc pass: every construct the pass must
+// flag inside an //icn:noalloc function, plus the idioms it must allow (the
+// scratch-slice self-append, constants into interfaces, the ignore escape
+// hatch). Flagged lines carry trailing want-markers checked by vet_test.go.
+package fixture
+
+import "strconv"
+
+var scratch []int
+
+func sink(v interface{}) { _ = v }
+
+//icn:noalloc
+func allocates(n int) int {
+	s := make([]int, n) // want "make in //icn:noalloc function allocates"
+	p := new(int)       // want "new in //icn:noalloc function allocates"
+	_ = p
+	fresh := []int{}           // want "slice literal allocates"
+	fresh = append(scratch, n) // want "append grows a fresh slice"
+	m := map[int]int{n: n}     // want "map literal allocates"
+	_ = m
+	return len(s) + len(fresh)
+}
+
+type point struct{ x, y int }
+
+//icn:noalloc
+func escapes() *point {
+	return &point{x: 1} // want "escaping composite literal"
+}
+
+//icn:noalloc
+func captures(n int) func() int {
+	return func() int { return n } // want "closure captures n"
+}
+
+//icn:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//icn:noalloc
+func boxes(n int) {
+	sink(n) // want "interface boxing of non-pointer value"
+}
+
+//icn:noalloc
+func spawns() {
+	go noop() // want "goroutine start"
+}
+
+func noop() {}
+
+//icn:noalloc
+func formats(n int) string {
+	return strconv.Itoa(n) // want "call to allocating stdlib function strconv.Itoa"
+}
+
+//icn:noalloc
+func usesBuiltins(s string) int {
+	if len(s) > 3 { // builtins are fine
+		return stringsIndex(s)
+	}
+	return 0
+}
+
+//icn:noalloc
+func reuses(n int) {
+	scratch = scratch[:0]
+	scratch = append(scratch, n)        // self-append reuse: allowed
+	scratch = append(scratch[:0], n, n) // reslice-reuse: allowed
+	sink(&scratch)                      // pointer into interface: no boxing
+	sink(nil)                           // nil into interface: no boxing
+	sink(4)                             // constant into interface: interned
+}
+
+//icn:noalloc
+func silenced(n int) []int {
+	return make([]int, n) //icnvet:ignore noalloc
+}
+
+func stringsIndex(s string) int { return len(s) }

@@ -1,0 +1,34 @@
+// Package fixture exercises the rawserver pass: http.Server literals and
+// the ListenAndServe shortcuts are flagged everywhere but internal/httpx.
+package fixture
+
+import (
+	"net"
+	"net/http"
+)
+
+func bare(mux *http.ServeMux) error {
+	srv := &http.Server{Addr: ":8080", Handler: mux} // want "raw http.Server literal"
+	return srv.ListenAndServe()
+}
+
+func value() http.Server {
+	return http.Server{Addr: ":8081"} // want "raw http.Server literal"
+}
+
+func shortcut(mux *http.ServeMux) error {
+	return http.ListenAndServe(":8080", mux) // want "http.ListenAndServe starts a server without timeouts"
+}
+
+func shortcutTLS(mux *http.ServeMux) error {
+	return http.ListenAndServeTLS(":8443", "crt", "key", mux) // want "http.ListenAndServeTLS starts a server without timeouts"
+}
+
+func onListener(ln net.Listener, mux *http.ServeMux) error {
+	return http.Serve(ln, mux) // want "http.Serve starts a server without timeouts"
+}
+
+// Clients are fine; only servers are gated.
+func fetch(c *http.Client, url string) (*http.Response, error) {
+	return c.Get(url)
+}

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoad memoizes one loader (and its type-checked module) across the
+// tests in this package: type-checking the module once is the expensive
+// part, and the loader is read-only after loading.
+var sharedLoad = sync.OnceValues(func() (*loader, error) {
+	root, err := findModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return newLoader(root)
+})
+
+func sharedLoader(t *testing.T) *loader {
+	t.Helper()
+	l, err := sharedLoad()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	return l
+}
+
+// fixturePath returns the import path a fixture is declared under. The
+// determinism fixture must sit inside the pass's scoped packages to be
+// checked at all; everything else lives under a neutral path.
+func fixturePath(pass string) string {
+	if pass == "determinism" {
+		return "idicn/internal/sim/icnvetfixture"
+	}
+	return "idicn/icnvetfixture/" + pass
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+// wantComments scans a fixture directory for `// want "substring"` markers,
+// keyed by file base name and line.
+func wantComments(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	out := make(map[string][]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+				out[key] = append(out[key], m[1])
+			}
+		}
+	}
+	return out
+}
+
+// TestFixtures runs each pass over its golden fixture package and checks
+// the findings against the fixture's `// want` comments: every want must be
+// matched by a finding on its line, every finding must be expected, and
+// every pass must actually fire at least once.
+func TestFixtures(t *testing.T) {
+	l := sharedLoader(t)
+	for _, p := range passes() {
+		t.Run(p.Name, func(t *testing.T) {
+			dir, err := filepath.Abs(filepath.Join("testdata", p.Name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, err := l.load(fixturePath(p.Name), dir)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			ignored := ignoreDirectives(u)
+			var findings []Finding
+			for _, f := range p.Run(u) {
+				if ignored[ignoreKey{file: f.File, line: f.Line, pass: f.Pass}] {
+					continue
+				}
+				findings = append(findings, f)
+			}
+			if len(findings) == 0 {
+				t.Fatalf("pass %s produced no findings on its fixture", p.Name)
+			}
+
+			want := wantComments(t, dir)
+			matched := make(map[string]map[int]bool) // key -> want index -> hit
+			for _, f := range findings {
+				key := fmt.Sprintf("%s:%d", filepath.Base(f.File), f.Line)
+				ok := false
+				for i, sub := range want[key] {
+					if strings.Contains(f.Message, sub) {
+						if matched[key] == nil {
+							matched[key] = make(map[int]bool)
+						}
+						matched[key][i] = true
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for key, subs := range want {
+				for i, sub := range subs {
+					if !matched[key][i] {
+						t.Errorf("%s: expected finding containing %q, got none", key, sub)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRepoClean is the self-check wired into the tier-1 gate from the test
+// side: the repository's own packages must be clean under every pass.
+func TestRepoClean(t *testing.T) {
+	l := sharedLoader(t)
+	units, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	for _, u := range units {
+		for _, f := range runUnit(u) {
+			t.Errorf("repo not clean: %s", f)
+		}
+	}
+}
+
+// TestNoallocReachableFromBench guards the link between the //icn:noalloc
+// annotations and the bench-smoke allocation gate: every annotated function
+// must be statically reachable from BenchmarkServeRequest, otherwise the
+// 0 allocs/op measurement no longer covers it and the annotation is
+// unverified. Test files are not type-checked by the loader, so the bench
+// itself is bridged by name: its AST (and the test helpers it calls) yield
+// the set of sim functions the benchmark enters, which seed the typed call
+// graph.
+func TestNoallocReachableFromBench(t *testing.T) {
+	l := sharedLoader(t)
+	units, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	g := buildCallGraph(units)
+
+	const simPath = "idicn/internal/sim"
+	simDir := filepath.Join(l.root, "internal", "sim")
+	fset := token.NewFileSet()
+	testDecls := make(map[string]*ast.FuncDecl)
+	entries, err := os.ReadDir(simDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(simDir, e.Name()), nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", e.Name(), err)
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				testDecls[fd.Name.Name] = fd
+			}
+		}
+	}
+	if _, ok := testDecls["BenchmarkServeRequest"]; !ok {
+		t.Fatal("BenchmarkServeRequest not found in internal/sim test files; the noalloc annotations are unverified")
+	}
+
+	// Name-level BFS through the test helpers reachable from the benchmark.
+	called := make(map[string]bool)
+	visited := make(map[string]bool)
+	queue := []string{"BenchmarkServeRequest"}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		fd := testDecls[name]
+		if fd == nil || visited[name] {
+			continue
+		}
+		visited[name] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				called[fun.Name] = true
+				queue = append(queue, fun.Name)
+			case *ast.SelectorExpr:
+				called[fun.Sel.Name] = true
+				queue = append(queue, fun.Sel.Name)
+			}
+			return true
+		})
+	}
+
+	var roots []*types.Func
+	for fn, site := range g.Decls {
+		if site.Unit.Path == simPath && called[fn.Name()] {
+			roots = append(roots, fn)
+		}
+	}
+	if len(roots) == 0 {
+		t.Fatal("no typed sim functions reachable from BenchmarkServeRequest")
+	}
+	reach := g.ReachableFrom(roots)
+
+	annotated := 0
+	for fn, site := range g.Decls {
+		if !hasDirective(site.Decl.Doc, "icn:noalloc") {
+			continue
+		}
+		annotated++
+		if !reach[fn] {
+			pos := site.Unit.Fset.Position(site.Decl.Pos())
+			t.Errorf("//icn:noalloc function %s (%s) is not reachable from BenchmarkServeRequest; the alloc gate no longer covers it", fn.FullName(), pos)
+		}
+	}
+	if annotated == 0 {
+		t.Error("no //icn:noalloc functions found in the module; the serve path has lost its annotations")
+	}
+}

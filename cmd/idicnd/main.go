@@ -228,7 +228,7 @@ func runDemo(ctx context.Context, org *origin.Server, proxyURL string) error {
 			return err
 		}
 		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close() // body fully read; nothing left to lose
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("fetch %d: status %s: %s", i, resp.Status, body)
 		}

@@ -62,7 +62,7 @@ func main() {
 			log.Fatal(err)
 		}
 		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close() // body fully read; nothing left to lose
 		fmt.Printf("fetch %d (%s): %q\n", i, resp.Header.Get("X-Cache"), body)
 	}
 	st := px.Stats()

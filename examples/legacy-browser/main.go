@@ -76,7 +76,7 @@ func main() {
 		log.Fatal(err)
 	}
 	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close() // body fully read; nothing left to lose
 	fmt.Printf("legacy fetch (%s): %q\n", resp.Header.Get("X-Cache"), body)
 
 	// --- WPAD path: PAC discovery plus client-side verification. ---

@@ -48,6 +48,8 @@ func NewIntLRU(capacity int, onEvict func(obj int32)) *IntLRU {
 
 // Lookup reports whether obj is cached, marking it most recently used and
 // updating hit/miss statistics.
+//
+//icn:noalloc
 func (c *IntLRU) Lookup(obj int32) bool {
 	slot, ok := c.index[obj]
 	if !ok {
@@ -60,6 +62,8 @@ func (c *IntLRU) Lookup(obj int32) bool {
 }
 
 // Contains reports whether obj is cached without side effects.
+//
+//icn:noalloc
 func (c *IntLRU) Contains(obj int32) bool {
 	_, ok := c.index[obj]
 	return ok
@@ -67,6 +71,8 @@ func (c *IntLRU) Contains(obj int32) bool {
 
 // Insert adds obj, marking it most recently used. Inserting a present object
 // only refreshes recency. It returns true if another object was evicted.
+//
+//icn:noalloc
 func (c *IntLRU) Insert(obj int32) (evicted bool) {
 	if c.capacity == 0 {
 		return false
@@ -118,6 +124,7 @@ func (c *IntLRU) Keys() []int32 {
 	return out
 }
 
+//icn:noalloc
 func (c *IntLRU) pushFront(slot int32) {
 	c.prev[slot] = -1
 	c.next[slot] = c.head
@@ -130,6 +137,7 @@ func (c *IntLRU) pushFront(slot int32) {
 	}
 }
 
+//icn:noalloc
 func (c *IntLRU) unlink(slot int32) {
 	p, n := c.prev[slot], c.next[slot]
 	if p >= 0 {
@@ -144,6 +152,7 @@ func (c *IntLRU) unlink(slot int32) {
 	}
 }
 
+//icn:noalloc
 func (c *IntLRU) moveToFront(slot int32) {
 	if c.head == slot {
 		return
@@ -152,6 +161,7 @@ func (c *IntLRU) moveToFront(slot int32) {
 	c.pushFront(slot)
 }
 
+//icn:noalloc
 func (c *IntLRU) evictTail() {
 	slot := c.tail
 	if slot < 0 {

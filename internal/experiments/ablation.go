@@ -87,6 +87,6 @@ func FormatAblation(rows []AblationRow) string {
 			r.Improvements["EDGE-Norm"].Latency,
 			r.NRvsEdge.Latency)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }

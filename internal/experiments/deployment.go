@@ -119,6 +119,6 @@ func FormatDeployment(rows []DeploymentRow) string {
 		fmt.Fprintf(w, "%.2f\t%d\t%.2f\t%.2f\t%.2f\n",
 			r.Fraction, r.DeployedPoPs, r.DeployedImprovement, r.UndeployedImprovement, r.OverallImprovement)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }

@@ -122,6 +122,6 @@ func FormatDepthProfile(profiles []DepthProfile, analytic []float64) string {
 			row(p.Design+" (hit<=L)", p.HitRatio)
 		}
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }

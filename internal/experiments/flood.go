@@ -117,6 +117,6 @@ func FormatFlood(rows []FloodRow) string {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.3f\t%d\t%.2f\n", r.Design, r.OriginShare, r.MaxOriginLoad, r.Improvement.OriginLoad)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }

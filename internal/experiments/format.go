@@ -16,7 +16,7 @@ func FormatTable2(rows []Table2Row) string {
 		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.3f\t%.2f\n",
 			r.Location, r.Requests, r.AlphaFit, r.AlphaMLE, r.R2, r.PaperAlpha)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }
 
@@ -38,7 +38,7 @@ func FormatFigure2(rows []Figure2Row) string {
 		}
 		fmt.Fprintln(w, "\t")
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }
 
@@ -52,7 +52,7 @@ func FormatFigure(rows []FigureRow) string {
 		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%.2f\n",
 			r.Topology, r.Design, r.Imp.Latency, r.Imp.Congestion, r.Imp.OriginLoad)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }
 
@@ -64,7 +64,7 @@ func FormatSweep(xLabel string, points []SweepPoint) string {
 	for _, pt := range points {
 		fmt.Fprintf(w, "%g\t%.2f\t%.2f\t%.2f\n", pt.X, pt.Gap.Latency, pt.Gap.Congestion, pt.Gap.OriginLoad)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }
 
@@ -76,7 +76,7 @@ func FormatFigure9(steps []Figure9Step) string {
 	for _, s := range steps {
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", s.Name, s.Gap.Latency, s.Gap.Congestion, s.Gap.OriginLoad)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }
 
@@ -88,7 +88,7 @@ func FormatFigure10(rows []Figure10Row) string {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", r.Variant, r.Gap.Latency, r.Gap.Congestion, r.Gap.OriginLoad)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }
 
@@ -100,7 +100,7 @@ func FormatTable3(rows []Table3Row) string {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", r.Topology, r.TraceGap, r.SynthGap, r.Difference)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }
 
@@ -112,7 +112,7 @@ func FormatTable4(rows []Table4Row) string {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%d\t%d\t%.2f\t%.2f\t%.2f\n", r.Arity, r.Depth, r.LatencyGain, r.CongestionGain, r.OriginGain)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }
 
@@ -124,7 +124,7 @@ func FormatNamedGaps(title string, rows []NamedGap) string {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", r.Name, r.Gap.Latency, r.Gap.Congestion, r.Gap.OriginLoad)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }
 
@@ -132,6 +132,8 @@ func FormatNamedGaps(title string, rows []NamedGap) string {
 func FormatFigure1(series map[string][]int64, points int) string {
 	var b strings.Builder
 	names := make([]string, 0, len(series))
+	// Order-insensitive: the keys are collected and sorted before any output.
+	//icnvet:ignore determinism
 	for name := range series {
 		names = append(names, name)
 	}
@@ -155,6 +157,15 @@ func newTab(b *strings.Builder) *tabwriter.Writer {
 	return tabwriter.NewWriter(b, 2, 4, 2, ' ', 0)
 }
 
+// flushTab completes a table built with newTab. Every table in this package
+// renders into a strings.Builder, which cannot fail, so a flush error can
+// only mean a programming bug — surface it instead of dropping it.
+func flushTab(w *tabwriter.Writer) {
+	if err := w.Flush(); err != nil {
+		panic("experiments: tabwriter flush: " + err.Error())
+	}
+}
+
 // FormatDegradation renders the failure-degradation curve.
 func FormatDegradation(rows []DegradationRow) string {
 	var b strings.Builder
@@ -168,6 +179,6 @@ func FormatDegradation(rows []DegradationRow) string {
 		fmt.Fprintf(w, "%s\t%.2f\t%s\t%.2f\t%.2f\t%.2f\t%.1f\n",
 			r.Design, r.FailFraction, res, r.Imp.Latency, r.Imp.Congestion, r.Imp.OriginLoad, r.RetainedLatency)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }

@@ -34,9 +34,10 @@ func AblationPolicyOptimality(p Params) ([]PolicyOptimalityRow, error) {
 		capacity = 1
 	}
 
-	// Split the stream into per-leaf sub-sequences.
+	// Split the stream into per-leaf sub-sequences, indexed densely by
+	// (PoP, leaf) so the replay order below is deterministic.
 	leaves := cfg.Network.LeavesPerTree()
-	streams := make(map[int][]int32)
+	streams := make([][]int32, cfg.Network.PoPs()*leaves)
 	for _, q := range reqs {
 		k := int(q.PoP)*leaves + int(q.Leaf)
 		streams[k] = append(streams[k], q.Object)
@@ -47,7 +48,9 @@ func AblationPolicyOptimality(p Params) ([]PolicyOptimalityRow, error) {
 	// order-insensitive sums, so results are deterministic.
 	seqs := make([][]int32, 0, len(streams))
 	for _, seq := range streams {
-		seqs = append(seqs, seq)
+		if len(seq) > 0 {
+			seqs = append(seqs, seq)
+		}
 	}
 	var total, lruHits, lfuHits, optHits atomic.Int64
 	workers := p.Workers
@@ -106,6 +109,6 @@ func FormatPolicyOptimality(rows []PolicyOptimalityRow) string {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.3f\t%.3f\n", r.Policy, r.HitRatio, r.FractionOfOpt)
 	}
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }

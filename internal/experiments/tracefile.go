@@ -127,6 +127,6 @@ func tabulate(tsv string) string {
 	var b strings.Builder
 	w := newTab(&b)
 	fmt.Fprint(w, tsv)
-	w.Flush()
+	flushTab(w)
 	return b.String()
 }

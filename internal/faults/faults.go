@@ -133,7 +133,7 @@ func (p *Plan) Injector(component string) *Injector {
 		}
 	}
 	h := fnv.New64a()
-	io.WriteString(h, component)
+	_, _ = io.WriteString(h, component) // fnv's Write cannot fail
 	inj.rng = rand.New(rand.NewSource(p.Seed ^ int64(h.Sum64())))
 	return inj
 }
@@ -311,6 +311,9 @@ func (i *Injector) Middleware(next http.Handler) http.Handler {
 // transfer rather than a clean short body.
 type faultyWriter struct {
 	http.ResponseWriter
+	// Write cannot take a context, so the wrapper carries its request's;
+	// the writer never outlives the ServeHTTP call that created it.
+	//icnvet:ignore ctxfirst
 	ctx       context.Context
 	remaining int64 // -1 = unlimited
 	slow      time.Duration
@@ -402,7 +405,10 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 // Hitting the truncation budget surfaces an unexpected-EOF error, matching
 // what a severed TCP stream produces.
 type faultyBody struct {
-	rc        io.ReadCloser
+	rc io.ReadCloser
+	// Read cannot take a context, so the wrapper carries its request's;
+	// the body never outlives the round trip that produced it.
+	//icnvet:ignore ctxfirst
 	ctx       context.Context
 	remaining int64 // -1 = unlimited
 	slow      time.Duration

@@ -59,7 +59,7 @@ func DiscoverPAC(ctx context.Context, hc *http.Client, cfg NetworkConfig) (*PAC,
 			continue
 		}
 		body, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		resp.Body.Close()
+		_ = resp.Body.Close() // best-effort: the read result decides below
 		if resp.StatusCode != http.StatusOK || readErr != nil {
 			lastErr = fmt.Errorf("client: %s: status %s", u, resp.Status)
 			continue

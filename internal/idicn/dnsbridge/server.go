@@ -93,7 +93,8 @@ func (s *Server) serve() {
 			continue
 		}
 		if resp := s.handle(buf[:n]); resp != nil {
-			s.conn.WriteToUDP(resp, peer)
+			// DNS over UDP is best-effort: a failed send means the client retries.
+			_, _ = s.conn.WriteToUDP(resp, peer)
 		}
 	}
 }

@@ -131,7 +131,7 @@ func (h *Host) Move(ctx context.Context) error {
 	old := h.srv
 	h.mu.Unlock()
 	if old != nil {
-		old.Close()
+		_ = old.Close() // the move severs in-flight transfers by design
 	}
 	if err := h.listen(); err != nil {
 		return err

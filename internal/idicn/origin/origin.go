@@ -259,7 +259,7 @@ func (s *Server) serveMetalink(w http.ResponseWriter, r *http.Request, label str
 		return
 	}
 	w.Header().Set("Content-Type", "application/metalink4+xml")
-	w.Write(doc)
+	_, _ = w.Write(doc) // client disconnects surface on its side
 }
 
 // PublishDir publishes every regular file under dir (non-recursively),

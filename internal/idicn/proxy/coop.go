@@ -64,7 +64,7 @@ func (p *Proxy) lookupPeers(ctx context.Context, n names.Name) *CachedObject {
 			continue
 		}
 		body, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<28))
-		resp.Body.Close()
+		_ = resp.Body.Close() // best-effort: the read result decides below
 		if resp.StatusCode != http.StatusOK || readErr != nil {
 			continue
 		}
@@ -100,5 +100,5 @@ func (p *Proxy) serveCoopLookup(w http.ResponseWriter, n names.Name) {
 		w.Header().Set("Content-Type", obj.ContentType)
 	}
 	w.Header().Set("X-Cache", "PEER")
-	w.Write(obj.Body)
+	_, _ = w.Write(obj.Body) // a disconnected peer is its problem, not ours
 }

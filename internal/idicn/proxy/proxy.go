@@ -444,7 +444,9 @@ func (p *Proxy) serveLegacy(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	// The status line is already on the wire; a copy error only means the
+	// client or upstream went away mid-body, which each side sees itself.
+	_, _ = io.Copy(w, resp.Body)
 }
 
 // CacheLen returns the number of cached objects.

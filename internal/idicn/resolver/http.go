@@ -36,7 +36,7 @@ func NewServer(reg *Registry) *Server {
 	s.mux.HandleFunc("GET /names", s.handleNames)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "ok\n")
+		_, _ = io.WriteString(w, "ok\n")
 	})
 	return s
 }
@@ -58,7 +58,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	switch err := s.Registry.Register(r.Context(), reg); {
 	case err == nil:
 		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "registered\n")
+		_, _ = io.WriteString(w, "registered\n")
 	case errors.Is(err, ErrStaleSeq):
 		http.Error(w, err.Error(), http.StatusConflict)
 	default:
@@ -78,12 +78,12 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(res)
+	_ = json.NewEncoder(w).Encode(res) // Result always marshals; send errors are the client's
 }
 
 func (s *Server) handleNames(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.Registry.Names())
+	_ = json.NewEncoder(w).Encode(s.Registry.Names()) // []string always marshals
 }
 
 // Client talks to a resolver Server.

@@ -345,6 +345,8 @@ func (e *Engine) CacheCount() int {
 
 // admissible reports whether a cache node may serve right now (exists, is not
 // blacked out by the failure plan, and is under its capacity limit).
+//
+//icn:noalloc
 func (e *Engine) admissible(n topo.NodeID) bool {
 	if e.caches[n] == nil {
 		return false
@@ -361,6 +363,8 @@ func (e *Engine) admissible(n topo.NodeID) bool {
 // edgeCost returns the latency cost of one hop under the configured model.
 // For tree hops, childDepth is the depth of the lower endpoint; core hops
 // pass childDepth < 0.
+//
+//icn:noalloc
 func (e *Engine) edgeCost(childDepth int) float64 {
 	switch e.cfg.Latency {
 	case LatencyArithmetic:
@@ -379,6 +383,8 @@ func (e *Engine) edgeCost(childDepth int) float64 {
 }
 
 // loadOf returns the congestion weight of transferring obj across one link.
+//
+//icn:noalloc
 func (e *Engine) loadOf(obj int32) int64 {
 	if e.cfg.Sizes != nil {
 		return e.cfg.Sizes[obj]
@@ -508,6 +514,8 @@ func (e *Engine) result(n int64, snap *snapshot) Result {
 }
 
 // addLatency charges a request's latency to the totals and its arrival PoP.
+//
+//icn:noalloc
 func (e *Engine) addLatency(pop int32, v float64) {
 	e.totalLatency += v
 	e.popLatency[pop] += v
@@ -517,6 +525,8 @@ func (e *Engine) addLatency(pop int32, v float64) {
 // finish completes one request: it charges the latency and, when an Observer
 // is attached, emits the serve event. The nil check is the observability
 // layer's entire hot-path cost when disabled.
+//
+//icn:noalloc
 func (e *Engine) finish(q Request, level ServeLevel, depth, lookupHops int, latency float64) {
 	e.addLatency(q.PoP, latency)
 	if e.obs != nil {
@@ -531,6 +541,7 @@ func (e *Engine) finish(q Request, level ServeLevel, depth, lookupHops int, late
 	}
 }
 
+//icn:noalloc
 func (e *Engine) serveRequest(q Request) {
 	if e.cfg.Routing == RouteNearestReplica {
 		// With the resolution system down (FailureEpoch.ResolverDown) the
@@ -550,6 +561,8 @@ func (e *Engine) serveRequest(q Request) {
 // serveShortestPath walks the request up its access tree and across the
 // backbone toward the origin, serving from the first admissible cache hit
 // (with optional sibling cooperation), else from the origin.
+//
+//icn:noalloc
 func (e *Engine) serveShortestPath(q Request) {
 	net := e.net
 	pop := int(q.PoP)
@@ -621,6 +634,8 @@ func (e *Engine) serveShortestPath(q Request) {
 // All working state (BFS queue, predecessor table, ancestor marks, result
 // path) lives in Engine scratch slices reused across requests; the returned
 // path aliases e.scopePath and is valid until the next lookupScope call.
+//
+//icn:noalloc
 func (e *Engine) lookupScope(pop int, local int32, obj int32) (int32, []int32, bool) {
 	net := e.net
 	// Ancestors of local are excluded as candidates.
@@ -681,6 +696,8 @@ func (e *Engine) lookupScope(pop int, local int32, obj int32) (int32, []int32, b
 
 // resetScopeScratch restores the touched entries of the cooperative-lookup
 // tables to their idle state, in O(nodes visited) rather than O(tree size).
+//
+//icn:noalloc
 func (e *Engine) resetScopeScratch() {
 	for _, n := range e.scopeTouched {
 		e.scopePrev[n] = scopeUnseen
@@ -692,6 +709,8 @@ func (e *Engine) resetScopeScratch() {
 
 // treeEdgeCost returns the latency cost of the tree edge between two
 // adjacent locals.
+//
+//icn:noalloc
 func (e *Engine) treeEdgeCost(a, b int32) float64 {
 	child := a
 	if e.net.DepthOf(b) > e.net.DepthOf(a) {
@@ -702,6 +721,8 @@ func (e *Engine) treeEdgeCost(a, b int32) float64 {
 
 // recordServe updates serve statistics for a cache hit at request-path index
 // i, charges the node's capacity, and returns where the hit landed.
+//
+//icn:noalloc
 func (e *Engine) recordServe(node topo.NodeID, i int, q Request) ServeLevel {
 	e.markServed(node)
 	_, local := e.net.Split(node)
@@ -718,6 +739,7 @@ func (e *Engine) recordServe(node topo.NodeID, i int, q Request) ServeLevel {
 	}
 }
 
+//icn:noalloc
 func (e *Engine) markServed(node topo.NodeID) {
 	if e.served != nil {
 		e.served[node]++
@@ -729,6 +751,8 @@ func (e *Engine) markServed(node topo.NodeID) {
 // deliver ships the object from request-path index srcIdx back to the leaf
 // (index 0), charging each link crossed and inserting the object at every
 // caching node on the way (the serving node itself was already touched).
+//
+//icn:noalloc
 func (e *Engine) deliver(srcIdx int, obj int32) {
 	load := e.loadOf(obj)
 	for i := srcIdx - 1; i >= 0; i-- {
@@ -748,6 +772,8 @@ func (e *Engine) deliver(srcIdx int, obj int32) {
 // (path[0]) to the request-path node at missIdx (path[len-1]), then down the
 // original request path to the leaf. Every caching node on the way except
 // the server stores the object.
+//
+//icn:noalloc
 func (e *Engine) deliverVia(missIdx int, path []int32, q Request) {
 	load := e.loadOf(q.Object)
 	pop := int(e.steps[missIdx].pop)
@@ -767,6 +793,7 @@ func (e *Engine) deliverVia(missIdx int, path []int32, q Request) {
 	e.deliver(missIdx, q.Object)
 }
 
+//icn:noalloc
 func (e *Engine) chargeLink(a, b step, load int64) {
 	if a.pop == b.pop {
 		// Tree link identified by its lower endpoint (the deeper local).
@@ -780,6 +807,7 @@ func (e *Engine) chargeLink(a, b step, load int64) {
 	}
 }
 
+//icn:noalloc
 func (e *Engine) insert(node topo.NodeID, obj int32) {
 	if e.failed != nil && e.failed[node] {
 		return // a blacked-out node neither serves nor admits new content
@@ -795,6 +823,8 @@ func (e *Engine) insert(node topo.NodeID, obj int32) {
 // serveNearestReplica implements ICN-NR: the request goes to the closest
 // cached copy (zero-cost lookup), falling back to the origin when the origin
 // is at least as close or no admissible replica exists.
+//
+//icn:noalloc
 func (e *Engine) serveNearestReplica(q Request) {
 	net := e.net
 	pop := int(q.PoP)
@@ -840,6 +870,8 @@ func (e *Engine) serveNearestReplica(q Request) {
 // far the replica lookup reached (0 for leaf hits and origin serves) and
 // extra is a fixed latency surcharge (the NR lookup penalty), both folded
 // into the request's completion accounting.
+//
+//icn:noalloc
 func (e *Engine) serveFromNode(q Request, src topo.NodeID, leafLocal int32, lookupHops int, extra float64) {
 	net := e.net
 	pop := int(q.PoP)

@@ -24,6 +24,7 @@ func newReplicaIndex(objects int) *replicaIndex {
 	return &replicaIndex{perObj: make([][]topo.NodeID, objects)}
 }
 
+//icn:noalloc
 func (ri *replicaIndex) add(obj int32, node topo.NodeID) {
 	s := ri.perObj[obj]
 	i, found := slices.BinarySearch(s, node)
@@ -36,6 +37,7 @@ func (ri *replicaIndex) add(obj int32, node topo.NodeID) {
 	ri.perObj[obj] = s
 }
 
+//icn:noalloc
 func (ri *replicaIndex) remove(obj int32, node topo.NodeID) {
 	s := ri.perObj[obj]
 	i, found := slices.BinarySearch(s, node)
@@ -54,6 +56,8 @@ func (ri *replicaIndex) count(obj int32) int { return len(ri.perObj[obj]) }
 // admissible. Distance decomposes structurally: same-tree replicas use the
 // LCA tree distance; cross-tree replicas cost
 // leafDepth + coreDist + replicaDepth.
+//
+//icn:noalloc
 func (ri *replicaIndex) nearest(net *topo.Network, pop int, leafLocal int32, obj int32,
 	ok func(topo.NodeID) bool) (best topo.NodeID, dist int, found bool) {
 	s := ri.perObj[obj]

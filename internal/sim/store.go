@@ -15,20 +15,30 @@ type store interface {
 
 type lruStore struct{ c *cache.IntLRU }
 
-func (s lruStore) Lookup(obj int32) bool   { return s.c.Lookup(obj) }
+//icn:noalloc
+func (s lruStore) Lookup(obj int32) bool { return s.c.Lookup(obj) }
+
+//icn:noalloc
 func (s lruStore) Contains(obj int32) bool { return s.c.Contains(obj) }
-func (s lruStore) Insert(obj int32)        { s.c.Insert(obj) }
-func (s lruStore) Len() int                { return s.c.Len() }
+
+//icn:noalloc
+func (s lruStore) Insert(obj int32) { s.c.Insert(obj) }
+func (s lruStore) Len() int         { return s.c.Len() }
 
 type lfuStore struct{ c *cache.LFU[int32, struct{}] }
 
+//icn:noalloc
 func (s lfuStore) Lookup(obj int32) bool {
 	_, ok := s.c.Get(obj)
 	return ok
 }
+
+//icn:noalloc
 func (s lfuStore) Contains(obj int32) bool { return s.c.Contains(obj) }
-func (s lfuStore) Insert(obj int32)        { s.c.Put(obj, struct{}{}) }
-func (s lfuStore) Len() int                { return s.c.Len() }
+
+//icn:noalloc
+func (s lfuStore) Insert(obj int32) { s.c.Put(obj, struct{}{}) }
+func (s lfuStore) Len() int         { return s.c.Len() }
 
 // sizedStore adapts the byte-budget LRU for heterogeneous object sizes.
 type sizedStore struct {
@@ -36,7 +46,12 @@ type sizedStore struct {
 	sizes []int64
 }
 
-func (s sizedStore) Lookup(obj int32) bool   { return s.c.Lookup(obj) }
+//icn:noalloc
+func (s sizedStore) Lookup(obj int32) bool { return s.c.Lookup(obj) }
+
+//icn:noalloc
 func (s sizedStore) Contains(obj int32) bool { return s.c.Contains(obj) }
-func (s sizedStore) Insert(obj int32)        { s.c.Insert(obj, s.sizes[obj]) }
-func (s sizedStore) Len() int                { return s.c.Len() }
+
+//icn:noalloc
+func (s sizedStore) Insert(obj int32) { s.c.Insert(obj, s.sizes[obj]) }
+func (s sizedStore) Len() int         { return s.c.Len() }
