@@ -3,9 +3,17 @@
 
 GO ?= go
 
-.PHONY: check fmtcheck lint vet build test race bench-smoke chaos-smoke bench bench-json clean
+.PHONY: check fmtcheck lint vet build test race bench-smoke chaos-smoke alloc-gate bench bench-all bench-json clean
 
 check: fmtcheck lint vet build test race chaos-smoke bench-smoke
+
+# The serve-path allocation gate, shared by bench-smoke and the Makefile
+# test in alloc_gate_test.go. `go test -benchmem` reports allocs/op as a
+# rounded integer, but BENCH_sim.json records fractional values (e.g.
+# 0.0166 for EDGE), so the threshold is explicit: a BenchmarkServeRequest
+# line with allocs/op >= 0.5 — anything that would round to a nonzero
+# integer — fails.
+ALLOC_GATE_AWK = /^BenchmarkServeRequest\// && $$NF == "allocs/op" && $$(NF-1)+0 >= 0.5 { bad = 1; print "alloc-gate: FAIL: serve path allocates: " $$0 } END { exit bad }
 
 # Project-invariant static analysis (see README "Static analysis"): the
 # icnvet suite must report zero findings on the repository.
@@ -36,13 +44,20 @@ race:
 # One iteration of the perf-critical benchmarks: proves they still compile
 # and run, without the minutes-long full benchmark pass. The first run also
 # gates the zero-alloc contract: BenchmarkServeRequest (observer disabled)
-# must report 0 allocs/op; the Observed variant is tracked but not gated.
+# must stay under the ALLOC_GATE_AWK threshold; the Observed variant is
+# tracked but not gated.
 bench-smoke:
 	@out="$$($(GO) test ./internal/sim -run '^$$' -bench '^BenchmarkServeRequest$$' -benchtime 1000x -benchmem)" || { echo "$$out"; exit 1; }; \
 	echo "$$out"; \
-	echo "$$out" | awk '/^BenchmarkServeRequest\// && $$NF == "allocs/op" && $$(NF-1)+0 > 0 { bad = 1; print "bench-smoke: FAIL: serve path allocates with observer disabled: " $$0 } END { exit bad }'
+	echo "$$out" | awk '$(ALLOC_GATE_AWK)'
 	$(GO) test ./internal/sim -run '^$$' -bench '^BenchmarkServeRequestObserved$$' -benchtime 1000x -benchmem
 	$(GO) test . -run '^$$' -bench 'BenchmarkFigure6Parallel' -benchtime 1x
+
+# Apply the allocation gate to benchmark output piped on stdin. Exists so
+# the gate's exact threshold is testable (see alloc_gate_test.go) and
+# reusable from CI pipelines that already hold a benchmark transcript.
+alloc-gate:
+	@awk '$(ALLOC_GATE_AWK)'
 
 # The stack-level chaos drill under the race detector: a seeded resolver
 # blackout over 30% of a run must leave >= 99% of requests completing via
@@ -50,8 +65,13 @@ bench-smoke:
 chaos-smoke:
 	$(GO) test -race -count=1 -run '^TestChaosResolverBlackout$$' ./internal/idicn/integration
 
-# Full benchmark pass over every artifact regeneration.
+# Measure sharded streaming throughput at 1, half, and all cores and append
+# the timestamped requests_per_sec series to the committed perf log.
 bench:
+	$(GO) run ./cmd/icnsim -bench-append BENCH_sim.json
+
+# Full benchmark pass over every artifact regeneration.
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 # Regenerate the machine-readable perf log committed at the repo root.

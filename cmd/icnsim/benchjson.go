@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"reflect"
 	"testing"
+	"time"
 
 	"idicn/internal/experiments"
 	"idicn/internal/sim"
@@ -24,6 +26,13 @@ type BenchRecord struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	Workers     int     `json:"workers,omitempty"`
+
+	// RequestsPerSec and Time are set by the sharded streaming series
+	// (`make bench` / icnsim -bench-append): end-to-end throughput of one
+	// RunStream at the record's worker count, stamped when measured so the
+	// series accumulates a history across PRs.
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
+	Time           string  `json:"time,omitempty"`
 }
 
 // writeBenchJSON runs the simulator's hot-path benchmarks via
@@ -97,6 +106,8 @@ func writeBenchJSON(path string) error {
 		}
 	}
 
+	records = append(records, shardedStreamRecords()...)
+
 	out, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		return err
@@ -106,5 +117,105 @@ func writeBenchJSON(path string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "icnsim: wrote %d benchmark records to %s\n", len(records), path)
+	return nil
+}
+
+// streamWorkerCounts is the bench series' worker ladder: one core, half the
+// cores, all cores — deduplicated, so a single-core machine contributes one
+// honest row instead of three identical ones.
+func streamWorkerCounts() []int {
+	all := sim.DefaultWorkers()
+	half := all / 2
+	if half < 1 {
+		half = 1
+	}
+	counts := []int{1}
+	if half > 1 {
+		counts = append(counts, half)
+	}
+	if all > half {
+		counts = append(counts, all)
+	}
+	return counts
+}
+
+// shardedStreamRecords measures end-to-end sharded streaming throughput
+// (sim.RunStream) at 1, half, and all cores on a fixed 2M-request EDGE
+// workload, verifying along the way that every worker count produces the
+// identical Result. Invoked by both -bench-json and -bench-append.
+func shardedStreamRecords() []BenchRecord {
+	stamp := time.Now().UTC().Format(time.RFC3339)
+	tp := topo.ATT()
+	net := topo.NewNetwork(tp, 2, 4)
+	const objects = 20000
+	const requests = 2_000_000
+	weights := tp.PopulationWeights()
+	origins := trace.OriginAssignment(objects, weights, true, 3)
+	reqs := trace.NewSyntheticRequests(trace.StreamConfig{
+		Requests: requests, Objects: objects, Alpha: 1.04,
+		PoPWeights: weights, Leaves: net.LeavesPerTree(), Seed: 7,
+		TemporalLocality: 0.7,
+	})
+	cfg := sim.EDGE.Apply(sim.Config{
+		Network: net, Objects: objects, Origins: origins,
+		BudgetFraction: 0.05, BudgetPolicy: sim.BudgetProportional,
+	})
+
+	var records []BenchRecord
+	var want sim.Result
+	for i, workers := range streamWorkerCounts() {
+		opt := sim.StreamOptions{Workers: workers}
+		got, err := sim.RunStream(cfg, trace.Requests(reqs), opt)
+		if err != nil {
+			panic(fmt.Sprintf("icnsim: sharded bench: %v", err))
+		}
+		if i == 0 {
+			want = got
+		} else if !reflect.DeepEqual(got, want) {
+			panic(fmt.Sprintf("icnsim: sharded bench: Workers=%d result differs from Workers=1", workers))
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunStream(cfg, trace.Requests(reqs), opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		perReq := float64(res.NsPerOp()) / requests
+		records = append(records, BenchRecord{
+			Name:           "ShardedStream/EDGE",
+			Unit:           "request",
+			NsPerOp:        perReq,
+			Workers:        workers,
+			RequestsPerSec: 1e9 / perReq,
+			Time:           stamp,
+		})
+	}
+	return records
+}
+
+// appendBenchJSON appends a freshly measured sharded-throughput series to
+// the perf log, preserving existing records — `make bench` uses it to grow
+// a timestamped requests_per_sec history.
+func appendBenchJSON(path string) error {
+	var records []BenchRecord
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	fresh := shardedStreamRecords()
+	records = append(records, fresh...)
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "icnsim: appended %d sharded-throughput records to %s\n", len(fresh), path)
 	return nil
 }

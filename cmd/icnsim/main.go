@@ -58,6 +58,11 @@ func main() {
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchJSON   = flag.String("bench-json", "", "run the hot-path benchmarks and write ns/op + allocs/op JSON to this file, then exit")
+		benchAppend = flag.String("bench-append", "", "run the sharded-throughput benchmarks and append timestamped requests_per_sec records to this JSON file, then exit")
+		stream      = flag.Int64("stream", 0, "run one sharded streaming simulation over this many synthetic requests (or a -trace binary file) and print throughput + peak RSS, then exit")
+		users       = flag.Int("users", 0, "fixed user population for -stream synthetic workloads (0 = per-request sampling)")
+		epochLen    = flag.Int("epoch", 0, "epoch length in requests for sharded streaming runs (0 = default)")
+		streamDes   = flag.String("stream-design", "EDGE", "design for the -stream run (ICN-SP, ICN-NR, EDGE, EDGE-Coop, EDGE-Norm)")
 		metricsJSON = flag.String("metrics-json", "", "attach a metrics observer to every run and write its histograms (serve levels, latency, lookup hops, evictions) as JSON to this file; \"-\" writes to stdout")
 	)
 	flag.Parse()
@@ -88,6 +93,12 @@ func main() {
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON); err != nil {
 			fatalf("icnsim: bench-json: %v", err)
+		}
+		return
+	}
+	if *benchAppend != "" {
+		if err := appendBenchJSON(*benchAppend); err != nil {
+			fatalf("icnsim: bench-append: %v", err)
 		}
 		return
 	}
@@ -136,6 +147,14 @@ func main() {
 
 	if *workers > 0 {
 		fmt.Fprintf(os.Stderr, "icnsim: using %d workers\n", *workers)
+	}
+	if *stream > 0 || (*traceFile != "" && *exp == "all" && experiments.IsBinaryTrace(*traceFile)) {
+		// A sharded streaming run: synthetic (-stream N) or from a recorded
+		// binary trace (-trace FILE, alone or with -stream).
+		if err := runStreamScale(p, *stream, *users, *streamDes, *traceFile, *epochLen); err != nil {
+			fatalf("icnsim: stream: %v", err)
+		}
+		return
 	}
 	var failFractions []float64
 	if *failures != "" {
@@ -370,7 +389,13 @@ func run(id string, p experiments.Params, failFractions []float64) error {
 		if p.TraceFile == "" {
 			return fmt.Errorf("trace-designs requires -trace <file>")
 		}
-		rows, err := experiments.TraceDrivenDesigns(p, p.TraceFile)
+		var rows []experiments.FigureRow
+		var err error
+		if experiments.IsBinaryTrace(p.TraceFile) {
+			rows, err = experiments.StreamDesigns(p, p.TraceFile)
+		} else {
+			rows, err = experiments.TraceDrivenDesigns(p, p.TraceFile)
+		}
 		if err != nil {
 			return err
 		}

@@ -6,13 +6,15 @@ import (
 )
 
 // determinismScopes are the packages whose results must be exactly
-// reproducible from a seed: the simulator, the experiment sweeps, and the
-// fault-injection harness. Randomness there must flow from an injected
-// seeded *rand.Rand, never the wall clock or the global generator.
+// reproducible from a seed: the simulator, the experiment sweeps, the
+// fault-injection harness, and the trace generators/codecs feeding them.
+// Randomness there must flow from an injected seeded *rand.Rand, never the
+// wall clock or the global generator.
 var determinismScopes = []string{
 	"idicn/internal/sim",
 	"idicn/internal/experiments",
 	"idicn/internal/faults",
+	"idicn/internal/trace",
 }
 
 // clockFuncs are time-package functions that read the wall clock.

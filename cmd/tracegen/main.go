@@ -1,42 +1,53 @@
 // Command tracegen synthesizes CDN request logs in the format of the
 // paper's dataset (anonymized client, anonymized URL, object size,
-// served-locally flag).
+// served-locally flag), or compact binary simulator traces.
 //
 // Usage:
 //
 //	tracegen -vantage asia [-scale 0.1] [-o asia.log]
 //	tracegen -requests 500000 -objects 20000 -alpha 1.1 -o custom.log
+//	tracegen -format binary -topology ATT -requests 100000000 -users 2000000 \
+//	         -objects 1000000 -locality 0.7 -o big.itrace
 //
-// Generated logs can be fitted with zipffit or fed to the simulator.
+// Text logs can be fitted with zipffit or fed to the simulator
+// (icnsim -exp trace-designs -trace FILE). Binary traces (-format binary)
+// use the compact varint-delta record format streamed by the sharded
+// simulator: records carry (PoP, leaf, object) against a fixed topology, so
+// the topology flags must match the simulation's. Binary generation is
+// streaming — a 10⁹-request trace needs constant memory.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"idicn/internal/topo"
 	"idicn/internal/trace"
 )
 
 func main() {
 	var (
-		vantage  = flag.String("vantage", "", "preset vantage point: us, europe, asia")
+		format   = flag.String("format", "log", "output format: log (text CDN log) or binary (compact simulator trace)")
+		vantage  = flag.String("vantage", "", "preset vantage point: us, europe, asia (log format only)")
 		scale    = flag.Float64("scale", 0.05, "scale for preset vantage points")
 		requests = flag.Int("requests", 100000, "request count (custom model)")
 		objects  = flag.Int("objects", 5000, "object-universe size (custom model)")
 		alpha    = flag.Float64("alpha", 1.0, "Zipf exponent (custom model)")
 		seed     = flag.Int64("seed", 1, "random seed (custom model)")
 		output   = flag.String("o", "-", "output file (default stdout)")
+
+		topoName = flag.String("topology", "ATT", "backbone topology for binary traces (must match the simulation)")
+		arity    = flag.Int("arity", 2, "access-tree arity (binary format)")
+		depth    = flag.Int("depth", 5, "access-tree depth (binary format)")
+		locality = flag.Float64("locality", 0, "temporal locality in [0, 1) (binary format)")
+		skew     = flag.Float64("skew", 0, "spatial popularity skew in [0, 1] (binary format)")
+		users    = flag.Int("users", 0, "fixed user population; each user has a stable home leaf (binary format)")
 	)
 	flag.Parse()
-
-	model, err := pickModel(*vantage, *scale, *requests, *objects, *alpha, *seed)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(2)
-	}
 
 	out := os.Stdout
 	if *output != "-" {
@@ -48,13 +59,60 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	n, err := generate(model, out)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+
+	switch *format {
+	case "log":
+		model, err := pickModel(*vantage, *scale, *requests, *objects, *alpha, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(2)
+		}
+		n, err := generate(model, out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d records (model %s, alpha %.2f, %d objects)\n",
+			n, model.Name, model.Alpha, model.Objects)
+	case "binary":
+		tp := topo.ByName(*topoName)
+		if tp == nil {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown topology %q\n", *topoName)
+			os.Exit(2)
+		}
+		net := topo.NewNetwork(tp, *arity, *depth)
+		cfg := trace.StreamConfig{
+			Requests:         *requests,
+			Objects:          *objects,
+			Alpha:            *alpha,
+			SpatialSkew:      *skew,
+			PoPWeights:       tp.PopulationWeights(),
+			Leaves:           net.LeavesPerTree(),
+			Seed:             *seed,
+			TemporalLocality: *locality,
+			Users:            *users,
+		}
+		meta := trace.BinaryMeta{
+			PoPs:     net.PoPs(),
+			Leaves:   net.LeavesPerTree(),
+			Objects:  *objects,
+			Requests: int64(*requests),
+		}
+		bw := bufio.NewWriterSize(out, 1<<20)
+		if err := trace.WriteBinaryTrace(bw, meta, trace.Synthetic(cfg)); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bw.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d binary records (%s %d PoPs x %d leaves, %d objects, %d users)\n",
+			*requests, tp.Name, net.PoPs(), net.LeavesPerTree(), *objects, *users)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q (want log or binary)\n", *format)
+		os.Exit(2)
 	}
-	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records (model %s, alpha %.2f, %d objects)\n",
-		n, model.Name, model.Alpha, model.Objects)
 }
 
 // pickModel resolves a preset vantage point or assembles a custom model.

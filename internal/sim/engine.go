@@ -42,6 +42,11 @@ type Engine struct {
 
 	obs Observer // optional event sink; nil-checked once per event
 
+	// sh is non-nil when this Engine runs as one shard of a sharded
+	// streaming run (RunStream): it owns the caches of its own PoPs only and
+	// routes effects on other shards' nodes through epoch-exchanged buffers.
+	sh *engineShard
+
 	steps []step // scratch: request path
 	resp  []step // scratch: response path for NR
 	respA []step // scratch: same-tree response, source-side ascent
@@ -149,7 +154,9 @@ func Gap(a, b Improvement) Improvement {
 }
 
 // New validates cfg and builds an Engine with freshly provisioned caches.
-func New(cfg Config) (*Engine, error) {
+func New(cfg Config) (*Engine, error) { return newEngine(cfg, nil) }
+
+func newEngine(cfg Config, sh *engineShard) (*Engine, error) {
 	if cfg.Network == nil {
 		return nil, fmt.Errorf("sim: nil network")
 	}
@@ -232,7 +239,8 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.FailurePlan != nil {
 		e.failed = make([]bool, net.NodeCount())
 	}
-	e.nearestOK = func(n topo.NodeID) bool { return e.admissible(n) }
+	e.sh = sh
+	e.nearestOK = func(n topo.NodeID) bool { return e.admissibleAny(n) }
 	e.provisionCaches()
 	return e, nil
 }
@@ -252,6 +260,18 @@ func (e *Engine) hasCacheLocal(local int32) bool {
 }
 
 func (e *Engine) provisionCaches() {
+	e.forEachProvision(func(pop int, node topo.NodeID, capEntries int, slots, meanSize float64) {
+		if e.sh != nil && !e.sh.ownPoP[pop] {
+			return // another shard owns this PoP's caches
+		}
+		e.caches[node] = e.newStore(node, capEntries, slots, meanSize)
+	})
+}
+
+// forEachProvision runs the placement: it visits every node the config puts
+// a usable cache at, with its computed size. provisionCaches materializes
+// the stores; sharded runs also use it to learn the global cache layout.
+func (e *Engine) forEachProvision(fn func(pop int, node topo.NodeID, capEntries int, slots, meanSize float64)) {
 	net := e.net
 	cfg := e.cfg
 	weights := net.Topo.PopulationWeights()
@@ -297,7 +317,7 @@ func (e *Engine) provisionCaches() {
 				continue
 			}
 			node := net.Node(pop, local)
-			e.caches[node] = e.newStore(node, capEntries, slots, meanSize)
+			fn(pop, node, capEntries, slots, meanSize)
 		}
 	}
 }
@@ -308,11 +328,13 @@ func (e *Engine) newStore(node topo.NodeID, capEntries int, slots, meanSize floa
 	// per displaced object. PoP and depth are resolved once, at provisioning.
 	pop, local := e.net.Split(node)
 	depth := e.net.DepthOf(local)
-	ri := e.replicas
 	onEvict := func(obj int32) {
 		e.evictions++
-		if ri != nil {
-			ri.remove(obj, node)
+		if e.replicas != nil {
+			e.riRemove(obj, node)
+		}
+		if e.sh != nil && local == 0 {
+			e.clearRootBit(pop, obj)
 		}
 		if e.obs != nil {
 			e.obs.ObserveEvict(EvictEvent{PoP: int32(pop), Depth: depth, Object: obj})
@@ -584,7 +606,7 @@ func (e *Engine) serveShortestPath(q Request) {
 	for i, st := range e.steps {
 		node := net.Node(int(st.pop), st.local)
 		atOrigin := i == len(e.steps)-1
-		if !atOrigin && e.admissible(node) && e.caches[node].Lookup(q.Object) {
+		if !atOrigin && e.pathHit(node, q.Object) {
 			level := e.recordServe(node, i, q)
 			e.deliver(i, q.Object)
 			e.finish(q, level, net.DepthOf(st.local), 0, latency)
@@ -761,6 +783,8 @@ func (e *Engine) deliver(srcIdx int, obj int32) {
 		node := e.net.Node(int(a.pop), a.local)
 		if e.caches[node] != nil {
 			e.insert(node, obj)
+		} else if e.sh != nil {
+			e.remoteInsert(node, obj)
 		}
 	}
 	if srcIdx > 0 {
@@ -813,11 +837,16 @@ func (e *Engine) insert(node topo.NodeID, obj int32) {
 		return // a blacked-out node neither serves nor admits new content
 	}
 	e.caches[node].Insert(obj)
-	if e.replicas != nil {
-		if e.caches[node].Contains(obj) { // sized caches may reject oversize objects
-			e.replicas.add(obj, node)
-		}
+	if e.replicas == nil && e.sh == nil {
+		return
 	}
+	if !e.caches[node].Contains(obj) {
+		return // sized caches may reject oversize objects
+	}
+	if e.replicas != nil {
+		e.riAdd(obj, node)
+	}
+	e.setRootBit(node, obj)
 }
 
 // serveNearestReplica implements ICN-NR: the request goes to the closest
@@ -854,7 +883,11 @@ func (e *Engine) serveNearestReplica(q Request) {
 		found = false
 	}
 	if found && dist <= originDist {
-		e.caches[node].Lookup(q.Object) // touch the serving cache
+		if c := e.caches[node]; c != nil {
+			c.Lookup(q.Object) // touch the serving cache
+		} else {
+			e.remoteTouch(node, q.Object) // the owning shard touches at the barrier
+		}
 		e.serveFromNode(q, node, leafLocal, dist, e.cfg.NRLookupPenalty)
 		return
 	}
@@ -921,7 +954,7 @@ func (e *Engine) serveFromNode(q Request, src topo.NodeID, leafLocal int32, look
 
 	// Serve statistics for cache hits (origin hits were counted already).
 	level, depth := ServeOrigin, -1
-	if e.caches[src] != nil && !(srcPop == int(e.cfg.Origins[q.Object]) && srcLocal == 0) {
+	if e.cacheAt(src) && !(srcPop == int(e.cfg.Origins[q.Object]) && srcLocal == 0) {
 		e.markServed(src)
 		depth = net.DepthOf(srcLocal)
 		switch {
@@ -956,6 +989,8 @@ func (e *Engine) serveFromNode(q Request, src topo.NodeID, leafLocal int32, look
 		node := net.Node(int(b.pop), b.local)
 		if e.caches[node] != nil {
 			e.insert(node, q.Object)
+		} else if e.sh != nil {
+			e.remoteInsert(node, q.Object)
 		}
 	}
 	e.transfers += int64(len(e.resp) - 1)

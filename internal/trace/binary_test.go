@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	cfg := testStreamConfig()
+	reqs := NewSyntheticRequests(cfg)
+	meta := BinaryMeta{
+		PoPs:     len(cfg.PoPWeights),
+		Leaves:   cfg.Leaves,
+		Objects:  cfg.Objects,
+		Requests: int64(len(reqs)),
+	}
+	var buf bytes.Buffer
+	if err := WriteBinaryTrace(&buf, meta, Requests(reqs)); err != nil {
+		t.Fatalf("WriteBinaryTrace: %v", err)
+	}
+	perReq := float64(buf.Len()) / float64(len(reqs))
+	if perReq > 10 {
+		t.Errorf("encoding averages %.1f bytes/request, want <= 10", perReq)
+	}
+	gotMeta, got, err := ReadBinaryTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinaryTrace: %v", err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta round-trip: got %+v, want %+v", gotMeta, meta)
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Fatalf("requests did not round-trip")
+	}
+}
+
+func TestBinaryOpenEndedTrace(t *testing.T) {
+	reqs := []Request{{0, 0, 5}, {1, 2, 0}, {0, 1, 5}}
+	meta := BinaryMeta{PoPs: 2, Leaves: 3, Objects: 6} // Requests == 0: open-ended
+	var buf bytes.Buffer
+	if err := WriteBinaryTrace(&buf, meta, Requests(reqs)); err != nil {
+		t.Fatalf("WriteBinaryTrace: %v", err)
+	}
+	_, got, err := ReadBinaryTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinaryTrace: %v", err)
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Fatalf("open-ended trace did not round-trip")
+	}
+}
+
+func TestBinaryWriterRejectsOutOfRange(t *testing.T) {
+	meta := BinaryMeta{PoPs: 2, Leaves: 3, Objects: 6}
+	for name, q := range map[string]Request{
+		"pop":    {PoP: 2, Leaf: 0, Object: 0},
+		"leaf":   {PoP: 0, Leaf: 3, Object: 0},
+		"object": {PoP: 0, Leaf: 0, Object: 6},
+		"negpop": {PoP: -1, Leaf: 0, Object: 0},
+	} {
+		var buf bytes.Buffer
+		bw, err := NewBinaryWriter(&buf, meta)
+		if err != nil {
+			t.Fatalf("NewBinaryWriter: %v", err)
+		}
+		if err := bw.Write(q); err == nil {
+			t.Errorf("%s: Write(%+v) accepted an out-of-range request", name, q)
+		}
+	}
+}
+
+func TestBinaryReaderRejectsBadInput(t *testing.T) {
+	good := func() []byte {
+		var buf bytes.Buffer
+		meta := BinaryMeta{PoPs: 2, Leaves: 3, Objects: 6, Requests: 2}
+		if err := WriteBinaryTrace(&buf, meta, Requests([]Request{{0, 0, 5}, {1, 2, 0}})); err != nil {
+			t.Fatalf("WriteBinaryTrace: %v", err)
+		}
+		return buf.Bytes()
+	}()
+
+	t.Run("bad magic", func(t *testing.T) {
+		if _, err := NewBinaryReader(strings.NewReader("NOPE!\nxxxx")); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		if _, err := NewBinaryReader(bytes.NewReader(good[:len(BinaryMagic)+1])); err == nil {
+			t.Fatal("truncated header accepted")
+		}
+	})
+	t.Run("truncated records", func(t *testing.T) {
+		_, _, err := ReadBinaryTrace(bytes.NewReader(good[:len(good)-1]))
+		if err == nil {
+			t.Fatal("truncated trace accepted")
+		}
+	})
+	t.Run("mid-record EOF surfaces as error even when open-ended", func(t *testing.T) {
+		var buf bytes.Buffer
+		meta := BinaryMeta{PoPs: 2, Leaves: 3, Objects: 6}
+		if err := WriteBinaryTrace(&buf, meta, Requests([]Request{{1, 2, 5}})); err != nil {
+			t.Fatalf("WriteBinaryTrace: %v", err)
+		}
+		b := buf.Bytes()
+		_, _, err := ReadBinaryTrace(bytes.NewReader(b[:len(b)-1]))
+		if err == nil {
+			t.Fatal("mid-record truncation accepted")
+		}
+	})
+}
+
+func TestBinaryWriterFlushChecksCount(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBinaryWriter(&buf, BinaryMeta{PoPs: 1, Leaves: 1, Objects: 2, Requests: 3})
+	if err != nil {
+		t.Fatalf("NewBinaryWriter: %v", err)
+	}
+	if err := bw.Write(Request{0, 0, 1}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := bw.Flush(); err == nil {
+		t.Fatal("Flush accepted a count mismatch")
+	}
+}
+
+// FuzzBinaryTrace round-trips arbitrary request sequences through the codec
+// and feeds arbitrary bytes to the reader, which must either decode
+// in-range records or fail cleanly — never panic or emit out-of-range data.
+func FuzzBinaryTrace(f *testing.F) {
+	f.Add([]byte{}, uint16(3), uint16(4), uint32(100))
+	f.Add([]byte{1, 2, 3, 0, 0, 9}, uint16(1), uint16(1), uint32(1))
+	f.Add([]byte(BinaryMagic), uint16(7), uint16(2), uint32(50))
+	f.Fuzz(func(t *testing.T, raw []byte, pops, leaves uint16, objects uint32) {
+		if pops == 0 || leaves == 0 || objects == 0 {
+			return
+		}
+		meta := BinaryMeta{PoPs: int(pops), Leaves: int(leaves), Objects: int(objects)}
+		// Interpret raw as a request sequence; round-trip must be exact.
+		var reqs []Request
+		for i := 0; i+2 < len(raw); i += 3 {
+			reqs = append(reqs, Request{
+				PoP:    int32(raw[i]) % int32(pops),
+				Leaf:   int32(raw[i+1]) % int32(leaves),
+				Object: int32(raw[i+2]) % int32(objects),
+			})
+		}
+		meta.Requests = int64(len(reqs))
+		var buf bytes.Buffer
+		if err := WriteBinaryTrace(&buf, meta, Requests(reqs)); err != nil {
+			t.Fatalf("WriteBinaryTrace: %v", err)
+		}
+		gotMeta, got, err := ReadBinaryTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadBinaryTrace: %v", err)
+		}
+		if gotMeta != meta {
+			t.Fatalf("meta: got %+v, want %+v", gotMeta, meta)
+		}
+		if len(got) != len(reqs) || (len(reqs) > 0 && !reflect.DeepEqual(got, reqs)) {
+			t.Fatalf("requests did not round-trip")
+		}
+
+		// Arbitrary bytes after a valid magic: decode or fail, never panic,
+		// and every decoded record stays in range.
+		br, err := NewBinaryReader(io.MultiReader(strings.NewReader(BinaryMagic), bytes.NewReader(raw)))
+		if err != nil {
+			return
+		}
+		m := br.Meta()
+		var q Request
+		for br.Next(&q) {
+			if int(q.PoP) >= m.PoPs || int(q.Leaf) >= m.Leaves || int(q.Object) >= m.Objects ||
+				q.PoP < 0 || q.Leaf < 0 || q.Object < 0 {
+				t.Fatalf("decoded out-of-range record %+v under meta %+v", q, m)
+			}
+		}
+	})
+}

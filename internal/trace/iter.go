@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"math/rand"
+
+	"idicn/internal/zipfian"
+)
+
+// Stream is a pull iterator over simulator requests. It is the contract
+// between workload producers (the streaming synthetic generator, the binary
+// trace reader, in-memory slices) and consumers that must not materialize
+// the whole workload: a 10⁹-request trace flows through a Stream in
+// constant memory.
+//
+// Streams are single-pass and not safe for concurrent use; reopen or
+// rebuild one per run.
+type Stream interface {
+	// Next stores the next request into q and reports whether one was
+	// produced. After Next returns false, Err distinguishes a clean end of
+	// stream (nil) from a decode or I/O failure.
+	Next(q *Request) bool
+	Err() error
+}
+
+// Requests adapts an in-memory request slice to a Stream. The slice is only
+// read.
+func Requests(reqs []Request) Stream { return &sliceStream{reqs: reqs} }
+
+type sliceStream struct {
+	reqs []Request
+	i    int
+}
+
+func (s *sliceStream) Next(q *Request) bool {
+	if s.i >= len(s.reqs) {
+		return false
+	}
+	*q = s.reqs[s.i]
+	s.i++
+	return true
+}
+
+func (s *sliceStream) Err() error { return nil }
+
+// Collect drains s into a slice: the materializing bridge for consumers
+// that still want the whole workload in memory.
+func Collect(s Stream) ([]Request, error) {
+	var out []Request
+	var q Request
+	for s.Next(&q) {
+		out = append(out, q)
+	}
+	return out, s.Err()
+}
+
+// Synthetic returns a Stream producing cfg.Requests synthetic requests one
+// at a time, in the exact sequence NewSyntheticRequests materializes (the
+// materializing generator is this stream drained into a slice). Per-request
+// state is a few rand draws plus the bounded per-leaf recency windows, so
+// arbitrarily long streams run in memory independent of cfg.Requests.
+//
+// Synthetic panics on an invalid config, like NewSyntheticRequests.
+func Synthetic(cfg StreamConfig) Stream { return newSynthStream(cfg) }
+
+type synthStream struct {
+	cfg     StreamConfig
+	r       *rand.Rand
+	dist    *zipfian.Dist
+	popPick *weightedPicker
+	perms   [][]int32
+	window  int
+	recent  [][]int32 // per-(PoP, leaf) ring of recent objects
+	next    []int
+	emitted int
+}
+
+func newSynthStream(cfg StreamConfig) *synthStream {
+	if cfg.Requests < 0 || cfg.Objects <= 0 || cfg.Leaves <= 0 || len(cfg.PoPWeights) == 0 {
+		panic("trace: invalid StreamConfig")
+	}
+	if cfg.TemporalLocality < 0 || cfg.TemporalLocality >= 1 {
+		panic("trace: TemporalLocality must be in [0, 1)")
+	}
+	if cfg.Users < 0 {
+		panic("trace: negative Users")
+	}
+	s := &synthStream{
+		cfg:     cfg,
+		r:       rand.New(rand.NewSource(cfg.Seed)),
+		dist:    zipfian.New(cfg.Alpha, cfg.Objects),
+		popPick: newWeightedPicker(cfg.PoPWeights),
+		perms:   SkewPermutations(len(cfg.PoPWeights), cfg.Objects, cfg.SpatialSkew, cfg.Seed+1),
+	}
+	s.window = cfg.LocalityWindow
+	if s.window <= 0 {
+		s.window = 64
+	}
+	if cfg.TemporalLocality > 0 {
+		s.recent = make([][]int32, len(cfg.PoPWeights)*cfg.Leaves)
+		s.next = make([]int, len(s.recent))
+	}
+	return s
+}
+
+func (s *synthStream) Next(q *Request) bool {
+	if s.emitted >= s.cfg.Requests {
+		return false
+	}
+	s.emitted++
+	var pop, leaf int
+	if s.cfg.Users > 0 {
+		pop, leaf = s.userHome(s.r.Intn(s.cfg.Users))
+	} else {
+		pop = s.popPick.pick(s.r)
+		leaf = s.r.Intn(s.cfg.Leaves)
+	}
+	slot := pop*s.cfg.Leaves + leaf
+	var obj int32
+	if s.recent != nil && len(s.recent[slot]) > 0 && s.r.Float64() < s.cfg.TemporalLocality {
+		obj = s.recent[slot][s.r.Intn(len(s.recent[slot]))]
+	} else {
+		rank := s.dist.Sample(s.r)
+		obj = int32(rank)
+		if s.perms != nil {
+			obj = s.perms[pop][rank]
+		}
+	}
+	if s.recent != nil {
+		if len(s.recent[slot]) < s.window {
+			s.recent[slot] = append(s.recent[slot], obj)
+		} else {
+			s.recent[slot][s.next[slot]] = obj
+			s.next[slot] = (s.next[slot] + 1) % s.window
+		}
+	}
+	*q = Request{PoP: int32(pop), Leaf: int32(leaf), Object: obj}
+	return true
+}
+
+func (s *synthStream) Err() error { return nil }
+
+// userHome pins user u to a home (PoP, leaf): the PoP drawn by PoPWeights
+// and the leaf uniformly, both from a seeded hash of the user id. A
+// multi-million-user population therefore needs no per-user table — the
+// same user always lands on the same access leaf, which is what makes the
+// per-leaf temporal-locality windows meaningful at population scale.
+func (s *synthStream) userHome(u int) (pop, leaf int) {
+	h := splitmix64(uint64(s.cfg.Seed)<<1 ^ (uint64(u)+1)*0x9E3779B97F4A7C15)
+	pop = s.popPick.pickValue(float64(h>>11) * (1.0 / (1 << 53)))
+	leaf = int(splitmix64(h) % uint64(s.cfg.Leaves))
+	return pop, leaf
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

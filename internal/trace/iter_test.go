@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testStreamConfig() StreamConfig {
+	return StreamConfig{
+		Requests:         5000,
+		Objects:          400,
+		Alpha:            0.9,
+		SpatialSkew:      0.3,
+		PoPWeights:       []float64{3, 1, 2, 5},
+		Leaves:           8,
+		Seed:             42,
+		TemporalLocality: 0.4,
+	}
+}
+
+func TestSyntheticMatchesMaterialized(t *testing.T) {
+	for _, users := range []int{0, 1000} {
+		cfg := testStreamConfig()
+		cfg.Users = users
+		want := NewSyntheticRequests(cfg)
+		got, err := Collect(Synthetic(cfg))
+		if err != nil {
+			t.Fatalf("Users=%d: Collect: %v", users, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Users=%d: streamed requests differ from materialized", users)
+		}
+	}
+}
+
+func TestSyntheticUserHomesAreStable(t *testing.T) {
+	cfg := testStreamConfig()
+	cfg.Users = 50 // few users, many requests: homes must repeat
+	cfg.TemporalLocality = 0
+	reqs := NewSyntheticRequests(cfg)
+	homes := map[[2]int32]bool{}
+	for _, q := range reqs {
+		homes[[2]int32{q.PoP, q.Leaf}] = true
+		if q.PoP < 0 || int(q.PoP) >= len(cfg.PoPWeights) {
+			t.Fatalf("PoP %d out of range", q.PoP)
+		}
+		if q.Leaf < 0 || int(q.Leaf) >= cfg.Leaves {
+			t.Fatalf("leaf %d out of range", q.Leaf)
+		}
+	}
+	if len(homes) > cfg.Users {
+		t.Fatalf("%d distinct (PoP, leaf) homes from %d users", len(homes), cfg.Users)
+	}
+	if len(homes) < 2 {
+		t.Fatalf("degenerate home assignment: %d distinct homes", len(homes))
+	}
+}
+
+func TestSyntheticUsersFollowPoPWeights(t *testing.T) {
+	cfg := StreamConfig{
+		Requests:   40000,
+		Objects:    100,
+		Alpha:      0.8,
+		PoPWeights: []float64{9, 1},
+		Leaves:     4,
+		Seed:       7,
+		Users:      20000,
+	}
+	var counts [2]int
+	var q Request
+	s := Synthetic(cfg)
+	for s.Next(&q) {
+		counts[q.PoP]++
+	}
+	frac := float64(counts[0]) / float64(cfg.Requests)
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("PoP 0 got %.3f of requests, want ~0.9", frac)
+	}
+}
+
+func TestRequestsStreamAndCollect(t *testing.T) {
+	reqs := []Request{{0, 1, 2}, {1, 0, 3}, {0, 0, 0}}
+	got, err := Collect(Requests(reqs))
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Fatalf("got %v, want %v", got, reqs)
+	}
+	// The adapter must not alias its output into the input slice's backing
+	// array beyond reading.
+	s := Requests(reqs)
+	var q Request
+	if !s.Next(&q) || q != reqs[0] {
+		t.Fatalf("first Next got %v", q)
+	}
+}
+
+func TestSyntheticPanicsOnInvalidConfig(t *testing.T) {
+	for name, mutate := range map[string]func(*StreamConfig){
+		"objects":  func(c *StreamConfig) { c.Objects = 0 },
+		"leaves":   func(c *StreamConfig) { c.Leaves = 0 },
+		"weights":  func(c *StreamConfig) { c.PoPWeights = nil },
+		"locality": func(c *StreamConfig) { c.TemporalLocality = 1 },
+		"users":    func(c *StreamConfig) { c.Users = -1 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for invalid %s", name)
+				}
+			}()
+			cfg := testStreamConfig()
+			mutate(&cfg)
+			Synthetic(cfg)
+		})
+	}
+}

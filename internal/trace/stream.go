@@ -4,8 +4,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-
-	"idicn/internal/zipfian"
 )
 
 // Request is one simulator arrival: object Object requested at leaf Leaf
@@ -41,61 +39,24 @@ type StreamConfig struct {
 	TemporalLocality float64
 	// LocalityWindow is the per-leaf recency window size (default 64).
 	LocalityWindow int
+
+	// Users > 0 draws each request from a fixed population of that many
+	// users instead of sampling (PoP, leaf) independently per request. Every
+	// user has a stable home leaf — the PoP drawn by PoPWeights and the leaf
+	// uniformly, both from a seeded hash of the user id — so no per-user
+	// state is kept and multi-million-user populations cost nothing. 0 keeps
+	// the original per-request sampling.
+	Users int
 }
 
 // NewSyntheticRequests materializes a synthetic request stream. The result
-// is deterministic in the config.
+// is deterministic in the config, and identical to draining
+// Synthetic(cfg) — this is that stream collected into a slice.
 func NewSyntheticRequests(cfg StreamConfig) []Request {
-	if cfg.Requests < 0 || cfg.Objects <= 0 || cfg.Leaves <= 0 || len(cfg.PoPWeights) == 0 {
-		panic("trace: invalid StreamConfig")
-	}
-	if cfg.TemporalLocality < 0 || cfg.TemporalLocality >= 1 {
-		panic("trace: TemporalLocality must be in [0, 1)")
-	}
-	r := rand.New(rand.NewSource(cfg.Seed))
-	dist := zipfian.New(cfg.Alpha, cfg.Objects)
-	popPick := newWeightedPicker(cfg.PoPWeights)
-	perms := SkewPermutations(len(cfg.PoPWeights), cfg.Objects, cfg.SpatialSkew, cfg.Seed+1)
-
-	window := cfg.LocalityWindow
-	if window <= 0 {
-		window = 64
-	}
-	var recent [][]int32 // per-(PoP, leaf) ring of recent objects
-	var next []int
-	if cfg.TemporalLocality > 0 {
-		recent = make([][]int32, len(cfg.PoPWeights)*cfg.Leaves)
-		next = make([]int, len(recent))
-	}
-
+	s := newSynthStream(cfg)
 	reqs := make([]Request, cfg.Requests)
 	for i := range reqs {
-		pop := popPick.pick(r)
-		leaf := r.Intn(cfg.Leaves)
-		slot := pop*cfg.Leaves + leaf
-		var obj int32
-		if recent != nil && len(recent[slot]) > 0 && r.Float64() < cfg.TemporalLocality {
-			obj = recent[slot][r.Intn(len(recent[slot]))]
-		} else {
-			rank := dist.Sample(r)
-			obj = int32(rank)
-			if perms != nil {
-				obj = perms[pop][rank]
-			}
-		}
-		if recent != nil {
-			if len(recent[slot]) < window {
-				recent[slot] = append(recent[slot], obj)
-			} else {
-				recent[slot][next[slot]] = obj
-				next[slot] = (next[slot] + 1) % window
-			}
-		}
-		reqs[i] = Request{
-			PoP:    int32(pop),
-			Leaf:   int32(leaf),
-			Object: obj,
-		}
+		s.Next(&reqs[i])
 	}
 	return reqs
 }
@@ -225,7 +186,13 @@ func newWeightedPicker(weights []float64) *weightedPicker {
 }
 
 func (w *weightedPicker) pick(r *rand.Rand) int {
-	i := sort.SearchFloat64s(w.cum, r.Float64())
+	return w.pickValue(r.Float64())
+}
+
+// pickValue maps a uniform variate in [0, 1) to an index, letting callers
+// supply their own randomness source (e.g. a hash-derived variate).
+func (w *weightedPicker) pickValue(u float64) int {
+	i := sort.SearchFloat64s(w.cum, u)
 	if i >= len(w.cum) {
 		i = len(w.cum) - 1
 	}
