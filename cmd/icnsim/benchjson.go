@@ -106,6 +106,7 @@ func writeBenchJSON(path string) error {
 		}
 	}
 
+	records = append(records, policySmokeRecords()...)
 	records = append(records, shardedStreamRecords()...)
 
 	out, err := json.MarshalIndent(records, "", "  ")
@@ -194,9 +195,56 @@ func shardedStreamRecords() []BenchRecord {
 	return records
 }
 
-// appendBenchJSON appends a freshly measured sharded-throughput series to
-// the perf log, preserving existing records — `make bench` uses it to grow
-// a timestamped requests_per_sec history.
+// policySmokeRecords measures per-request serve cost for every cache policy
+// in the zoo on a fixed EDGE workload — one full Engine.Run per policy,
+// normalized per request — so BENCH_sim.json carries a ns/request series per
+// policy across PRs. Timestamped like the sharded series because `make
+// bench` appends it to a growing history.
+func policySmokeRecords() []BenchRecord {
+	stamp := time.Now().UTC().Format(time.RFC3339)
+	net := topo.NewNetwork(topo.Abilene(), 2, 5)
+	const objects = 5000
+	const requests = 200000
+	weights := net.Topo.PopulationWeights()
+	origins := trace.OriginAssignment(objects, weights, true, 3)
+	reqs := trace.NewSyntheticRequests(trace.StreamConfig{
+		Requests: requests, Objects: objects, Alpha: 1.04,
+		PoPWeights: weights, Leaves: net.LeavesPerTree(), Seed: 7,
+	})
+	base := sim.EDGE.Apply(sim.Config{
+		Network: net, Objects: objects, Origins: origins,
+		BudgetFraction: 0.05, BudgetPolicy: sim.BudgetProportional,
+	})
+
+	var records []BenchRecord
+	for _, pol := range sim.CachePolicies() {
+		cfg := base
+		cfg.Policy = pol
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e, err := sim.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.Run(reqs)
+			}
+		})
+		records = append(records, BenchRecord{
+			Name:        "ServeRequest/Policy-" + pol.String(),
+			Unit:        "request",
+			NsPerOp:     float64(res.NsPerOp()) / requests,
+			AllocsPerOp: float64(res.AllocsPerOp()) / requests,
+			BytesPerOp:  float64(res.AllocedBytesPerOp()) / requests,
+			Time:        stamp,
+		})
+	}
+	return records
+}
+
+// appendBenchJSON appends freshly measured policy-smoke and
+// sharded-throughput series to the perf log, preserving existing records —
+// `make bench` uses it to grow a timestamped history.
 func appendBenchJSON(path string) error {
 	var records []BenchRecord
 	if data, err := os.ReadFile(path); err == nil {
@@ -206,7 +254,8 @@ func appendBenchJSON(path string) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	fresh := shardedStreamRecords()
+	fresh := policySmokeRecords()
+	fresh = append(fresh, shardedStreamRecords()...)
 	records = append(records, fresh...)
 	out, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
@@ -216,6 +265,6 @@ func appendBenchJSON(path string) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "icnsim: appended %d sharded-throughput records to %s\n", len(fresh), path)
+	fmt.Fprintf(os.Stderr, "icnsim: appended %d benchmark records to %s\n", len(fresh), path)
 	return nil
 }

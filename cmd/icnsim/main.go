@@ -8,6 +8,8 @@
 //	       [-alpha 1.04] [-objects N] [-sweep-topology ATT] [-workers N]
 //	icnsim -exp sens-latency|sens-capacity|sens-objsize|sens-policy|ablation-universe
 //	icnsim -exp all     # everything, in paper order
+//	icnsim -policy arc -exp fig6    # run any experiment under a different cache policy
+//	icnsim -policy-sweep            # cache-policy zoo x placement/routing designs
 //	icnsim -failures 0,0.1,0.3,0.5   # degradation curve under cache/resolver outages
 //	icnsim -bench-json BENCH_sim.json   # hot-path perf log (ns/op, allocs/op)
 //	icnsim -exp fig6 -metrics-json metrics.json   # observer histograms for the run
@@ -49,6 +51,8 @@ func main() {
 		alpha       = flag.Float64("alpha", 0, "override Zipf alpha")
 		objects     = flag.Int("objects", 0, "override object-universe size")
 		sweepTopo   = flag.String("sweep-topology", "", "topology for the sensitivity sweeps (default ATT)")
+		policy      = flag.String("policy", "", "cache policy for every provisioned cache: lru, lfu, arc, car, tinylfu (default lru)")
+		policySweep = flag.Bool("policy-sweep", false, "run the cache-policy x design sweep; shorthand for -exp policy-sweep")
 		locality    = flag.Float64("locality", 0, "temporal locality of the request stream (0=IID, ~0.7=trace-like)")
 		topoFile    = flag.String("topology-file", "", "load a custom sweep topology from a file (see internal/topo/parse.go for the format)")
 		traceFile   = flag.String("trace", "", "request log (tracegen format) for the trace-designs experiment")
@@ -131,6 +135,13 @@ func main() {
 	if *sweepTopo != "" {
 		p.SweepTopology = *sweepTopo
 	}
+	if *policy != "" {
+		pol, err := sim.ParseCachePolicy(*policy)
+		if err != nil {
+			fatalf("icnsim: -policy: %v", err)
+		}
+		p.Policy = pol
+	}
 	if *locality != 0 {
 		p.TemporalLocality = *locality
 	}
@@ -167,11 +178,15 @@ func main() {
 	if *failures != "" && *exp == "all" {
 		// -failures alone runs just the degradation curve.
 		ids = []string{"degradation"}
+	} else if *policySweep && *exp == "all" {
+		// -policy-sweep alone runs just the policy x design sweep.
+		ids = []string{"policy-sweep"}
 	} else if *exp == "all" {
 		ids = []string{
 			"table2", "fig2", "fig6", "fig7", "table3",
 			"fig8a", "fig8b", "fig8c", "table4", "table4-norm", "fig9", "fig10",
 			"sens-latency", "sens-capacity", "sens-objsize", "sens-policy",
+			"policy-sweep",
 			"flood", "depth-profile", "degradation", "ablation-universe", "ablation-lookup", "ablation-deployment", "ablation-locality", "ablation-policy", "ablation-warmup", "ablation-coop",
 		}
 	}
@@ -342,6 +357,13 @@ func run(id string, p experiments.Params, failFractions []float64) error {
 			return err
 		}
 		out = experiments.FormatNamedGaps("sizes", rows)
+	case "policy-sweep":
+		title = "Policy sweep: cache-policy zoo x placement/routing designs"
+		rows, err := experiments.PolicySweep(p)
+		if err != nil {
+			return err
+		}
+		out = experiments.FormatPolicySweep(rows)
 	case "sens-policy":
 		title = "Sensitivity: LRU vs LFU cache management (§3)"
 		rows, err := experiments.SensitivityPolicy(p)

@@ -91,6 +91,7 @@ func runStreamScale(p experiments.Params, requests int64, users int, designName,
 		Origins:        origins,
 		BudgetFraction: p.BudgetFraction,
 		BudgetPolicy:   p.BudgetPolicy,
+		Policy:         p.Policy,
 	})
 	opt := sim.StreamOptions{Workers: p.Workers, EpochLen: epochLen, Observer: p.Observer}
 

@@ -80,3 +80,46 @@ func silenced(n int) []int {
 }
 
 func stringsIndex(s string) int { return len(s) }
+
+// The cache-policy zoo's hot-path idioms, all of which must stay clean:
+// slot-directory surgery on a pre-sized map, free-list self-append, packed
+// 4-bit counter updates, and dynamic dispatch through a small interface
+// (how the engine reaches every policy and TinyLFU reaches its inner one).
+
+type slotDirectory struct {
+	index map[int32]int32
+	free  []int32
+	table []uint64
+}
+
+//icn:noalloc
+func (d *slotDirectory) recycle(obj int32, slot int32) {
+	delete(d.index, obj)          // map delete: allowed
+	d.index[obj] = slot           // assignment into pre-sized map: allowed
+	d.free = append(d.free, slot) // free-list self-append reuse: allowed
+	d.table[0] = (d.table[0] >> 1) & 0x7777777777777777
+	if (d.table[0]>>4)&0xf < 15 { // packed-counter probe: allowed
+		d.table[0] += 1 << 4
+	}
+}
+
+type prober interface {
+	Contains(obj int32) bool
+}
+
+//icn:noalloc
+func (d *slotDirectory) admits(inner prober, obj int32) bool {
+	return inner.Contains(obj) // interface dispatch: allowed
+}
+
+//icn:noalloc
+func (d *slotDirectory) leaks(obj int32) prober {
+	return &slotDirectory{ // want "escaping composite literal"
+		index: d.index,
+	}
+}
+
+func (d *slotDirectory) Contains(obj int32) bool {
+	_, ok := d.index[obj]
+	return ok
+}

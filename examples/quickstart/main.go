@@ -44,7 +44,7 @@ func main() {
 	}
 
 	// Run the five representative designs against a shared no-cache baseline.
-	results, err := sim.CompareDesigns(base, sim.BaselineDesigns(), requests)
+	results, err := sim.Compare(base, sim.BaselineDesigns(), requests, sim.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

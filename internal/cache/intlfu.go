@@ -1,0 +1,45 @@
+package cache
+
+// IntLFU adapts the generic frequency-bucket LFU to the Policy interface for
+// int32 object ids. Unlike the rest of the zoo it allocates on its hot path
+// (container/list nodes per bucket move), so it is deliberately not annotated
+// //icn:noalloc and is excluded from the serve-path allocation gate; it is
+// kept as the paper's §3 comparison policy, not a line-rate candidate.
+//
+// IntLFU is not safe for concurrent use.
+type IntLFU struct {
+	c *LFU[int32, struct{}]
+}
+
+// NewIntLFU returns an IntLFU with the given capacity. onEvict, if non-nil,
+// is invoked with each object displaced by an insertion. It panics if
+// capacity is negative; zero capacity caches nothing.
+func NewIntLFU(capacity int, onEvict EvictFunc) *IntLFU {
+	var hook func(int32, struct{})
+	if onEvict != nil {
+		hook = func(k int32, _ struct{}) { onEvict(k) }
+	}
+	return &IntLFU{c: NewLFU[int32, struct{}](capacity, hook)}
+}
+
+// Lookup reports whether obj is cached, incrementing its access frequency.
+func (c *IntLFU) Lookup(obj int32) bool {
+	_, ok := c.c.Get(obj)
+	return ok
+}
+
+// Contains reports whether obj is cached without side effects.
+func (c *IntLFU) Contains(obj int32) bool { return c.c.Contains(obj) }
+
+// Insert adds obj at frequency 1 (or bumps a present object), reporting
+// whether another object was evicted to make room.
+func (c *IntLFU) Insert(obj int32) bool { return c.c.Put(obj, struct{}{}) }
+
+// Len returns the number of cached objects.
+func (c *IntLFU) Len() int { return c.c.Len() }
+
+// Cap returns the capacity.
+func (c *IntLFU) Cap() int { return c.c.Cap() }
+
+// Stats returns cumulative hit and miss counts from Lookup calls.
+func (c *IntLFU) Stats() (hits, misses int64) { return c.c.Stats() }

@@ -109,6 +109,18 @@ func (c *IntLRU) Remove(obj int32) bool {
 // Len returns the number of cached objects.
 func (c *IntLRU) Len() int { return len(c.index) }
 
+// Victim returns the object an insertion of an absent object would evict —
+// the LRU tail — without mutating any state. ok is false while the cache has
+// free slots (no insertion evicts) or is empty.
+//
+//icn:noalloc
+func (c *IntLRU) Victim() (int32, bool) {
+	if len(c.free) > 0 || c.tail < 0 {
+		return 0, false
+	}
+	return c.keys[c.tail], true
+}
+
 // Cap returns the capacity.
 func (c *IntLRU) Cap() int { return c.capacity }
 

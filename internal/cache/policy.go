@@ -1,0 +1,62 @@
+package cache
+
+// Policy is the unified replacement-policy interface every cache in the zoo
+// implements (IntLRU, IntLFU, ARC, CAR, TinyLFU). The simulator provisions
+// thousands of Policy instances — one per caching router — and drives them
+// through exactly these four methods, so a policy is "drop-in" precisely when
+// it satisfies this interface.
+//
+// Semantics:
+//
+//   - Lookup touches: a hit refreshes replacement state (recency, frequency,
+//     reference bits) and updates hit/miss statistics.
+//   - Contains peeks: it must be entirely side-effect-free, because
+//     cooperative lookups and the nearest-replica fast path probe caches they
+//     may not end up using.
+//   - Insert admits an object after a miss, possibly evicting others, and
+//     reports whether anything was evicted. Policies with admission control
+//     (TinyLFU) may decline the insert outright; callers that need to know
+//     whether the object was actually admitted check Contains afterwards
+//     (sized caches already established this contract for oversize objects).
+//     Inserting a present object only refreshes replacement state.
+//   - Len reports the resident object count; it never exceeds the capacity
+//     the policy was constructed with.
+//
+// Evictions are reported through the EvictFunc hook supplied at construction,
+// exactly once per object leaving residency. Policies that keep ghost
+// (metadata-only) entries, like ARC and CAR, fire the hook when the object
+// leaves the cache proper, not when its ghost is recycled.
+//
+// Policies are not safe for concurrent use.
+type Policy interface {
+	Lookup(obj int32) bool
+	Contains(obj int32) bool
+	Insert(obj int32) bool
+	Len() int
+}
+
+// EvictFunc observes evictions: it is invoked with each object displaced
+// from residency by an insertion. A nil EvictFunc disables the hook.
+type EvictFunc func(obj int32)
+
+// Victimer is implemented by policies that can cheaply name their next
+// eviction candidate without mutating any state. Admission filters (TinyLFU)
+// use it to compare a newcomer's estimated frequency against the victim it
+// would displace; the peek may be approximate (CAR reports its clock-hand
+// entry without simulating the reference-bit sweep), but it must be
+// deterministic.
+type Victimer interface {
+	Victim() (obj int32, ok bool)
+}
+
+// Compile-time interface conformance for the policy zoo.
+var (
+	_ Policy   = (*IntLRU)(nil)
+	_ Policy   = (*IntLFU)(nil)
+	_ Policy   = (*ARC)(nil)
+	_ Policy   = (*CAR)(nil)
+	_ Policy   = (*TinyLFU)(nil)
+	_ Victimer = (*IntLRU)(nil)
+	_ Victimer = (*ARC)(nil)
+	_ Victimer = (*CAR)(nil)
+)

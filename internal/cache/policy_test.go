@@ -1,0 +1,297 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// policyZoo lists every Policy implementation behind one constructor shape,
+// so the conformance suite below runs identically over the whole zoo.
+var policyZoo = []struct {
+	name string
+	make func(capacity int, onEvict EvictFunc) Policy
+}{
+	{"LRU", func(c int, f EvictFunc) Policy { return NewIntLRU(c, f) }},
+	{"LFU", func(c int, f EvictFunc) Policy { return NewIntLFU(c, f) }},
+	{"ARC", func(c int, f EvictFunc) Policy { return NewARC(c, f) }},
+	{"CAR", func(c int, f EvictFunc) Policy { return NewCAR(c, f) }},
+	{"TinyLFU", func(c int, f EvictFunc) Policy { return NewTinyLFU(NewIntLRU(c, f), c) }},
+}
+
+// replay drives a policy with the simulator's serve pattern and returns the
+// hit count: a Lookup hit scores, a miss is followed by an Insert.
+func replay(p Policy, seq []int32) (hits int64) {
+	for _, obj := range seq {
+		if p.Lookup(obj) {
+			hits++
+		} else {
+			p.Insert(obj)
+		}
+	}
+	return hits
+}
+
+// opStream generates a deterministic Zipf-ish access stream over the given
+// object universe.
+func opStream(n, universe int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 1, uint64(universe-1))
+	seq := make([]int32, n)
+	for i := range seq {
+		seq[i] = int32(z.Uint64())
+	}
+	return seq
+}
+
+// TestPolicyConformance checks the cache.Policy contract for every zoo
+// member: Len never exceeds capacity, the eviction hook fires exactly once
+// per object leaving residency (tracked against a resident mirror), Contains
+// agrees with the mirror, and Insert's return value reports evictions.
+func TestPolicyConformance(t *testing.T) {
+	for _, pz := range policyZoo {
+		for _, capacity := range []int{1, 3, 8, 32} {
+			resident := make(map[int32]bool)
+			evictions := 0
+			p := pz.make(capacity, func(obj int32) {
+				if !resident[obj] {
+					t.Fatalf("%s/cap=%d: evicted non-resident object %d", pz.name, capacity, obj)
+				}
+				delete(resident, obj)
+				evictions++
+			})
+			seq := opStream(4000, 4*capacity+8, int64(capacity))
+			for i, obj := range seq {
+				hooksBefore := evictions
+				if p.Lookup(obj) != resident[obj] {
+					t.Fatalf("%s/cap=%d: step %d: Lookup(%d) disagrees with mirror", pz.name, capacity, i, obj)
+				}
+				if evictions != hooksBefore {
+					t.Fatalf("%s/cap=%d: step %d: Lookup fired the eviction hook", pz.name, capacity, i)
+				}
+				if !resident[obj] {
+					evictedReported := p.Insert(obj)
+					evictedSeen := evictions > hooksBefore
+					if evictedReported != evictedSeen {
+						t.Fatalf("%s/cap=%d: step %d: Insert(%d) reported evicted=%v, hook says %v",
+							pz.name, capacity, i, obj, evictedReported, evictedSeen)
+					}
+					if p.Contains(obj) {
+						resident[obj] = true
+					}
+				}
+				if p.Len() > capacity {
+					t.Fatalf("%s/cap=%d: step %d: Len %d exceeds capacity", pz.name, capacity, i, p.Len())
+				}
+				if p.Len() != len(resident) {
+					t.Fatalf("%s/cap=%d: step %d: Len %d, mirror has %d", pz.name, capacity, i, p.Len(), len(resident))
+				}
+			}
+			if evictions == 0 && capacity < 32 {
+				t.Errorf("%s/cap=%d: stream never evicted; test is vacuous", pz.name, capacity)
+			}
+		}
+	}
+}
+
+// TestPolicyContainsSideEffectFree replays the same stream twice — once
+// plain, once with Contains probes interleaved everywhere — and requires
+// bit-identical hit totals and eviction sequences. Any policy whose Contains
+// touches replacement or admission state diverges.
+func TestPolicyContainsSideEffectFree(t *testing.T) {
+	for _, pz := range policyZoo {
+		const capacity = 16
+		seq := opStream(6000, 80, 99)
+
+		run := func(probe bool) (int64, []int32) {
+			var evicted []int32
+			p := pz.make(capacity, func(obj int32) { evicted = append(evicted, obj) })
+			var hits int64
+			for _, obj := range seq {
+				if probe {
+					p.Contains(obj)
+					p.Contains(obj + 1)
+				}
+				if p.Lookup(obj) {
+					hits++
+				} else {
+					p.Insert(obj)
+				}
+				if probe {
+					p.Contains(obj)
+				}
+			}
+			return hits, evicted
+		}
+
+		plainHits, plainEvicted := run(false)
+		probedHits, probedEvicted := run(true)
+		if plainHits != probedHits {
+			t.Errorf("%s: Contains probes changed hits: %d vs %d", pz.name, plainHits, probedHits)
+		}
+		if len(plainEvicted) != len(probedEvicted) {
+			t.Fatalf("%s: Contains probes changed eviction count: %d vs %d",
+				pz.name, len(plainEvicted), len(probedEvicted))
+		}
+		for i := range plainEvicted {
+			if plainEvicted[i] != probedEvicted[i] {
+				t.Errorf("%s: eviction %d differs: %d vs %d", pz.name, i, plainEvicted[i], probedEvicted[i])
+				break
+			}
+		}
+	}
+}
+
+// TestPolicyZeroCapacity requires that a capacity-zero policy caches nothing
+// and never fires its hook.
+func TestPolicyZeroCapacity(t *testing.T) {
+	for _, pz := range policyZoo {
+		p := pz.make(0, func(obj int32) { t.Errorf("%s: eviction from empty cache", pz.name) })
+		for _, obj := range []int32{1, 2, 1} {
+			if p.Lookup(obj) {
+				t.Errorf("%s: hit in capacity-0 cache", pz.name)
+			}
+			p.Insert(obj)
+		}
+		if p.Len() != 0 || p.Contains(1) {
+			t.Errorf("%s: capacity-0 cache holds objects", pz.name)
+		}
+	}
+}
+
+// TestPolicyNegativeCapacityPanics requires every constructor to reject a
+// negative capacity loudly.
+func TestPolicyNegativeCapacityPanics(t *testing.T) {
+	for _, pz := range policyZoo {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative capacity accepted", pz.name)
+				}
+			}()
+			pz.make(-1, nil)
+		}()
+	}
+}
+
+// scanPollutedStream interleaves a popular working set (touched twice per
+// round, so policies can observe reuse) with one-shot sequential scans long
+// enough to flush an LRU of the test capacity: the access pattern LRU
+// famously handles worst and the adaptive/admission policies are built for.
+func scanPollutedStream(rounds, working, scanLen int) []int32 {
+	var seq []int32
+	scan := int32(working)
+	for r := 0; r < rounds; r++ {
+		for pass := 0; pass < 2; pass++ {
+			for w := 0; w < working; w++ {
+				seq = append(seq, int32(w))
+			}
+		}
+		for s := 0; s < scanLen; s++ {
+			seq = append(seq, scan)
+			scan++
+		}
+	}
+	return seq
+}
+
+// TestPolicyBeladyRatio compares the zoo on a scan-polluted trace: the
+// adaptive policies (ARC, CAR) and the admission filter (TinyLFU over LRU)
+// must each beat plain LRU — the scan evicts LRU's working set every round —
+// and nothing may beat Belady's offline MIN.
+func TestPolicyBeladyRatio(t *testing.T) {
+	const capacity = 32
+	seq := scanPollutedStream(40, 24, 64)
+	optimal := BeladyHits(seq, capacity)
+
+	hits := make(map[string]int64, len(policyZoo))
+	for _, pz := range policyZoo {
+		h := replay(pz.make(capacity, nil), seq)
+		if h > optimal {
+			t.Errorf("%s: %d hits beats Belady MIN %d", pz.name, h, optimal)
+		}
+		hits[pz.name] = h
+	}
+	for _, name := range []string{"ARC", "CAR", "TinyLFU"} {
+		if hits[name] < hits["LRU"] {
+			t.Errorf("%s: %d hits on scan-polluted trace, LRU got %d — scan resistance lost",
+				name, hits[name], hits["LRU"])
+		}
+	}
+	if hits["ARC"] == hits["LRU"] && hits["CAR"] == hits["LRU"] && hits["TinyLFU"] == hits["LRU"] {
+		t.Errorf("no zoo policy improved on LRU (all %d hits); trace is not discriminating", hits["LRU"])
+	}
+	t.Logf("hits on scan-polluted trace (cap=%d, optimal=%d): LRU=%d LFU=%d ARC=%d CAR=%d TinyLFU=%d",
+		capacity, optimal, hits["LRU"], hits["LFU"], hits["ARC"], hits["CAR"], hits["TinyLFU"])
+}
+
+// TestARCAdaptation sanity-checks ARC's p movement: a B1 ghost hit grows the
+// recency target. Ghosts only form once T2 holds pages (with an all-T1 cache
+// ARC evicts outright, exactly like LRU), so the setup promotes half the
+// cache to T2 first.
+func TestARCAdaptation(t *testing.T) {
+	c := NewARC(4, nil)
+	for i := int32(0); i < 4; i++ {
+		c.Insert(i)
+	}
+	c.Lookup(2) // promote to T2
+	c.Lookup(3)
+	c.Insert(4) // replace demotes T1's LRU (object 0) to ghost list B1
+	if c.Contains(0) {
+		t.Fatal("object 0 still resident after replacement")
+	}
+	if c.Target() != 0 {
+		t.Fatalf("initial target = %d, want 0", c.Target())
+	}
+	c.Insert(0) // B1 ghost hit: p grows
+	if c.Target() == 0 {
+		t.Errorf("B1 ghost hit did not grow p")
+	}
+	if !c.Contains(0) {
+		t.Errorf("ghost hit did not resurrect object 0")
+	}
+}
+
+// TestCARHitSetsOnlyRefBit checks CAR's defining property: a hit performs no
+// list surgery, so the victim choice is unchanged until the clock sweeps.
+func TestCARHitSetsOnlyRefBit(t *testing.T) {
+	c := NewCAR(4, nil)
+	for i := int32(0); i < 4; i++ {
+		c.Insert(i)
+	}
+	before, ok := c.Victim()
+	if !ok {
+		t.Fatal("full cache has no victim")
+	}
+	if !c.Lookup(before) {
+		t.Fatalf("object %d not resident", before)
+	}
+	after, _ := c.Victim()
+	if before != after {
+		t.Errorf("hit moved the clock hand: victim %d -> %d", before, after)
+	}
+}
+
+// TestTinyLFUDeniesOneHitWonders checks the admission filter directly: with
+// a full inner cache of proven-popular residents, a never-seen object must
+// be denied, while a repeatedly requested one must eventually displace a
+// resident.
+func TestTinyLFUDeniesOneHitWonders(t *testing.T) {
+	c := NewTinyLFULRU(4, nil)
+	for r := 0; r < 4; r++ {
+		for i := int32(0); i < 4; i++ {
+			if !c.Lookup(i) {
+				c.Insert(i)
+			}
+		}
+	}
+	c.Insert(100) // first sighting: estimate can't beat any resident
+	if c.Contains(100) {
+		t.Error("one-hit wonder admitted over proven residents")
+	}
+	for r := 0; r < 20; r++ { // persistence: becomes more frequent than LRU victim
+		c.Insert(100)
+	}
+	if !c.Contains(100) {
+		t.Error("persistently requested object never admitted")
+	}
+}

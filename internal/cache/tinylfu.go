@@ -1,0 +1,193 @@
+package cache
+
+// TinyLFU is a TinyLFU-style admission filter (Einziger, Friedman & Manes)
+// composed in front of any eviction Policy. It keeps an approximate
+// frequency histogram of recent accesses in a 4-bit count-min sketch with
+// periodic halving (the "aging" that makes the histogram track the recent
+// sample rather than all of history), and on insertion into a full inner
+// cache admits the newcomer only if its estimated frequency beats the inner
+// policy's eviction candidate. One-hit wonders — the bulk of a router-level
+// ICN request stream — are thereby kept from displacing proven content.
+//
+// Admission is orthogonal to replacement: TinyLFU decides *whether* an
+// object enters, the wrapped Policy decides *which* resident leaves, so the
+// filter composes with LRU, ARC, or CAR unchanged. The sketch is fixed flat
+// arrays and pure integer hashing, so every operation is allocation-free and
+// deterministic.
+//
+// TinyLFU is not safe for concurrent use.
+type TinyLFU struct {
+	inner    Policy
+	vic      Victimer // inner's victim peek, nil when unsupported
+	capacity int
+
+	table  []uint64 // packed 4-bit counters, 16 per word
+	mask   uint32   // counter-index mask (power of two minus one)
+	sample int      // accesses between halvings (10x capacity)
+	ops    int      // accesses recorded since the last halving
+}
+
+// NewTinyLFU wraps inner, which must have been constructed with the given
+// capacity (the wrapper cannot read it through the Policy interface), in a
+// TinyLFU admission filter. The sketch holds 8 counters per cache slot and
+// halves every 10*capacity recorded accesses. If inner implements Victimer
+// the admission test compares the newcomer against the actual eviction
+// candidate; otherwise a newcomer must have an estimated frequency of at
+// least 2 — some history in the current sample — to enter a full cache.
+// NewTinyLFU panics if capacity is negative.
+func NewTinyLFU(inner Policy, capacity int) *TinyLFU {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	counters := 64
+	for counters < 8*capacity {
+		counters *= 2
+	}
+	c := &TinyLFU{
+		inner:    inner,
+		capacity: capacity,
+		table:    make([]uint64, counters/16),
+		mask:     uint32(counters - 1),
+		sample:   10 * capacity,
+	}
+	if v, ok := inner.(Victimer); ok {
+		c.vic = v
+	}
+	return c
+}
+
+// NewTinyLFULRU returns a TinyLFU admission filter over an IntLRU of the
+// given capacity: the zoo's default admission-filtered configuration.
+func NewTinyLFULRU(capacity int, onEvict EvictFunc) *TinyLFU {
+	return NewTinyLFU(NewIntLRU(capacity, onEvict), capacity)
+}
+
+// Lookup records the access in the frequency sketch and touches the inner
+// policy.
+//
+//icn:noalloc
+func (c *TinyLFU) Lookup(obj int32) bool {
+	c.record(obj)
+	return c.inner.Lookup(obj)
+}
+
+// Contains reports whether obj is resident without side effects (the sketch
+// is not updated).
+//
+//icn:noalloc
+func (c *TinyLFU) Contains(obj int32) bool { return c.inner.Contains(obj) }
+
+// Insert records the access and admits obj into the inner policy if the
+// cache has room, or if obj's estimated frequency beats the inner policy's
+// eviction candidate. A denied admission leaves the cache unchanged (the
+// simulator's Contains-after-Insert guard already handles policies that
+// decline inserts). It reports whether a resident was evicted.
+//
+//icn:noalloc
+func (c *TinyLFU) Insert(obj int32) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	if c.inner.Contains(obj) {
+		return c.inner.Insert(obj) // refresh replacement state only
+	}
+	c.record(obj)
+	if c.inner.Len() < c.capacity {
+		return c.inner.Insert(obj) // free room: admission is trivial
+	}
+	freq := c.Estimate(obj)
+	if c.vic != nil {
+		if victim, ok := c.vic.Victim(); ok && freq <= c.Estimate(victim) {
+			return false // the resident has at least as much recent history
+		}
+	} else if freq < 2 {
+		return false
+	}
+	return c.inner.Insert(obj)
+}
+
+// Len returns the number of resident objects in the inner policy.
+func (c *TinyLFU) Len() int { return c.inner.Len() }
+
+// Cap returns the capacity.
+func (c *TinyLFU) Cap() int { return c.capacity }
+
+// Estimate returns obj's approximate access frequency in the current sample:
+// the minimum over the sketch's four 4-bit counters (0..15). Read-only, for
+// the admission test and diagnostics.
+//
+//icn:noalloc
+func (c *TinyLFU) Estimate(obj int32) uint64 {
+	h1 := tlfuMix(uint64(uint32(obj)))
+	h2 := tlfuMix(h1 ^ 0x6c62272e07bb0142)
+	est := c.counter(uint32(h1))
+	if v := c.counter(uint32(h1 >> 32)); v < est {
+		est = v
+	}
+	if v := c.counter(uint32(h2)); v < est {
+		est = v
+	}
+	if v := c.counter(uint32(h2 >> 32)); v < est {
+		est = v
+	}
+	return est
+}
+
+// record increments obj's four sketch counters (saturating at 15) and runs
+// the periodic halving once sample accesses have accumulated.
+//
+//icn:noalloc
+func (c *TinyLFU) record(obj int32) {
+	h1 := tlfuMix(uint64(uint32(obj)))
+	h2 := tlfuMix(h1 ^ 0x6c62272e07bb0142)
+	c.bump(uint32(h1))
+	c.bump(uint32(h1 >> 32))
+	c.bump(uint32(h2))
+	c.bump(uint32(h2 >> 32))
+	c.ops++
+	if c.ops >= c.sample {
+		c.halve()
+	}
+}
+
+// counter returns the 4-bit counter at hash index h.
+//
+//icn:noalloc
+func (c *TinyLFU) counter(h uint32) uint64 {
+	i := h & c.mask
+	return (c.table[i>>4] >> ((i & 15) * 4)) & 0xf
+}
+
+// bump increments the 4-bit counter at hash index h, saturating at 15.
+//
+//icn:noalloc
+func (c *TinyLFU) bump(h uint32) {
+	i := h & c.mask
+	shift := (i & 15) * 4
+	if (c.table[i>>4]>>shift)&0xf < 15 {
+		c.table[i>>4] += 1 << shift
+	}
+}
+
+// halve ages the sketch: every counter is divided by two (the high bit of
+// each nibble is masked off after the shift), and the sample count is halved
+// with it so the histogram keeps weighting recent accesses.
+//
+//icn:noalloc
+func (c *TinyLFU) halve() {
+	for i := range c.table {
+		c.table[i] = (c.table[i] >> 1) & 0x7777777777777777
+	}
+	c.ops /= 2
+}
+
+// tlfuMix is the splitmix64 finalizer: a cheap, statistically strong integer
+// mix used to derive the sketch's four hash indices from an object id.
+//
+//icn:noalloc
+func tlfuMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -114,7 +114,7 @@ func TestFigure6PaperShape(t *testing.T) {
 	// test cheap; the full 8-topology sweep runs in the benchmarks.
 	p := testParams()
 	cfg, reqs := p.Workload(topo.Abilene())
-	results, err := sim.CompareDesigns(cfg, sim.BaselineDesigns(), reqs)
+	results, err := sim.Compare(cfg, sim.BaselineDesigns(), reqs, sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,11 @@ type Params struct {
 	// overrides ObjectDivisor.
 	Objects int
 
+	// Policy selects the cache replacement/admission policy every
+	// provisioned cache runs (default LRU, the paper's baseline). cmd/icnsim
+	// resolves its -policy flag here; PolicySweep overrides it per row.
+	Policy sim.CachePolicy
+
 	// SweepTopology names the topology for the §5 sensitivity sweeps
 	// (Figures 8-10, Table 4, the latency/capacity/size checks). The paper
 	// uses the largest topology, ATT (the default); tests use a smaller,
@@ -169,6 +174,7 @@ func (p Params) Workload(tp *topo.Topology) (sim.Config, []sim.Request) {
 		Origins:        origins,
 		BudgetFraction: p.BudgetFraction,
 		BudgetPolicy:   p.BudgetPolicy,
+		Policy:         p.Policy,
 		Observer:       p.Observer,
 	}
 	return cfg, reqs

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"idicn/internal/sim"
+)
+
+func TestPolicySweepShape(t *testing.T) {
+	rows, err := PolicySweep(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := sim.CachePolicies()
+	designs := sim.BaselineDesigns()
+	if len(rows) != len(policies)*len(designs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(policies)*len(designs))
+	}
+	k := 0
+	for _, pol := range policies {
+		for _, d := range designs {
+			r := rows[k]
+			k++
+			if r.Policy != pol.String() || r.Design != d.Name {
+				t.Fatalf("row %d = (%s, %s), want (%s, %s)", k-1, r.Policy, r.Design, pol, d.Name)
+			}
+			if r.Imp.Latency <= 0 {
+				t.Errorf("%s/%s: latency improvement %v <= 0 — caches did nothing", r.Policy, r.Design, r.Imp.Latency)
+			}
+		}
+	}
+
+	// Policy choice must move the numbers (the zoo is not five spellings of
+	// LRU), but no policy should upend the paper's placement story by more
+	// than a few points on this warm workload.
+	byKey := map[string]sim.Improvement{}
+	for _, r := range rows {
+		byKey[r.Policy+"/"+r.Design] = r.Imp
+	}
+	distinct := false
+	for _, pol := range policies[1:] {
+		if byKey[pol.String()+"/EDGE"] != byKey["LRU/EDGE"] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Error("every policy produced identical EDGE results; the Policy knob is not wired through")
+	}
+}
+
+func TestPolicySweepDeterministic(t *testing.T) {
+	a, err := PolicySweep(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	p.Workers = 3
+	b, err := PolicySweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across worker counts: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFormatPolicySweep(t *testing.T) {
+	s := FormatPolicySweep([]PolicySweepRow{
+		{Policy: "ARC", Design: "EDGE", Imp: sim.Improvement{Latency: 12.5, Congestion: 3.25, OriginLoad: 40}},
+	})
+	for _, want := range []string{"Policy", "ARC", "EDGE", "12.50", "3.25", "40.00"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, s)
+		}
+	}
+}

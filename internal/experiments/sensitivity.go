@@ -107,7 +107,7 @@ func SensitivityObjectSizes(p Params) ([]NamedGap, error) {
 func SensitivityPolicy(p Params) ([]NamedGap, error) {
 	policies := []struct {
 		name   string
-		policy sim.Policy
+		policy sim.CachePolicy
 	}{{"LRU", sim.PolicyLRU}, {"LFU", sim.PolicyLFU}}
 	names := make([]string, len(policies))
 	cfgs := make([]sim.Config, len(policies))

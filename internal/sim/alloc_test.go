@@ -11,6 +11,31 @@ func warmEngine(t testing.TB, d Design) (*Engine, []Request) {
 	return warmEngineObserved(t, d, nil)
 }
 
+// warmEnginePolicy is warmEngine with a non-default cache policy stamped on
+// the config, for pinning every zoo member's hot path.
+func warmEnginePolicy(t testing.TB, d Design, pol CachePolicy) (*Engine, []Request) {
+	t.Helper()
+	cfg, reqs := sweepWorkload(t)
+	cfg.Policy = pol
+	e, err := New(d.Apply(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := reqs[:len(reqs)/2]
+	for _, q := range warm {
+		e.serveRequest(q)
+	}
+	return e, reqs[len(reqs)/2:]
+}
+
+// allocGatedPolicies lists the cache policies whose hot paths carry the
+// //icn:noalloc guarantee: every zoo member except LFU, whose frequency
+// buckets allocate by design (container/list) and which is therefore kept
+// out of the alloc-gated benchmarks.
+func allocGatedPolicies() []CachePolicy {
+	return []CachePolicy{PolicyLRU, PolicyARC, PolicyCAR, PolicyTinyLFU}
+}
+
 // warmEngineObserved is warmEngine with an Observer attached to the config,
 // for pinning the instrumented serve path's allocation behavior.
 func warmEngineObserved(t testing.TB, d Design, o Observer) (*Engine, []Request) {
@@ -46,6 +71,30 @@ func TestServeRequestAllocationFree(t *testing.T) {
 				t.Fatalf("%s: %.4f allocs/request in steady state, want ~0", d.Name, perReq)
 			}
 		})
+	}
+}
+
+// TestServeRequestAllocationFreePolicies extends the steady-state
+// zero-allocation pin across the cache-policy zoo: ARC's slot recycling,
+// CAR's clock sweep, and TinyLFU's sketch updates must all run on
+// construction-time state. (LFU is exempt — see allocGatedPolicies.) The
+// TinyLFU tolerance is slightly looser because ghost recycling in the inner
+// LRU can occasionally grow its key map.
+func TestServeRequestAllocationFreePolicies(t *testing.T) {
+	for _, pol := range allocGatedPolicies() {
+		for _, d := range []Design{EDGE, ICNNR} {
+			t.Run(pol.String()+"/"+d.Name, func(t *testing.T) {
+				e, tail := warmEnginePolicy(t, d, pol)
+				i := 0
+				perReq := testing.AllocsPerRun(2000, func() {
+					e.serveRequest(tail[i%len(tail)])
+					i++
+				})
+				if perReq > 0.01 {
+					t.Fatalf("%s/%s: %.4f allocs/request in steady state, want ~0", pol, d.Name, perReq)
+				}
+			})
+		}
 	}
 }
 
@@ -91,6 +140,31 @@ func BenchmarkServeRequest(b *testing.B) {
 				e.serveRequest(tail[i%len(tail)])
 			}
 		})
+	}
+	// Policy rows: every noalloc zoo member on the EDGE design, so the alloc
+	// gate covers ARC's slot surgery, CAR's clock sweep, and TinyLFU's sketch
+	// alongside the default LRU. LFU allocates by design and is excluded
+	// (allocGatedPolicies); BenchmarkServeRequestLFU tracks it ungated.
+	for _, pol := range allocGatedPolicies() {
+		b.Run("Policy-"+pol.String(), func(b *testing.B) {
+			e, tail := warmEnginePolicy(b, EDGE, pol)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.serveRequest(tail[i%len(tail)])
+			}
+		})
+	}
+}
+
+// BenchmarkServeRequestLFU tracks the one allocating policy's cost outside
+// the alloc-gated BenchmarkServeRequest namespace.
+func BenchmarkServeRequestLFU(b *testing.B) {
+	e, tail := warmEnginePolicy(b, EDGE, PolicyLFU)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.serveRequest(tail[i%len(tail)])
 	}
 }
 

@@ -11,6 +11,9 @@
 package sim
 
 import (
+	"fmt"
+	"strings"
+
 	"idicn/internal/topo"
 	"idicn/internal/trace"
 )
@@ -52,16 +55,73 @@ const (
 	BudgetUniform
 )
 
-// Policy selects the cache replacement policy.
-type Policy int
+// CachePolicy selects the replacement (and admission) policy every
+// provisioned cache runs. All policies implement cache.Policy, so switching
+// is purely a constructor choice in the engine; see ParseCachePolicy for the
+// icnsim -policy spellings.
+type CachePolicy int
 
 const (
 	// PolicyLRU is the paper's default ("LRU performs near-optimally").
-	PolicyLRU Policy = iota
+	PolicyLRU CachePolicy = iota
 	// PolicyLFU is the alternative the paper reports as qualitatively
-	// similar.
+	// similar (frequency buckets; the one zoo member that allocates on its
+	// hit path, kept for comparison rather than line-rate use).
 	PolicyLFU
+	// PolicyARC is the Adaptive Replacement Cache: a self-tuning
+	// recency/frequency balance with ghost lists, scan-resistant where LRU
+	// is not.
+	PolicyARC
+	// PolicyCAR is Compact CAR, the CLOCK/ARC hybrid proposed for ICN
+	// line-rate routers: ARC's adaptivity with a reference-bit-only hit
+	// path.
+	PolicyCAR
+	// PolicyTinyLFU is LRU guarded by a TinyLFU admission filter (4-bit
+	// count-min sketch with periodic halving): one-hit wonders are denied
+	// entry instead of displacing proven content.
+	PolicyTinyLFU
 )
+
+// String returns the policy's display name, used in sweep tables and flag
+// diagnostics.
+func (p CachePolicy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "LRU"
+	case PolicyLFU:
+		return "LFU"
+	case PolicyARC:
+		return "ARC"
+	case PolicyCAR:
+		return "CAR"
+	case PolicyTinyLFU:
+		return "TinyLFU"
+	}
+	return "CachePolicy(?)"
+}
+
+// ParseCachePolicy resolves an icnsim -policy flag value (lru, lfu, arc,
+// car, tinylfu; case-insensitive).
+func ParseCachePolicy(s string) (CachePolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "lru":
+		return PolicyLRU, nil
+	case "lfu":
+		return PolicyLFU, nil
+	case "arc":
+		return PolicyARC, nil
+	case "car":
+		return PolicyCAR, nil
+	case "tinylfu", "tlfu":
+		return PolicyTinyLFU, nil
+	}
+	return PolicyLRU, fmt.Errorf("sim: unknown cache policy %q (want lru, lfu, arc, car, or tinylfu)", s)
+}
+
+// CachePolicies returns every policy in sweep order.
+func CachePolicies() []CachePolicy {
+	return []CachePolicy{PolicyLRU, PolicyLFU, PolicyARC, PolicyCAR, PolicyTinyLFU}
+}
 
 // LatencyModel selects per-hop latency costs (§5.1 "Other parameters").
 type LatencyModel int
@@ -111,7 +171,7 @@ type Config struct {
 	// forwarding upward. 0 disables; SiblingCoop is equivalent to scope 2.
 	CoopScope int
 
-	Policy Policy
+	Policy CachePolicy
 
 	Latency    LatencyModel
 	CoreFactor float64 // for LatencyCoreMultiplier; zero means 1

@@ -171,8 +171,22 @@ func newEngine(cfg Config, sh *engineShard) (*Engine, error) {
 			return nil, fmt.Errorf("sim: object %d has origin PoP %d out of range", o, p)
 		}
 	}
-	if cfg.Sizes != nil && len(cfg.Sizes) != cfg.Objects {
-		return nil, fmt.Errorf("sim: %d sizes for %d objects", len(cfg.Sizes), cfg.Objects)
+	if cfg.Sizes != nil {
+		// The size table is validated entirely at construction so the sized
+		// store's per-insert indexing can never fail mid-run: the table must
+		// cover the whole object universe with non-negative sizes, and Run
+		// rejects any request whose object id falls outside that universe.
+		if len(cfg.Sizes) != cfg.Objects {
+			return nil, fmt.Errorf("sim: %d sizes for %d objects", len(cfg.Sizes), cfg.Objects)
+		}
+		for o, s := range cfg.Sizes {
+			if s < 0 {
+				return nil, fmt.Errorf("sim: object %d has negative size %d", o, s)
+			}
+		}
+		if cfg.Policy != PolicyLRU {
+			return nil, fmt.Errorf("sim: byte-budget caches (Sizes) support PolicyLRU only, not %v", cfg.Policy)
+		}
 	}
 	if cfg.BudgetFraction < 0 {
 		return nil, fmt.Errorf("sim: negative budget fraction")
@@ -344,12 +358,19 @@ func (e *Engine) newStore(node topo.NodeID, capEntries int, slots, meanSize floa
 		budget := int64(math.Round(slots * meanSize))
 		return sizedStore{c: cache.NewSizedIntLRU(budget, onEvict), sizes: e.cfg.Sizes}
 	}
+	// Every policy implements cache.Policy, so provisioning is a plain
+	// constructor switch: no adapter structs, one eviction hook shape.
 	switch e.cfg.Policy {
 	case PolicyLFU:
-		hook := func(k int32, _ struct{}) { onEvict(k) }
-		return lfuStore{c: cache.NewLFU[int32, struct{}](capEntries, hook)}
+		return cache.NewIntLFU(capEntries, onEvict)
+	case PolicyARC:
+		return cache.NewARC(capEntries, onEvict)
+	case PolicyCAR:
+		return cache.NewCAR(capEntries, onEvict)
+	case PolicyTinyLFU:
+		return cache.NewTinyLFULRU(capEntries, onEvict)
 	default:
-		return lruStore{c: cache.NewIntLRU(capEntries, onEvict)}
+		return cache.NewIntLRU(capEntries, onEvict)
 	}
 }
 
@@ -424,6 +445,7 @@ func (e *Engine) Run(reqs []Request) Result {
 		panic("sim: Engine.Run called twice; cache state is cumulative, create a new Engine (sim.New) per run")
 	}
 	e.ran = true
+	e.validateRequests(reqs)
 	warmup := e.cfg.WarmupRequests
 	if warmup > len(reqs) {
 		warmup = len(reqs)
@@ -446,6 +468,29 @@ func (e *Engine) Run(reqs []Request) Result {
 		snap = e.snapshot()
 	}
 	return e.result(int64(len(reqs)-warmup), snap)
+}
+
+// validateRequests checks every request's PoP, leaf, and object id against
+// the configured topology and object universe before the serve loop starts.
+// Trace bugs therefore fail fast with a description of the bad request
+// instead of an index-out-of-range deep inside a cache store (the sized
+// store indexes the size table by object id) partway through a run.
+func (e *Engine) validateRequests(reqs []Request) {
+	net := e.cfg.Network
+	pops := int32(net.PoPs())
+	leaves := int32(net.LeavesPerTree())
+	objects := int32(e.cfg.Objects)
+	for i, q := range reqs {
+		if q.PoP < 0 || q.PoP >= pops {
+			panic(fmt.Sprintf("sim: request %d has PoP %d, want [0, %d)", i, q.PoP, pops))
+		}
+		if q.Leaf < 0 || q.Leaf >= leaves {
+			panic(fmt.Sprintf("sim: request %d has leaf %d, want [0, %d)", i, q.Leaf, leaves))
+		}
+		if q.Object < 0 || q.Object >= objects {
+			panic(fmt.Sprintf("sim: request %d has object %d, want [0, %d)", i, q.Object, objects))
+		}
+	}
 }
 
 // snapshot captures every metric counter so post-warmup deltas can be

@@ -94,11 +94,3 @@ func Run(jobs []Job, opt Options) ([]Result, error) {
 	}
 	return results, nil
 }
-
-// RunConfigs executes every job with a positional worker count.
-//
-// Deprecated: use Run with Options{Workers: workers}, which also carries an
-// optional Observer. This wrapper remains for the original API's callers.
-func RunConfigs(workers int, jobs []Job) ([]Result, error) {
-	return Run(jobs, Options{Workers: workers})
-}

@@ -29,7 +29,7 @@ func sweepWorkload(t testing.TB) (Config, []Request) {
 	return cfg, reqs
 }
 
-func TestRunConfigsMatchesSequential(t *testing.T) {
+func TestRunMatchesSequential(t *testing.T) {
 	cfg, reqs := sweepWorkload(t)
 	jobs := make([]Job, 0, 10)
 	for _, d := range BaselineDesigns() {
@@ -46,7 +46,7 @@ func TestRunConfigsMatchesSequential(t *testing.T) {
 		want[i] = res
 	}
 	for _, workers := range []int{1, 2, 3, 8, 64} {
-		got, err := RunConfigs(workers, jobs)
+		got, err := Run(jobs, Options{Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -104,8 +104,8 @@ func TestRunAttachesObserver(t *testing.T) {
 	}
 }
 
-func TestRunConfigsEmpty(t *testing.T) {
-	res, err := RunConfigs(4, nil)
+func TestRunEmpty(t *testing.T) {
+	res, err := Run(nil, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestRunConfigsEmpty(t *testing.T) {
 	}
 }
 
-func TestRunConfigsErrorIsDeterministic(t *testing.T) {
+func TestRunErrorIsDeterministic(t *testing.T) {
 	good := tinyConfig()
 	bad1 := good
 	bad1.Objects = -1 // invalid
@@ -126,7 +126,7 @@ func TestRunConfigsErrorIsDeterministic(t *testing.T) {
 		{Config: bad2, Reqs: nil},
 	}
 	for _, workers := range []int{1, 4} {
-		_, err := RunConfigs(workers, jobs)
+		_, err := Run(jobs, Options{Workers: workers})
 		if err == nil {
 			t.Fatalf("workers=%d: expected error", workers)
 		}
@@ -137,26 +137,26 @@ func TestRunConfigsErrorIsDeterministic(t *testing.T) {
 	}
 }
 
-func TestCompareDesignSetsMatchesCompareDesigns(t *testing.T) {
+func TestCompareSetsMatchesCompare(t *testing.T) {
 	cfg, reqs := sweepWorkload(t)
 	designs := BaselineDesigns()
 
-	single, err := CompareDesigns(cfg, designs, reqs)
+	single, err := Compare(cfg, designs, reqs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Two identical sets in one batch, compared at several worker counts.
 	for _, workers := range []int{1, 4} {
-		batch, err := CompareDesignSets(workers, []DesignSet{
+		batch, err := CompareSets([]DesignSet{
 			{Base: cfg, Designs: designs, Reqs: reqs},
 			{Base: cfg, Designs: designs, Reqs: reqs},
-		})
+		}, Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i := range batch {
 			if !reflect.DeepEqual(batch[i], single) {
-				t.Fatalf("workers=%d: set %d differs from CompareDesigns", workers, i)
+				t.Fatalf("workers=%d: set %d differs from Compare", workers, i)
 			}
 		}
 	}

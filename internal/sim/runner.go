@@ -80,14 +80,6 @@ func CompareSets(sets []DesignSet, opt Options) ([][]DesignResult, error) {
 	return out, nil
 }
 
-// CompareDesignSets evaluates design sets with a positional worker count.
-//
-// Deprecated: use CompareSets with Options{Workers: workers}. This wrapper
-// remains for the original API's callers.
-func CompareDesignSets(workers int, sets []DesignSet) ([][]DesignResult, error) {
-	return CompareSets(sets, Options{Workers: workers})
-}
-
 // Compare runs every design on the same base configuration and request
 // stream, returning per-design improvements over the shared no-caching
 // baseline. This is the computation behind each topology group in Figures 6
@@ -98,13 +90,4 @@ func Compare(base Config, designs []Design, reqs []Request, opt Options) ([]Desi
 		return nil, err
 	}
 	return out[0], nil
-}
-
-// CompareDesigns runs every design against the shared baseline on the
-// default worker pool.
-//
-// Deprecated: use Compare, which takes Options (workers, observer). This
-// wrapper remains for the original API's callers.
-func CompareDesigns(base Config, designs []Design, reqs []Request) ([]DesignResult, error) {
-	return Compare(base, designs, reqs, Options{})
 }

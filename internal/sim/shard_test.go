@@ -100,6 +100,36 @@ func TestRunStreamDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestRunStreamDeterministicAcrossWorkersPolicies repeats the bit-equality
+// check for every cache policy in the zoo: ARC's adaptation target, CAR's
+// clock hands, and TinyLFU's sketch are all per-shard state, so the result
+// must not depend on how many workers drive the shards.
+func TestRunStreamDeterministicAcrossWorkersPolicies(t *testing.T) {
+	cfg, reqs := shardWorkload(t)
+	workerCounts := []int{1, 2, 7}
+	for _, pol := range CachePolicies() {
+		t.Run(pol.String(), func(t *testing.T) {
+			dcfg := EDGECoop.Apply(cfg)
+			dcfg.Policy = pol
+			var want Result
+			for i, w := range workerCounts {
+				got, err := RunStream(dcfg, trace.Requests(reqs), StreamOptions{Workers: w, EpochLen: 1024})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					want = got
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("Workers=%d result differs from Workers=%d:\n got %+v\nwant %+v",
+						w, workerCounts[0], got, want)
+				}
+			}
+		})
+	}
+}
+
 // TestRunStreamEdgeMatchesSequential: under edge-only placement with
 // shortest-path routing every cache interaction stays inside the arrival
 // PoP's tree, so even the multi-PoP sharded run must agree exactly with the

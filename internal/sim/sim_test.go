@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"idicn/internal/cache"
 	"idicn/internal/topo"
 	"idicn/internal/trace"
 )
@@ -329,12 +330,12 @@ func TestUniformBudgetSizesCaches(t *testing.T) {
 		t.Fatal(err)
 	}
 	leaf := cfg.Network.Node(0, cfg.Network.LeafStart())
-	s, ok := e.caches[leaf].(lruStore)
+	s, ok := e.caches[leaf].(*cache.IntLRU)
 	if !ok {
-		t.Fatalf("cache type %T, want lruStore", e.caches[leaf])
+		t.Fatalf("cache type %T, want *cache.IntLRU", e.caches[leaf])
 	}
-	if s.c.Cap() != 3 {
-		t.Errorf("leaf capacity = %d, want 3", s.c.Cap())
+	if s.Cap() != 3 {
+		t.Errorf("leaf capacity = %d, want 3", s.Cap())
 	}
 }
 
@@ -345,10 +346,10 @@ func TestEdgeNormScalesBudgets(t *testing.T) {
 		t.Fatal(err)
 	}
 	leaf := cfg.Network.Node(0, cfg.Network.LeafStart())
-	s := e.caches[leaf].(lruStore)
+	s := e.caches[leaf].(*cache.IntLRU)
 	// Uniform per-router budget is 5; normalized: 5 * 3/2 = 7.5 -> 8.
-	if s.c.Cap() != 8 {
-		t.Errorf("normalized leaf capacity = %d, want 8", s.c.Cap())
+	if s.Cap() != 8 {
+		t.Errorf("normalized leaf capacity = %d, want 8", s.Cap())
 	}
 	// Total capacity must now approximate the pervasive total (2 PoPs * 3
 	// routers * 5 = 30; EDGE-Norm: 4 leaves * 8 = 32, within rounding).
@@ -372,8 +373,8 @@ func TestProportionalBudget(t *testing.T) {
 	}
 	// Total budget = 0.05 * 6 routers * 100 objects = 30 slots.
 	// PoP0 share 25% = 7.5 -> 2.5/router; PoP1 share 75% = 22.5 -> 7.5/router.
-	c0 := e.caches[net.Node(0, 0)].(lruStore).c.Cap()
-	c1 := e.caches[net.Node(1, 0)].(lruStore).c.Cap()
+	c0 := e.caches[net.Node(0, 0)].(*cache.IntLRU).Cap()
+	c1 := e.caches[net.Node(1, 0)].(*cache.IntLRU).Cap()
 	if c0 != 2 && c0 != 3 {
 		t.Errorf("PoP0 per-router capacity = %d, want ~2.5", c0)
 	}
@@ -464,7 +465,7 @@ func TestInfiniteBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	leaf := cfg.Network.Node(0, cfg.Network.LeafStart())
-	if got := e.caches[leaf].(lruStore).c.Cap(); got != cfg.Objects {
+	if got := e.caches[leaf].(*cache.IntLRU).Cap(); got != cfg.Objects {
 		t.Errorf("infinite-budget capacity = %d, want %d", got, cfg.Objects)
 	}
 }
@@ -481,6 +482,17 @@ func TestConfigValidation(t *testing.T) {
 		"edge levels":     func(c *Config) { c.Placement = PlacementEdgeLevels; c.EdgeLevels = 0 },
 		"capacity":        func(c *Config) { c.Capacity = -1 },
 		"capacity window": func(c *Config) { c.Capacity = 5; c.CapacityWindow = 0 },
+		"negative size": func(c *Config) {
+			c.Sizes = make([]int64, c.Objects)
+			c.Sizes[2] = -5
+		},
+		"sizes with non-LRU policy": func(c *Config) {
+			c.Sizes = make([]int64, c.Objects)
+			for i := range c.Sizes {
+				c.Sizes[i] = 1
+			}
+			c.Policy = PolicyARC
+		},
 	}
 	for name, mutate := range cases {
 		cfg := good
@@ -492,6 +504,28 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := New(good); err != nil {
 		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRunValidatesRequests(t *testing.T) {
+	cases := map[string]Request{
+		"pop":    req(7, 0, 0),
+		"leaf":   req(0, 9, 0),
+		"object": req(0, 0, 42),
+	}
+	for name, bad := range cases {
+		e, err := New(EDGE.Apply(tinyConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: out-of-range request accepted", name)
+				}
+			}()
+			e.Run([]Request{req(0, 0, 1), bad})
+		}()
 	}
 }
 
@@ -527,7 +561,7 @@ func TestCompareDesignsOrderingInvariants(t *testing.T) {
 		Network: net, Objects: objects, Origins: origins,
 		BudgetFraction: 0.05, BudgetPolicy: BudgetProportional,
 	}
-	results, err := CompareDesigns(cfg, BaselineDesigns(), reqs)
+	results, err := Compare(cfg, BaselineDesigns(), reqs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,45 +2,21 @@ package sim
 
 import "idicn/internal/cache"
 
-// store is the simulator's view of a content cache. Lookup touches (a hit
-// refreshes replacement state); Contains peeks without side effects; Insert
-// admits an object, possibly evicting others (evictions are reported through
-// the hook supplied at construction).
-type store interface {
-	Lookup(obj int32) bool
-	Contains(obj int32) bool
-	Insert(obj int32)
-	Len() int
-}
+// store is the simulator's view of a content cache — exactly cache.Policy,
+// so every policy in the zoo (IntLRU, IntLFU, ARC, Compact CAR, TinyLFU
+// admission) plugs into the engine directly, with no per-policy adapter
+// structs. Lookup touches (a hit refreshes replacement state); Contains
+// peeks without side effects; Insert admits an object, possibly evicting
+// others (evictions are reported through the hook supplied at construction)
+// or declining outright (admission filters, oversize objects) — the engine
+// checks Contains after Insert wherever admission matters.
+type store = cache.Policy
 
-type lruStore struct{ c *cache.IntLRU }
-
-//icn:noalloc
-func (s lruStore) Lookup(obj int32) bool { return s.c.Lookup(obj) }
-
-//icn:noalloc
-func (s lruStore) Contains(obj int32) bool { return s.c.Contains(obj) }
-
-//icn:noalloc
-func (s lruStore) Insert(obj int32) { s.c.Insert(obj) }
-func (s lruStore) Len() int         { return s.c.Len() }
-
-type lfuStore struct{ c *cache.LFU[int32, struct{}] }
-
-//icn:noalloc
-func (s lfuStore) Lookup(obj int32) bool {
-	_, ok := s.c.Get(obj)
-	return ok
-}
-
-//icn:noalloc
-func (s lfuStore) Contains(obj int32) bool { return s.c.Contains(obj) }
-
-//icn:noalloc
-func (s lfuStore) Insert(obj int32) { s.c.Put(obj, struct{}{}) }
-func (s lfuStore) Len() int         { return s.c.Len() }
-
-// sizedStore adapts the byte-budget LRU for heterogeneous object sizes.
+// sizedStore is the one remaining adapter: it bridges the byte-budget LRU,
+// whose Insert needs a size argument, to the unit-cost Policy interface by
+// carrying the per-object size table. The table is validated against the
+// object universe at engine construction (see newEngine), so the indexing
+// here cannot go out of range for any request the engine accepts.
 type sizedStore struct {
 	c     *cache.SizedIntLRU
 	sizes []int64
@@ -52,6 +28,21 @@ func (s sizedStore) Lookup(obj int32) bool { return s.c.Lookup(obj) }
 //icn:noalloc
 func (s sizedStore) Contains(obj int32) bool { return s.c.Contains(obj) }
 
+// Insert admits obj at its table size, reporting whether residents were
+// evicted to make room (the Policy contract; the byte-budget cache itself
+// reports admission, so eviction is recovered from the length delta).
+//
 //icn:noalloc
-func (s sizedStore) Insert(obj int32) { s.c.Insert(obj, s.sizes[obj]) }
-func (s sizedStore) Len() int         { return s.c.Len() }
+func (s sizedStore) Insert(obj int32) bool {
+	before := s.c.Len()
+	wasPresent := s.c.Contains(obj)
+	if !s.c.Insert(obj, s.sizes[obj]) {
+		return false // oversize: rejected, nothing evicted
+	}
+	if wasPresent {
+		return s.c.Len() < before
+	}
+	return s.c.Len() <= before
+}
+
+func (s sizedStore) Len() int { return s.c.Len() }
