@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmtcheck lint vet build test race bench-smoke chaos-smoke alloc-gate bench bench-all bench-json clean
+.PHONY: check fmtcheck lint vet build test race bench-smoke chaos-smoke overload-smoke alloc-gate bench bench-all bench-json clean
 
-check: fmtcheck lint vet build test race chaos-smoke bench-smoke
+check: fmtcheck lint vet build test race chaos-smoke overload-smoke bench-smoke
 
 # The serve-path allocation gate, shared by bench-smoke and the Makefile
 # test in alloc_gate_test.go. `go test -benchmem` reports allocs/op as a
@@ -65,10 +65,19 @@ alloc-gate:
 chaos-smoke:
 	$(GO) test -race -count=1 -run '^TestChaosResolverBlackout$$' ./internal/idicn/integration
 
+# The overload drill under the race detector: open-loop traffic past a
+# fixed concurrency limit must be shed with bounded queue waits (no
+# park-to-timeout), leave zero stuck goroutines, and drain cleanly.
+overload-smoke:
+	$(GO) test -race -count=1 -run '^TestOverloadSurge$$' ./internal/idicn/integration
+
 # Measure sharded streaming throughput at 1, half, and all cores and append
-# the timestamped requests_per_sec series to the committed perf log.
+# the timestamped requests_per_sec series to the committed perf log, then
+# the daemon overload series (admitted/sec and p99 queue wait at 1x/2x/4x
+# offered load) to BENCH_daemon.json.
 bench:
 	$(GO) run ./cmd/icnsim -bench-append BENCH_sim.json
+	$(GO) run ./cmd/idicnd -bench-daemon BENCH_daemon.json
 
 # Full benchmark pass over every artifact regeneration.
 bench-all:

@@ -38,6 +38,7 @@ func passes() []Pass {
 		{Name: "determinism", Doc: "no wall clock, global rand, or map-order iteration in sim/experiments/faults", Run: runDeterminism},
 		{Name: "errcheck-lite", Doc: "error returns from io/os/net/encoding calls must be checked", Run: runErrcheckLite},
 		{Name: "metricname", Doc: "obs metric names are snake_case with _total/_seconds suffixes", Run: runMetricname},
+		{Name: "boundedqueue", Doc: "channels on handler-reachable paths need explicit capacity and non-blocking sends", Run: runBoundedqueue},
 	}
 }
 

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runBoundedqueue enforces the overload-control invariant on channels the
+// HTTP serving path touches: a handler goroutine must never park on an
+// unbounded or escape-less channel operation, because under overload that
+// turns shed-able requests into goroutine pile-ups the admission queue
+// can't see. Within each package it finds the handler roots — declared
+// functions and function literals with a *http.Request parameter — walks
+// the package-local call graph beneath them, and flags
+//
+//   - make(chan T) with no capacity argument: a request-path channel needs
+//     explicit capacity so its bound is a stated decision, and
+//   - a plain `ch <- v` send outside a select with an escape (another case
+//     or a default): the send must be able to drop or time out instead of
+//     blocking the request.
+//
+// Deliberate exceptions (a close-only completion signal, a send provably
+// bounded elsewhere) are silenced with //icnvet:ignore boundedqueue, which
+// leaves the justification in the reader's view.
+func runBoundedqueue(u *Unit) []Finding {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	// Roots: every declared function whose signature carries *http.Request.
+	reach := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for fn := range decls {
+		if hasRequestParam(fn.Signature()) {
+			reach[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	// Handler literals (http.HandlerFunc closures) are roots too; their
+	// bodies are scanned directly unless an enclosing declared handler
+	// already covers them.
+	var litBodies []*ast.BlockStmt
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			enclosing, _ := u.Info.Defs[fd.Name].(*types.Func)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				sig, _ := u.typeOf(lit).(*types.Signature)
+				if sig == nil || !hasRequestParam(sig) {
+					return true
+				}
+				if enclosing == nil || !reach[enclosing] {
+					litBodies = append(litBodies, lit.Body)
+				}
+				queue = append(queue, calleesIn(u, lit.Body, decls)...)
+				return true
+			})
+		}
+	}
+
+	// Package-local BFS: anything a root (transitively) calls within this
+	// unit runs on the serving path.
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := decls[fn]
+		if fd == nil {
+			continue
+		}
+		if !reach[fn] {
+			reach[fn] = true
+		}
+		for _, callee := range calleesIn(u, fd.Body, decls) {
+			if !reach[callee] {
+				reach[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	var out []Finding
+	seen := make(map[token.Pos]bool)
+	scan := func(body *ast.BlockStmt) {
+		// Sends appearing as the comm of a select clause with an escape
+		// (another case or a default) are the sanctioned pattern.
+		protected := make(map[*ast.SendStmt]bool)
+		ast.Inspect(body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok || len(sel.Body.List) < 2 {
+				return true
+			}
+			for _, clause := range sel.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					if send, ok := cc.Comm.(*ast.SendStmt); ok {
+						protected[send] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isUnbufferedChanMake(u, n) && !seen[n.Pos()] {
+					seen[n.Pos()] = true
+					out = append(out, u.finding("boundedqueue", n.Pos(),
+						"unbuffered channel on the request path; give it explicit capacity or justify with //icnvet:ignore boundedqueue"))
+				}
+			case *ast.SendStmt:
+				if !protected[n] && !seen[n.Pos()] {
+					seen[n.Pos()] = true
+					out = append(out, u.finding("boundedqueue", n.Pos(),
+						"blocking channel send on the request path; use a select with a default or deadline case, or justify with //icnvet:ignore boundedqueue"))
+				}
+			}
+			return true
+		})
+	}
+	for fn := range reach {
+		if fd := decls[fn]; fd != nil {
+			scan(fd.Body)
+		}
+	}
+	for _, body := range litBodies {
+		scan(body)
+	}
+	sortFindings(out)
+	return out
+}
+
+// calleesIn returns the package-local declared functions called anywhere in
+// body (including inside nested literals and spawned goroutines — a
+// goroutine leaked per request is still per-request work).
+func calleesIn(u *Unit, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := u.calleeFunc(call); fn != nil {
+			if _, local := decls[fn]; local {
+				out = append(out, fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isUnbufferedChanMake reports whether call is make(chan T) with no
+// capacity argument.
+func isUnbufferedChanMake(u *Unit, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) != 1 {
+		return false
+	}
+	if _, builtin := u.Info.Uses[id].(*types.Builtin); !builtin {
+		return false
+	}
+	t := u.typeOf(call)
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// hasRequestParam reports whether any parameter of sig is *net/http.Request.
+func hasRequestParam(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		ptr, ok := types.Unalias(sig.Params().At(i).Type()).(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj != nil && obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+// Package fixture exercises the boundedqueue pass: channels touched on
+// handler-reachable paths must have explicit capacity, and sends there must
+// carry a select escape so a request can be dropped instead of parked.
+package fixture
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+type job struct{ id string }
+
+// handler is a root: it has a *http.Request parameter.
+func handler(w http.ResponseWriter, r *http.Request) {
+	updates := make(chan job)  // want "unbuffered channel on the request path"
+	updates <- job{id: r.Host} // want "blocking channel send on the request path"
+	enqueue(r.Host)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+var workQueue = make(chan job, 64)
+
+// enqueue is not a handler itself, but the package-local BFS reaches it
+// from one — its bare send blocks the calling request when the queue fills.
+func enqueue(id string) {
+	workQueue <- job{id: id} // want "blocking channel send on the request path"
+}
+
+// goodHandler shows the sanctioned patterns: explicit capacity, and sends
+// wrapped in selects that can give up.
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	updates := make(chan job, 8)
+	select {
+	case updates <- job{id: r.Host}:
+	default: // shed: the request must not park on a full queue
+	}
+	select {
+	case workQueue <- job{id: r.Host}:
+	case <-r.Context().Done():
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// handlerLit wires a handler closure: function literals with a
+// *http.Request parameter are roots too.
+func handlerLit(mux *http.ServeMux, events chan job) {
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		events <- job{id: r.URL.Path} // want "blocking channel send on the request path"
+	})
+}
+
+// signalUser demonstrates the escape hatch: a close-only completion signal
+// is never sent on, so its lack of capacity is harmless — but the claim has
+// to be written down.
+func signalUser(w http.ResponseWriter, r *http.Request) {
+	//icnvet:ignore boundedqueue — close-only completion signal, never sent on
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(time.Millisecond)
+	}()
+	<-done
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// offline is not reachable from any handler: channel discipline elsewhere
+// in the program is out of this pass's scope.
+func offline(ctx context.Context) {
+	results := make(chan int)
+	go func() { results <- 1 }()
+	select {
+	case <-results:
+	case <-ctx.Done():
+	}
+}

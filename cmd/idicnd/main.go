@@ -25,6 +25,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"idicn/internal/faults"
 	"idicn/internal/httpx"
@@ -34,6 +36,7 @@ import (
 	"idicn/internal/idicn/proxy"
 	"idicn/internal/idicn/resolver"
 	"idicn/internal/obs"
+	"idicn/internal/overload"
 )
 
 func main() {
@@ -42,6 +45,10 @@ func main() {
 	logRequests := flag.Bool("log-requests", false, "log one structured line per HTTP request to stderr")
 	faultSpec := flag.String("faults", "", "fault-injection plan, e.g. 'resolver:blackout,from=300,to=600;origin:latency,d=20ms,p=0.5' (see internal/faults)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault plan's RNG; same seed, same faults")
+	maxConcurrency := flag.Int("max-concurrency", 0, "cap on each component's adaptive concurrency limit (0 = 64)")
+	queueDeadline := flag.Duration("queue-deadline", 0, "per-request admission queue wait budget; predicted-to-exceed requests are shed immediately (0 = 1s serving, 100ms benchmarking)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight requests before giving up")
+	benchDaemon := flag.String("bench-daemon", "", "run the open-loop overload benchmark and append a JSON line to this file, then exit")
 	flag.Parse()
 	var logW io.Writer
 	if *logRequests {
@@ -55,7 +62,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*demo, *contentDir, logW, plan); err != nil {
+	ocfg := overload.Config{
+		MaxConcurrency: *maxConcurrency,
+		QueueDeadline:  *queueDeadline,
+	}
+	if *benchDaemon != "" {
+		if err := runBench(*benchDaemon, ocfg); err != nil {
+			fmt.Fprintf(os.Stderr, "idicnd: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*demo, *contentDir, logW, plan, ocfg, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "idicnd: %v\n", err)
 		os.Exit(1)
 	}
@@ -69,6 +87,8 @@ type stack struct {
 	origin   *origin.Server
 	proxy    *proxy.Proxy
 	metrics  *obs.Registry
+	drainer  *overload.Drainer
+	ctls     map[string]*overload.Controller // per-component admission controllers
 
 	resolverURL string
 	originURL   string
@@ -77,27 +97,51 @@ type stack struct {
 }
 
 // newStack wires the resolver, origin, and edge proxy together, wrapping
-// each HTTP surface with request instrumentation. listen must start serving
-// the handler and return its base URL. logW, when non-nil, receives one
-// structured log line per request (the -log-requests flag). plan, when
-// non-nil, injects the configured faults into each component's server side
-// (the -faults flag), with per-kind counters in the metrics registry. The
-// returned stack's debugURL serves /debug/metrics with live counters from
-// every component.
-func newStack(listen func(http.Handler) (string, error), logW io.Writer, plan *faults.Plan) (*stack, error) {
+// each HTTP surface with request instrumentation and overload admission
+// control. listen must start serving the handler and return its base URL.
+// logW, when non-nil, receives one structured log line per request (the
+// -log-requests flag). plan, when non-nil, injects the configured faults
+// into each component's server side (the -faults flag), with per-kind
+// counters in the metrics registry. ocfg shapes each component's admission
+// controller; drainer, when non-nil, is consulted before admission and
+// served on /healthz + /readyz (nil gets a stack-private drainer, so those
+// endpoints always exist). The returned stack's debugURL serves
+// /debug/metrics with live counters from every component.
+func newStack(listen func(http.Handler) (string, error), logW io.Writer, plan *faults.Plan, ocfg overload.Config, drainer *overload.Drainer) (*stack, error) {
 	metrics := obs.NewRegistry()
+	if drainer == nil {
+		drainer = &overload.Drainer{}
+	}
 	var logger obs.RequestHook
 	if logW != nil {
 		logger = obs.NewRequestLogger(logW, nil)
 	}
+	ctls := make(map[string]*overload.Controller)
+	// Admission order, outside in: instrumentation sees every request
+	// (sheds included, as 503s), the overload controller decides whether
+	// the component does the work at all, and only admitted requests reach
+	// the fault injector and the handler — so injected latency counts as
+	// service time and feeds the adaptive limit.
 	wrap := func(component string, h http.Handler) http.Handler {
 		if plan != nil {
 			inj := plan.Injector(component)
 			inj.RegisterMetrics(metrics)
 			h = inj.Middleware(h)
 		}
+		ctl := overload.NewController(ocfg)
+		ctl.SetDraining(drainer.Draining)
+		ctl.RegisterMetrics(metrics, component)
+		ctls[component] = ctl
+		h = ctl.Middleware(h)
 		return obs.Instrument(component,
 			obs.MultiHook(obs.NewHTTPMetrics(metrics, component), logger), h)
+	}
+
+	// Outgoing calls propagate the remaining request budget via the
+	// X-ICN-Deadline header, so a downstream component never works on a
+	// request its upstream has already written off.
+	outbound := func() *http.Client {
+		return &http.Client{Timeout: 10 * time.Second, Transport: overload.Transport(nil)}
 	}
 
 	// Name resolution system.
@@ -108,7 +152,7 @@ func newStack(listen func(http.Handler) (string, error), logW io.Writer, plan *f
 	if err != nil {
 		return nil, err
 	}
-	resolverClient := resolver.NewClient(resolverURL, nil)
+	resolverClient := resolver.NewClient(resolverURL, outbound())
 
 	// Content provider: origin + signing reverse proxy under a fresh
 	// principal. The origin needs its own URL before construction, so the
@@ -127,17 +171,22 @@ func newStack(listen func(http.Handler) (string, error), logW io.Writer, plan *f
 	org = origin.New(principal, resolverClient, originURL)
 	org.RegisterMetrics(metrics)
 
-	// Edge proxy with PAC auto-configuration.
-	px := proxy.New(resolverClient)
+	// Edge proxy with PAC auto-configuration. Its brownout hook follows its
+	// own admission controller: proxy pressure degrades proxy behavior.
+	px := proxy.New(resolverClient, proxy.WithHTTPClient(outbound()))
 	px.RegisterMetrics(metrics)
 	proxyURL, err := listen(wrap("proxy", px))
 	if err != nil {
 		return nil, err
 	}
+	px.Brownout = ctls["proxy"].Tier
 
-	// Debug server: live counters and histograms for every component.
+	// Debug server: live counters and histograms for every component, plus
+	// the liveness/readiness pair the drain path flips.
 	debugMux := http.NewServeMux()
 	debugMux.Handle("/debug/metrics", metrics.Handler())
+	debugMux.Handle("/healthz", drainer.Healthz())
+	debugMux.Handle("/readyz", drainer.Readyz())
 	debugURL, err := listen(debugMux)
 	if err != nil {
 		return nil, err
@@ -148,6 +197,8 @@ func newStack(listen func(http.Handler) (string, error), logW io.Writer, plan *f
 		origin:      org,
 		proxy:       px,
 		metrics:     metrics,
+		drainer:     drainer,
+		ctls:        ctls,
 		resolverURL: resolverURL,
 		originURL:   originURL,
 		proxyURL:    proxyURL,
@@ -155,10 +206,23 @@ func newStack(listen func(http.Handler) (string, error), logW io.Writer, plan *f
 	}, nil
 }
 
-func run(demo bool, contentDir string, logW io.Writer, plan *faults.Plan) error {
+func run(demo bool, contentDir string, logW io.Writer, plan *faults.Plan, ocfg overload.Config, drainTimeout time.Duration) error {
 	ctx := context.Background()
 
-	st, err := newStack(serve, logW, plan)
+	// Every loopback server is registered with the drainer, so one SIGTERM
+	// stops all accept loops and waits for in-flight requests together.
+	drainer := &overload.Drainer{}
+	listen := func(h http.Handler) (string, error) {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		srv := httpx.Start(lis, h)
+		drainer.Manage(srv)
+		return srv.URL(), nil
+	}
+
+	st, err := newStack(listen, logW, plan, ocfg, drainer)
 	if err != nil {
 		return err
 	}
@@ -203,10 +267,22 @@ func run(demo bool, contentDir string, logW io.Writer, plan *faults.Plan) error 
 		return runDemo(ctx, st.origin, st.proxyURL)
 	}
 
-	fmt.Println("\nserving; ctrl-c to exit")
+	fmt.Println("\nserving; ctrl-c or SIGTERM to drain and exit")
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+
+	// Graceful drain: flip readiness, stop accepting, finish in-flight
+	// requests within the bound, exit 0. A drain that cannot finish in time
+	// returns the context error and exits non-zero — an honest failure
+	// beats a silent connection reset.
+	fmt.Printf("received %v; draining (up to %v)\n", s, drainTimeout)
+	dctx, cancel := context.WithTimeout(ctx, drainTimeout)
+	defer cancel()
+	if err := drainer.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("drained cleanly")
 	return nil
 }
 
@@ -237,14 +313,4 @@ func runDemo(ctx context.Context, org *origin.Server, proxyURL string) error {
 	}
 	fmt.Printf("\norigin hits: %d (the second fetch was served by the edge cache)\n", org.OriginHits())
 	return nil
-}
-
-// serve starts an HTTP server on a fresh loopback port and returns its URL.
-func serve(h http.Handler) (string, error) {
-	lis, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return "", err
-	}
-	go httpx.Serve(lis, h)
-	return "http://" + lis.Addr().String(), nil
 }

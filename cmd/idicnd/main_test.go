@@ -9,6 +9,9 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
+
+	"idicn/internal/overload"
 )
 
 func TestRunDemo(t *testing.T) {
@@ -16,13 +19,13 @@ func TestRunDemo(t *testing.T) {
 	if err := os.WriteFile(dir+"/extra.txt", []byte("from a file"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(true, dir, io.Discard, nil); err != nil {
+	if err := run(true, dir, io.Discard, nil, overload.Config{}, time.Second); err != nil {
 		t.Fatalf("demo run failed: %v", err)
 	}
 }
 
 func TestRunRejectsBadContentDir(t *testing.T) {
-	if err := run(true, "/nonexistent/surely", nil, nil); err == nil {
+	if err := run(true, "/nonexistent/surely", nil, nil, overload.Config{}, time.Second); err == nil {
 		t.Fatal("bad content dir accepted")
 	}
 }
@@ -43,7 +46,7 @@ func TestStackDebugMetrics(t *testing.T) {
 		return s.URL, nil
 	}
 	var logBuf bytes.Buffer
-	st, err := newStack(listen, &logBuf, nil)
+	st, err := newStack(listen, &logBuf, nil, overload.Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,9 +106,26 @@ func TestStackDebugMetrics(t *testing.T) {
 		"resolver_requests_total",
 		"origin_requests_total",
 		"proxy_request_seconds_count 2",
+		"proxy_overload_admitted_total 2",
+		"proxy_overload_shed_total 0",
+		"proxy_overload_queue_wait_seconds_count 2",
+		"proxy_overload_brownout_tier 0",
+		"origin_overload_admitted_total",
+		"resolver_overload_admitted_total",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/debug/metrics missing %q; body:\n%s", want, metrics)
+		}
+	}
+
+	for path, want := range map[string]int{"/healthz": http.StatusOK, "/readyz": http.StatusOK} {
+		resp, err := http.Get(st.debugURL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s = %d, want %d", path, resp.StatusCode, want)
 		}
 	}
 

@@ -3,9 +3,14 @@
 // ReadTimeout lets a slow-loris connection pin a goroutine (and eventually
 // the whole accept loop's file descriptors) forever, which is exactly the
 // kind of adverse condition the fault-injection harness exercises.
+//
+// Server couples the hardened http.Server with its listener and a shutdown
+// handle, so the overload layer's graceful drain (stop accepting, finish
+// in-flight requests within a bound, exit) has something to hold on to.
 package httpx
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"time"
@@ -34,3 +39,39 @@ func NewServer(h http.Handler) *http.Server {
 func Serve(lis net.Listener, h http.Handler) error {
 	return NewServer(h).Serve(lis)
 }
+
+// Server is a running hardened server plus its listener: the handle the
+// graceful-drain path needs. Construct with Start.
+type Server struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// Start serves h on lis in a background goroutine with the hardened
+// timeouts applied and returns the handle for Shutdown/Close.
+func Start(lis net.Listener, h http.Handler) *Server {
+	s := &Server{srv: NewServer(h), lis: lis}
+	go func() {
+		// ErrServerClosed (and a closed-listener error during shutdown) is
+		// the normal end of serving; anything else surfaced here would race
+		// process teardown anyway.
+		_ = s.srv.Serve(lis)
+	}()
+	return s
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+// URL returns the server's http base URL.
+func (s *Server) URL() string { return "http://" + s.lis.Addr().String() }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish, up to ctx's deadline (then returns ctx's error with
+// remaining connections still open — callers decide whether to Close).
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// Close abruptly closes the listener and all active connections.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,212 @@
+package integration
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"idicn/internal/faults"
+	"idicn/internal/httpx"
+	"idicn/internal/idicn/origin"
+	"idicn/internal/idicn/proxy"
+	"idicn/internal/idicn/resolver"
+	"idicn/internal/obs"
+	"idicn/internal/overload"
+)
+
+// TestOverloadSurge is the overload-control drill `make overload-smoke`
+// runs under the race detector: open-loop traffic far past a small fixed
+// concurrency limit, with injected service latency, must be absorbed by
+// shedding — every request answered 200 or 503, queue waits bounded by the
+// queue deadline, nonzero sheds, admitted requests still completing — and
+// afterwards a SIGTERM-style drain must finish cleanly with nothing left
+// in the queue and no goroutines pinned.
+func TestOverloadSurge(t *testing.T) {
+	const (
+		limit         = 4
+		queueCapacity = 8
+		queueDeadline = 100 * time.Millisecond
+		svcLatency    = 20 * time.Millisecond
+		requests      = 200
+		interval      = 2 * time.Millisecond // 500/s offered vs ~200/s capacity
+	)
+	baseline := runtime.NumGoroutine()
+
+	// Resolver + origin on httptest servers: the surge targets the proxy.
+	registry := resolver.NewRegistry()
+	resSrv := httptest.NewServer(resolver.NewServer(registry))
+	defer resSrv.Close()
+	resClient := resolver.NewClient(resSrv.URL, nil)
+
+	pub := principal(t, 104)
+	var org *origin.Server
+	orgSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		org.ServeHTTP(w, r)
+	}))
+	defer orgSrv.Close()
+	org = origin.New(pub, resClient, orgSrv.URL)
+
+	// Edge proxy behind the admission pipeline: overload controller outside,
+	// injected 20ms service latency inside (so it counts as service time).
+	plan, err := faults.ParsePlan(fmt.Sprintf("proxy:latency,d=%s,p=1", svcLatency), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := plan.Injector("proxy")
+	px := proxy.New(resClient)
+	ctl := overload.NewController(overload.Config{
+		MinConcurrency: limit, MaxConcurrency: limit,
+		QueueCapacity: queueCapacity,
+		QueueDeadline: queueDeadline,
+		Brownout:      overload.NewBrownout(overload.BrownoutConfig{Window: 8}),
+	})
+	px.Brownout = ctl.Tier
+	metrics := obs.NewRegistry()
+	ctl.RegisterMetrics(metrics, "proxy")
+
+	var drainer overload.Drainer
+	ctl.SetDraining(drainer.Draining)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pxSrv := httpx.Start(lis, ctl.Middleware(inj.Middleware(px)))
+	defer pxSrv.Close()
+	drainer.Manage(pxSrv)
+
+	ctx := context.Background()
+	n, err := org.Publish(ctx, "surge", "text/plain", []byte("overload drill payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	fetch := func() (int, error) {
+		req, err := http.NewRequest(http.MethodGet, pxSrv.URL()+"/", nil)
+		if err != nil {
+			return 0, err
+		}
+		req.Host = n.DNS()
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
+			return 0, fmt.Errorf("shed response missing Retry-After")
+		}
+		return resp.StatusCode, nil
+	}
+	if status, err := fetch(); err != nil || status != http.StatusOK {
+		t.Fatalf("warm-up fetch: status %d err %v", status, err)
+	}
+
+	// Open-loop surge: requests launch on schedule whether or not earlier
+	// ones finished — the load pattern that makes overload possible.
+	var ok200, shed503, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, err := fetch()
+			switch {
+			case err != nil:
+				other.Add(1)
+				t.Errorf("surge fetch failed outright: %v", err)
+			case status == http.StatusOK:
+				ok200.Add(1)
+			case status == http.StatusServiceUnavailable:
+				shed503.Add(1)
+			default:
+				other.Add(1)
+				t.Errorf("surge fetch: unexpected status %d", status)
+			}
+		}()
+		time.Sleep(interval)
+	}
+	wg.Wait()
+
+	if got := ok200.Load() + shed503.Load() + other.Load(); got != requests {
+		t.Fatalf("accounted %d of %d requests", got, requests)
+	}
+	if ok200.Load() == 0 {
+		t.Error("no requests admitted during the surge")
+	}
+	if shed503.Load() == 0 {
+		t.Error("no requests shed: the surge never overloaded the daemon")
+	}
+	if got, want := ctl.Admitted(), ok200.Load()+1; got != want {
+		t.Errorf("controller admitted = %d, want %d (200s + warm-up)", got, want)
+	}
+	if got := ctl.Shed(); got != shed503.Load() {
+		t.Errorf("controller shed = %d, 503 responses = %d", got, shed503.Load())
+	}
+	// Bounded queue wait: admitted requests were granted within their
+	// budget, never parked past it (0.5s allows race-detector scheduling
+	// slack on top of the 100ms deadline).
+	if max := ctl.QueueWait().Snapshot().Max; max > 0.5 {
+		t.Errorf("max queue wait %.3fs: waits are not bounded by the queue deadline", max)
+	}
+	if got := ctl.Brownout().Transitions(); got == 0 {
+		t.Error("sustained surge never escalated the brownout tier")
+	}
+	var sb strings.Builder
+	metrics.WriteText(&sb)
+	for _, want := range []string{"proxy_overload_shed_total", "proxy_overload_queue_wait_seconds_count", "proxy_overload_brownout_tier"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics text missing %s", want)
+		}
+	}
+
+	// Graceful drain: readiness flips, in-flight work finishes, the
+	// listener closes, and the admission queue is left empty.
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := drainer.Drain(dctx); err != nil {
+		t.Fatalf("drain after surge: %v", err)
+	}
+	if !drainer.Draining() {
+		t.Error("drainer does not report draining")
+	}
+	if d := ctl.Queue().Depth(); d != 0 {
+		t.Errorf("queue depth after drain = %d, want 0", d)
+	}
+	if f := ctl.Queue().Inflight(); f != 0 {
+		t.Errorf("inflight after drain = %d, want 0", f)
+	}
+	if _, err := net.DialTimeout("tcp", pxSrv.Addr().String(), time.Second); err == nil {
+		t.Error("proxy listener still accepting after drain")
+	}
+
+	// No goroutines pinned: after closing every server and idle connection,
+	// the count settles back to near the pre-test baseline.
+	resSrv.Close()
+	orgSrv.Close()
+	client.CloseIdleConnections()
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines never settled: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,231 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"idicn/internal/idicn/names"
+	"idicn/internal/idicn/resilience"
+	"idicn/internal/idicn/resolver"
+	"idicn/internal/overload"
+)
+
+// TestBrownoutServeStale: at TierStale the proxy serves an expired cache
+// entry without touching the resolver at all — unlike outage stale-serving,
+// which first burns a failed resolution.
+func TestBrownoutServeStale(t *testing.T) {
+	s := newDegradeStack(t)
+	s.proxy.TTL = time.Minute
+	content := []byte("good enough under pressure")
+	n, err := s.org.Publish(context.Background(), "story", "text/plain", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := s.getName(t, n); resp.StatusCode != http.StatusOK || body != string(content) {
+		t.Fatalf("warm-up fetch: status %d body %q", resp.StatusCode, body)
+	}
+	warmupCalls := s.res.calls.Load()
+
+	s.advance(2 * time.Minute) // entry now expired
+	s.proxy.Brownout = func() overload.Tier { return overload.TierStale }
+	resp, body := s.getName(t, n)
+	if resp.StatusCode != http.StatusOK || body != string(content) {
+		t.Fatalf("brownout fetch: status %d body %q", resp.StatusCode, body)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "STALE" {
+		t.Errorf("X-Cache = %q, want STALE", xc)
+	}
+	if got := s.res.calls.Load(); got != warmupCalls {
+		t.Errorf("brownout stale serve hit the resolver: %d calls, want %d", got, warmupCalls)
+	}
+}
+
+// TestBrownoutNoHedgeSingleAttempt: at TierNoHedge the resolve policy is
+// clamped to one attempt — retries are amplification under overload.
+func TestBrownoutNoHedgeSingleAttempt(t *testing.T) {
+	s := newDegradeStack(t)
+	s.proxy.ResolvePolicy = resilience.Policy{
+		MaxAttempts: 3,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+	s.res.down.Store(true)
+	n, _ := names.Parse("missing." + s.org.Principal().KeyHash().String())
+
+	s.proxy.Brownout = func() overload.Tier { return overload.TierNoHedge }
+	if _, _, err := s.proxy.Get(context.Background(), n); err == nil {
+		t.Fatal("dead resolver with cold cache: want error")
+	}
+	if got := s.res.calls.Load(); got != 1 {
+		t.Fatalf("resolver calls under no-hedge = %d, want 1", got)
+	}
+
+	s.proxy.Brownout = nil // back to normal: the full retry schedule applies
+	if _, _, err := s.proxy.Get(context.Background(), n); err == nil {
+		t.Fatal("dead resolver with cold cache: want error")
+	}
+	if got := s.res.calls.Load(); got != 1+3 {
+		t.Fatalf("resolver calls at TierNormal = %d, want 3 more", got)
+	}
+}
+
+// budgetProbe records the attempt budget the proxy attached to the request
+// context.
+type budgetProbe struct {
+	remaining int
+	seen      bool
+}
+
+func (b *budgetProbe) Resolve(ctx context.Context, name string) (resolver.Result, error) {
+	if bud := resilience.BudgetFrom(ctx); bud != nil {
+		b.seen = true
+		b.remaining = bud.Remaining()
+	}
+	return resolver.Result{}, resilience.Permanent(errors.New("probe: no answer"))
+}
+
+// TestProxyAttachesAttemptBudget: every resolution carries a per-request
+// attempt budget (default 4; 1 under no-hedge brownout) shared by all
+// retry/hedging layers below.
+func TestProxyAttachesAttemptBudget(t *testing.T) {
+	probe := &budgetProbe{}
+	p := New(probe)
+	n, _ := names.Parse("label.0000000000000000000000000000000000000000000000000000")
+	if _, _, err := p.Get(context.Background(), n); err == nil {
+		t.Fatal("probe resolver: want error")
+	}
+	if !probe.seen {
+		t.Fatal("no attempt budget on the resolve context")
+	}
+	if probe.remaining != 4 {
+		t.Fatalf("default budget = %d, want 4", probe.remaining)
+	}
+
+	p.Brownout = func() overload.Tier { return overload.TierNoHedge }
+	if _, _, err := p.Get(context.Background(), n); err == nil {
+		t.Fatal("probe resolver: want error")
+	}
+	if probe.remaining != 1 {
+		t.Fatalf("no-hedge budget = %d, want 1", probe.remaining)
+	}
+}
+
+// TestSingleflightSurvivesLeaderCancel: the fetch belongs to all waiters,
+// not the caller who happened to start it — a canceled initiator leaves the
+// flight running for the follower still waiting on it.
+func TestSingleflightSurvivesLeaderCancel(t *testing.T) {
+	var g flightGroup
+	block := make(chan struct{})
+	want := &CachedObject{}
+	fn := func(fctx context.Context) (*CachedObject, error) {
+		<-block
+		if err := fctx.Err(); err != nil {
+			return nil, err
+		}
+		return want, nil
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(leaderCtx, "k", fn)
+		leaderErr <- err
+	}()
+	waitForFlight(t, &g, "k")
+
+	followerRes := make(chan error, 1)
+	go func() {
+		obj, shared, err := g.do(context.Background(), "k", fn)
+		if err == nil && (obj != want || !shared) {
+			err = errors.New("follower got wrong object or shared flag")
+		}
+		followerRes <- err
+	}()
+	waitForWaiters(t, &g, "k", 2)
+
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled leader: err = %v, want context.Canceled", err)
+	}
+	close(block)
+	if err := <-followerRes; err != nil {
+		t.Fatalf("follower after leader cancel: %v", err)
+	}
+}
+
+// TestSingleflightCancelsOrphanedFetch: when the last waiter gives up, the
+// in-flight fetch's context is canceled — no upstream work survives with
+// nobody left to read it.
+func TestSingleflightCancelsOrphanedFetch(t *testing.T) {
+	var g flightGroup
+	fetchCanceled := make(chan struct{})
+	fn := func(fctx context.Context) (*CachedObject, error) {
+		<-fctx.Done()
+		close(fetchCanceled)
+		return nil, fctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	res := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(ctx, "k", fn)
+		res <- err
+	}()
+	waitForFlight(t, &g, "k")
+
+	cancel()
+	if err := <-res; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled caller: err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-fetchCanceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("orphaned fetch was never canceled")
+	}
+	// The key is free again: a new caller starts a fresh flight.
+	obj, shared, err := g.do(context.Background(), "k", func(context.Context) (*CachedObject, error) {
+		return &CachedObject{}, nil
+	})
+	if err != nil || obj == nil || shared {
+		t.Fatalf("fresh flight after orphan cleanup: obj=%v shared=%v err=%v", obj, shared, err)
+	}
+}
+
+func waitForFlight(t *testing.T, g *flightGroup, key string) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for {
+		g.mu.Lock()
+		_, ok := g.flights[key]
+		g.mu.Unlock()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flight never appeared")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func waitForWaiters(t *testing.T, g *flightGroup, key string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for {
+		g.mu.Lock()
+		f := g.flights[key]
+		w := 0
+		if f != nil {
+			w = f.waiters
+		}
+		g.mu.Unlock()
+		if w >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight never reached %d waiters", n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -260,7 +260,7 @@ func TestSingleflightCancelledFollower(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		g.do(context.Background(), "k", func() (*CachedObject, error) {
+		g.do(context.Background(), "k", func(context.Context) (*CachedObject, error) {
 			<-block
 			return &CachedObject{}, nil
 		})
@@ -279,7 +279,7 @@ func TestSingleflightCancelledFollower(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
-	obj, shared, err := g.do(ctx, "k", func() (*CachedObject, error) {
+	obj, shared, err := g.do(ctx, "k", func(context.Context) (*CachedObject, error) {
 		t.Error("follower executed fn")
 		return nil, nil
 	})

@@ -25,6 +25,7 @@ import (
 	"idicn/internal/idicn/names"
 	"idicn/internal/idicn/resilience"
 	"idicn/internal/idicn/resolver"
+	"idicn/internal/overload"
 )
 
 // Resolver is the proxy's view of the resolution system. *resolver.Client,
@@ -81,6 +82,15 @@ type Proxy struct {
 	// is skipped (straight to degraded serving) instead of timing out every
 	// request. Zero value: threshold 5, cooldown 1s.
 	Breaker resilience.Breaker
+	// Brownout reports the stack's current degradation tier (nil means
+	// TierNormal). At TierStale and above, expired cache entries are served
+	// without revalidating; at TierNoHedge and above, resolution gets a
+	// single attempt — under overload the duplicate requests that retries
+	// and hedges issue are amplification, not resilience.
+	Brownout func() overload.Tier
+	// AttemptBudget caps the upstream resolution attempts one request may
+	// spend across retry and hedging layers; <= 0 means 4.
+	AttemptBudget int
 
 	peers   []string // sibling proxies for scoped cooperative lookup
 	flights flightGroup
@@ -251,8 +261,25 @@ func (p *Proxy) Get(ctx context.Context, n names.Name) (*CachedObject, bool, err
 	return obj, src == srcHit, err
 }
 
+// tier returns the current brownout tier (TierNormal without a hook).
+func (p *Proxy) tier() overload.Tier {
+	if p.Brownout == nil {
+		return overload.TierNormal
+	}
+	return p.Brownout()
+}
+
+// attemptBudget is the per-request upstream attempt cap.
+func (p *Proxy) attemptBudget() int {
+	if p.AttemptBudget > 0 {
+		return p.AttemptBudget
+	}
+	return 4
+}
+
 func (p *Proxy) get(ctx context.Context, n names.Name) (*CachedObject, source, error) {
 	key := n.String()
+	tier := p.tier()
 	p.mu.Lock()
 	stale, ok := p.cache.Get(key)
 	p.mu.Unlock()
@@ -262,6 +289,24 @@ func (p *Proxy) get(ctx context.Context, n names.Name) (*CachedObject, source, e
 	}
 	if !ok {
 		stale = nil
+	}
+	// Brownout serve-stale: under pressure an expired entry beats the cost
+	// of revalidating it. Content is immutable under self-certifying names,
+	// so staleness only means "republished since" — never "wrong".
+	if stale != nil && tier >= overload.TierStale {
+		p.staleServes.Add(1)
+		return stale, srcStale, nil
+	}
+
+	// One attempt budget per request, shared by every retry and hedging
+	// layer below. Under no-hedge brownout the budget is 1: a single
+	// resolution attempt, no amplification.
+	if resilience.BudgetFrom(ctx) == nil {
+		budget := p.attemptBudget()
+		if tier >= overload.TierNoHedge {
+			budget = 1
+		}
+		ctx = resilience.WithBudget(ctx, resilience.NewBudget(budget))
 	}
 
 	// Scoped cooperation before the resolution system: ask sibling proxies
@@ -299,8 +344,12 @@ func (p *Proxy) resolve(ctx context.Context, key string) (resolver.Result, error
 		p.breakerSkips.Add(1)
 		return resolver.Result{}, fmt.Errorf("%w: circuit open", ErrResolverDown)
 	}
+	pol := p.ResolvePolicy
+	if p.tier() >= overload.TierNoHedge {
+		pol.MaxAttempts = 1
+	}
 	var res resolver.Result
-	err := p.ResolvePolicy.Do(ctx, func(ctx context.Context) error {
+	err := pol.Do(ctx, func(ctx context.Context) error {
 		var err error
 		res, err = p.resolver.Resolve(ctx, key)
 		if errors.Is(err, resolver.ErrNotFound) {
@@ -350,7 +399,9 @@ func (p *Proxy) degrade(ctx context.Context, n names.Name, key string, stale *Ca
 		locs = append(locs, base+"/content/"+n.Label)
 	}
 	p.mu.Unlock()
-	if len(locs) > 0 {
+	// A dead request gets no fallback fetch: the client shed or canceled it
+	// upstream, so any upstream work now is orphaned.
+	if len(locs) > 0 && ctx.Err() == nil {
 		if obj, err := p.fetchAny(ctx, n, key, locs); err == nil {
 			p.fallbacks.Add(1)
 			return obj, srcFallback, nil
@@ -364,6 +415,15 @@ func (p *Proxy) degrade(ctx context.Context, n names.Name, key string, stale *Ca
 func (p *Proxy) fetchAny(ctx context.Context, n names.Name, key string, locations []string) (*CachedObject, error) {
 	var lastErr error
 	for _, loc := range locations {
+		// Between locations, re-check the request: once the client is gone
+		// (shed, canceled, deadline past) trying further mirrors only
+		// creates upstream work nobody will read.
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
 		obj, err := p.fetchVerified(ctx, n, loc)
 		if err != nil {
 			lastErr = err

@@ -12,6 +12,14 @@ import (
 // origin fetch (a thundering herd the origin's flood protection exists to
 // avoid). flightGroup deduplicates concurrent fetches of the same name so
 // exactly one upstream fetch runs and every waiter shares its result.
+//
+// Flights are reference-counted: the fetch runs on its own context (values
+// inherited from the initiator, cancellation not), every caller holds one
+// reference while waiting, and the flight is canceled only when the last
+// waiter gives up. Two failure modes die here: a canceled initiator no
+// longer kills the fetch for the followers still waiting on it, and a
+// fetch whose every waiter has gone away no longer runs to completion as
+// an orphan nobody will read.
 
 type flightGroup struct {
 	mu      sync.Mutex
@@ -19,41 +27,81 @@ type flightGroup struct {
 }
 
 type flight struct {
-	done chan struct{}
-	obj  *CachedObject
-	err  error
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	obj     *CachedObject
+	err     error
 }
 
-// do runs fn once per concurrent set of callers with the same key. The
-// leader executes fn; followers wait until it finishes and share the
-// outcome, reporting shared=true. A follower whose ctx ends detaches
-// immediately with the ctx error instead of waiting out the leader — a
-// cancelled client must not stay pinned to a slow or black-holed upstream
-// fetch it no longer wants.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() (*CachedObject, error)) (obj *CachedObject, shared bool, err error) {
+// join registers the caller as a waiter on key's flight, creating (and
+// starting) the flight when none is running. started reports whether this
+// caller initiated the fetch.
+func (g *flightGroup) join(ctx context.Context, key string, fn func(ctx context.Context) (*CachedObject, error)) (f *flight, started bool) {
 	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.flights == nil {
 		g.flights = make(map[string]*flight)
 	}
 	if f, ok := g.flights[key]; ok {
+		f.waiters++
+		return f, false
+	}
+	// The flight's context carries the initiator's values (deadline budget,
+	// attempt budget) but not its cancellation: waiters own the lifetime.
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	g.flights[key] = f
+	go func() {
+		obj, err := fn(fctx)
+		g.mu.Lock()
+		f.obj, f.err = obj, err
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
 		g.mu.Unlock()
-		select {
-		case <-f.done:
-			return f.obj, true, f.err
-		case <-ctx.Done():
-			return nil, true, ctx.Err()
+		close(f.done)
+		cancel()
+	}()
+	return f, true
+}
+
+// leave drops one waiter reference. When the last waiter leaves an
+// unfinished flight, the fetch is canceled and the key freed so the next
+// caller starts fresh.
+func (g *flightGroup) leave(key string, f *flight) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f.waiters--
+	if f.waiters > 0 {
+		return
+	}
+	select {
+	case <-f.done:
+		// Finished: the fetch goroutine already cleaned up.
+	default:
+		f.cancel()
+		if g.flights[key] == f {
+			delete(g.flights, key)
 		}
 	}
-	f := &flight{done: make(chan struct{})}
-	g.flights[key] = f
-	g.mu.Unlock()
+}
 
-	f.obj, f.err = fn()
-	g.mu.Lock()
-	delete(g.flights, key)
-	g.mu.Unlock()
-	close(f.done)
-	return f.obj, false, f.err
+// do runs fn once per concurrent set of callers with the same key. The
+// first caller starts the fetch; followers wait until it finishes and
+// share the outcome, reporting shared=true. A caller whose ctx ends
+// detaches immediately with the ctx error — and when it was the *last*
+// caller, takes the in-flight fetch down with it.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(ctx context.Context) (*CachedObject, error)) (obj *CachedObject, shared bool, err error) {
+	f, started := g.join(ctx, key, fn)
+	select {
+	case <-f.done:
+		g.leave(key, f)
+		return f.obj, !started, f.err
+	case <-ctx.Done():
+		g.leave(key, f)
+		return nil, !started, ctx.Err()
+	}
 }
 
 // GetCoalesced is Get with request coalescing: concurrent misses on the
@@ -68,8 +116,8 @@ func (p *Proxy) GetCoalesced(ctx context.Context, n names.Name) (*CachedObject, 
 		p.hits.Add(1)
 		return obj, true, nil
 	}
-	obj, shared, err := p.flights.do(ctx, key, func() (*CachedObject, error) {
-		o, _, err := p.Get(ctx, n)
+	obj, shared, err := p.flights.do(ctx, key, func(fctx context.Context) (*CachedObject, error) {
+		o, _, err := p.Get(fctx, n)
 		return o, err
 	})
 	if err != nil {

@@ -1,0 +1,61 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Budget caps the total number of upstream attempts one request may spend
+// across composed resilience layers. Retry policies and hedging multiply:
+// a 3-attempt retry wrapped around a 3-replica hedge can issue nine
+// upstream calls for one client request — exactly the amplification that
+// turns a brownout into an outage. A Budget rides the request's context;
+// Hedge consumes one unit per replica it launches, and Policy.Do stops
+// retrying once the budget is spent. Only the layer that actually issues
+// an upstream call (the hedge launch) consumes, so composing layers never
+// double-counts.
+type Budget struct {
+	n atomic.Int64
+}
+
+// NewBudget returns a budget of n attempts.
+func NewBudget(n int) *Budget {
+	b := &Budget{}
+	b.n.Store(int64(n))
+	return b
+}
+
+// Take consumes one attempt, reporting false when the budget is exhausted.
+func (b *Budget) Take() bool {
+	for {
+		cur := b.n.Load()
+		if cur <= 0 {
+			return false
+		}
+		if b.n.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// Remaining returns the attempts left.
+func (b *Budget) Remaining() int { return int(b.n.Load()) }
+
+// ErrBudgetExhausted is returned when an upstream call could not even start
+// because the request's attempt budget was already spent.
+var ErrBudgetExhausted = errors.New("resilience: attempt budget exhausted")
+
+type budgetKey struct{}
+
+// WithBudget attaches b to ctx; resilience layers below pick it up.
+func WithBudget(ctx context.Context, b *Budget) context.Context {
+	return context.WithValue(ctx, budgetKey{}, b)
+}
+
+// BudgetFrom returns the context's attempt budget, or nil when none is set
+// (no budget means unlimited — the pre-budget behavior).
+func BudgetFrom(ctx context.Context) *Budget {
+	b, _ := ctx.Value(budgetKey{}).(*Budget)
+	return b
+}

@@ -1,0 +1,105 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBudgetTake(t *testing.T) {
+	b := NewBudget(2)
+	if !b.Take() || !b.Take() {
+		t.Fatal("fresh budget refused an attempt")
+	}
+	if b.Take() {
+		t.Fatal("exhausted budget granted an attempt")
+	}
+	if got := b.Remaining(); got != 0 {
+		t.Fatalf("remaining = %d, want 0", got)
+	}
+}
+
+func TestBudgetFromContext(t *testing.T) {
+	if BudgetFrom(context.Background()) != nil {
+		t.Fatal("budget appeared on a bare context")
+	}
+	b := NewBudget(1)
+	ctx := WithBudget(context.Background(), b)
+	if got := BudgetFrom(ctx); got != b {
+		t.Fatalf("BudgetFrom = %v, want the attached budget", got)
+	}
+}
+
+// TestRetryHedgeShareBudget is the composition regression: a 3-attempt
+// retry policy wrapped around a 3-replica hedge would issue up to nine
+// upstream calls; with a shared budget of 4 it issues exactly 4.
+func TestRetryHedgeShareBudget(t *testing.T) {
+	var calls atomic.Int64
+	fail := errors.New("replica down")
+	ctx := WithBudget(context.Background(), NewBudget(4))
+	pol := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := pol.Do(ctx, func(ctx context.Context) error {
+		_, err := Hedge(ctx, 3, 0, func(ctx context.Context, replica int) (int, error) {
+			calls.Add(1)
+			return 0, fail
+		})
+		return err
+	})
+	if err == nil {
+		t.Fatal("all replicas failing: want error")
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("upstream calls = %d, want exactly the budget of 4", got)
+	}
+}
+
+// TestHedgeBudgetExhaustedUpFront: a hedge that cannot launch even one
+// replica reports ErrBudgetExhausted rather than pretending the replicas
+// failed.
+func TestHedgeBudgetExhaustedUpFront(t *testing.T) {
+	ctx := WithBudget(context.Background(), NewBudget(0))
+	_, err := Hedge(ctx, 2, 0, func(ctx context.Context, replica int) (int, error) {
+		t.Error("replica launched with an empty budget")
+		return 0, nil
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestHedgeStopsLaunchingAtBudget: with budget 2 of 3 replicas, the third
+// never starts; the first success still wins.
+func TestHedgeStopsLaunchingAtBudget(t *testing.T) {
+	var calls atomic.Int64
+	ctx := WithBudget(context.Background(), NewBudget(2))
+	fail := errors.New("replica down")
+	_, err := Hedge(ctx, 3, 0, func(ctx context.Context, replica int) (int, error) {
+		calls.Add(1)
+		return 0, fail
+	})
+	if !errors.Is(err, fail) {
+		t.Fatalf("err = %v, want the replica error", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("replicas launched = %d, want 2 (budget)", got)
+	}
+}
+
+// TestHedgeWithoutBudgetUnchanged: no budget on the context means the old
+// behavior — all replicas may launch.
+func TestHedgeWithoutBudgetUnchanged(t *testing.T) {
+	var calls atomic.Int64
+	fail := errors.New("replica down")
+	_, err := Hedge(context.Background(), 3, 0, func(ctx context.Context, replica int) (int, error) {
+		calls.Add(1)
+		return 0, fail
+	})
+	if !errors.Is(err, fail) {
+		t.Fatalf("err = %v, want the replica error", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("replicas launched = %d, want all 3", got)
+	}
+}

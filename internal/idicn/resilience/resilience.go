@@ -108,6 +108,12 @@ func (p Policy) Do(ctx context.Context, fn func(ctx context.Context) error) erro
 	var lastErr error
 	for attempt := 0; attempt < p.attempts(); attempt++ {
 		if attempt > 0 {
+			// A retry is pointless when the request's attempt budget is spent:
+			// the layer below (hedging, or the next fn call) could not issue
+			// another upstream call anyway.
+			if bud := BudgetFrom(ctx); bud != nil && bud.Remaining() <= 0 {
+				return lastErr
+			}
 			if err := sleep(ctx, p.Backoff(attempt-1, rng)); err != nil {
 				return lastErr
 			}
@@ -158,6 +164,11 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // arrived — the classic tail-latency hedge, here doubling as resolver
 // failover. The first success wins and cancels the rest; if every replica
 // fails, the last error is returned. n must be >= 1.
+//
+// Every launched replica consumes one unit from the context's attempt
+// Budget (when one is set); once the budget is spent no further replicas
+// start, and if even the first replica cannot start, ErrBudgetExhausted is
+// returned.
 func Hedge[T any](ctx context.Context, n int, hedgeDelay time.Duration, fn func(ctx context.Context, replica int) (T, error)) (T, error) {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -167,16 +178,33 @@ func Hedge[T any](ctx context.Context, n int, hedgeDelay time.Duration, fn func(
 		err error
 	}
 	results := make(chan outcome, n)
+	bud := BudgetFrom(ctx)
 	launched := 0
-	launch := func() {
+	exhausted := false
+	// tryLaunch starts the next replica if one remains and the budget
+	// allows, reporting whether a launch happened. Budget exhaustion is
+	// terminal: once Take fails, no later call can succeed.
+	tryLaunch := func() bool {
+		if launched >= n || exhausted {
+			return false
+		}
+		if bud != nil && !bud.Take() {
+			exhausted = true
+			return false
+		}
 		i := launched
 		launched++
 		go func() {
 			v, err := fn(hctx, i)
 			results <- outcome{v, err}
 		}()
+		return true
 	}
-	launch()
+
+	var zero T
+	if !tryLaunch() {
+		return zero, ErrBudgetExhausted
+	}
 
 	var timer *time.Timer
 	var tick <-chan time.Time
@@ -186,7 +214,6 @@ func Hedge[T any](ctx context.Context, n int, hedgeDelay time.Duration, fn func(
 		tick = timer.C
 	}
 
-	var zero T
 	var lastErr error
 	failed := 0
 	for {
@@ -197,10 +224,8 @@ func Hedge[T any](ctx context.Context, n int, hedgeDelay time.Duration, fn func(
 			}
 			return zero, ctx.Err()
 		case <-tick:
-			if launched < n {
-				launch()
-			}
-			if launched < n {
+			tryLaunch()
+			if launched < n && !exhausted {
 				timer.Reset(hedgeDelay)
 			} else {
 				tick = nil
@@ -211,16 +236,15 @@ func Hedge[T any](ctx context.Context, n int, hedgeDelay time.Duration, fn func(
 			}
 			lastErr = out.err
 			failed++
-			if failed == n {
-				return zero, lastErr
-			}
 			// A failure is a stronger signal than a slow response: hedge
 			// immediately instead of waiting out the timer.
-			if launched < n {
-				launch()
-				if launched == n {
-					tick = nil
-				}
+			tryLaunch()
+			if failed == launched {
+				// Nothing in flight and nothing more can start.
+				return zero, lastErr
+			}
+			if launched == n || exhausted {
+				tick = nil
 			}
 		}
 	}

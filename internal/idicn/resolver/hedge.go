@@ -24,6 +24,11 @@ type HedgedClient struct {
 	// AttemptTimeout bounds each replica's lookup; 0 leaves the parent
 	// deadline (and the underlying http.Client timeout) in charge.
 	AttemptTimeout time.Duration
+	// DisableHedge, when non-nil and returning true, restricts Resolve to
+	// the primary replica only — the no-hedge brownout tier: under overload
+	// the duplicate lookups hedging issues amplify the load they were meant
+	// to route around.
+	DisableHedge func() bool
 }
 
 // NewHedgedClient builds a hedged consortium client from resolver base URLs.
@@ -49,7 +54,11 @@ func (h *HedgedClient) Resolve(ctx context.Context, name string) (Result, error)
 	if len(h.clients) == 0 {
 		return Result{}, fmt.Errorf("%w: %s (no resolvers configured)", ErrNotFound, name)
 	}
-	return resilience.Hedge(ctx, len(h.clients), h.hedgeDelay(), func(ctx context.Context, i int) (Result, error) {
+	n := len(h.clients)
+	if h.DisableHedge != nil && h.DisableHedge() {
+		n = 1
+	}
+	return resilience.Hedge(ctx, n, h.hedgeDelay(), func(ctx context.Context, i int) (Result, error) {
 		if h.AttemptTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, h.AttemptTimeout)

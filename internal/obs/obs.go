@@ -101,6 +101,13 @@ func (r *Registry) Func(name string, fn func() int64) {
 	r.register(name, funcVar(fn))
 }
 
+// RegisterHistogram exposes an existing histogram under name — the bridge
+// for components (like the overload controller) that must own their
+// histogram so they can read quantiles from it directly, registry or not.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.register(name, h)
+}
+
 // WriteText renders every metric in registration order.
 func (r *Registry) WriteText(w io.Writer) {
 	r.mu.Lock()

@@ -1,0 +1,140 @@
+package overload
+
+import (
+	"sync"
+
+	"idicn/internal/obs"
+)
+
+// Tier is a brownout level: how aggressively the stack is currently
+// degrading. Under sustained overload the daemon climbs the ladder one
+// step at a time, shedding the cheapest quality first — stale content
+// beats no content, an unhedged lookup beats a shed request, and shedding
+// low-priority traffic beats shedding uniformly.
+type Tier int
+
+const (
+	// TierNormal: full service.
+	TierNormal Tier = iota
+	// TierStale: serve expired cache entries without revalidating first.
+	TierStale
+	// TierNoHedge: additionally skip hedged lookups and retries — under
+	// overload the duplicate requests they issue are fuel on the fire.
+	TierNoHedge
+	// TierShedLow: additionally shed low-priority requests at admission.
+	TierShedLow
+
+	numTiers
+)
+
+var tierNames = [numTiers]string{"normal", "serve-stale", "no-hedge", "shed-low-priority"}
+
+// String returns the tier's human-readable name.
+func (t Tier) String() string {
+	if t >= 0 && int(t) < len(tierNames) {
+		return tierNames[t]
+	}
+	return "unknown"
+}
+
+// BrownoutConfig shapes the brownout state machine. The zero value is
+// usable: 64-sample windows, escalate at 50% pressure, de-escalate after
+// 2 consecutive windows under 10%.
+type BrownoutConfig struct {
+	// Window is how many admission outcomes form one evaluation window;
+	// <= 0 means 64.
+	Window int
+	// UpFraction escalates one tier when at least this fraction of a
+	// window was pressured; <= 0 means 0.5.
+	UpFraction float64
+	// DownFraction marks a window calm when at most this fraction was
+	// pressured; <= 0 means 0.1.
+	DownFraction float64
+	// CalmWindows is how many consecutive calm windows step the tier back
+	// down by one; <= 0 means 2. De-escalating slower than escalating keeps
+	// the ladder from oscillating at the overload boundary.
+	CalmWindows int
+}
+
+func (c BrownoutConfig) withDefaults() BrownoutConfig {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.UpFraction <= 0 {
+		c.UpFraction = 0.5
+	}
+	if c.DownFraction <= 0 {
+		c.DownFraction = 0.1
+	}
+	if c.CalmWindows <= 0 {
+		c.CalmWindows = 2
+	}
+	return c
+}
+
+// Brownout is the degradation state machine. It consumes one boolean
+// pressure signal per admission decision (shed, or admitted after burning
+// most of its queue budget) and moves the tier stepwise: a mostly-pressured
+// window escalates, a sustained run of calm windows de-escalates. The
+// trajectory is a pure function of the observation sequence — no clock, no
+// RNG — so tests pin transitions exactly.
+type Brownout struct {
+	cfg BrownoutConfig
+
+	mu        sync.Mutex
+	tier      Tier
+	samples   int
+	pressured int
+	calm      int
+
+	transitions obs.Counter
+}
+
+// NewBrownout builds a brownout state machine from cfg.
+func NewBrownout(cfg BrownoutConfig) *Brownout {
+	return &Brownout{cfg: cfg.withDefaults()}
+}
+
+// Tier returns the current brownout tier.
+func (b *Brownout) Tier() Tier {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tier
+}
+
+// Transitions returns how many tier changes have occurred.
+func (b *Brownout) Transitions() int64 { return b.transitions.Value() }
+
+// Observe feeds one admission outcome: pressured is true when the request
+// was shed or nearly so.
+func (b *Brownout) Observe(pressured bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.samples++
+	if pressured {
+		b.pressured++
+	}
+	if b.samples < b.cfg.Window {
+		return
+	}
+	frac := float64(b.pressured) / float64(b.samples)
+	switch {
+	case frac >= b.cfg.UpFraction:
+		b.calm = 0
+		if b.tier < numTiers-1 {
+			b.tier++
+			b.transitions.Inc()
+		}
+	case frac <= b.cfg.DownFraction:
+		b.calm++
+		if b.calm >= b.cfg.CalmWindows && b.tier > TierNormal {
+			b.tier--
+			b.calm = 0
+			b.transitions.Inc()
+		}
+	default:
+		b.calm = 0
+	}
+	b.samples = 0
+	b.pressured = 0
+}

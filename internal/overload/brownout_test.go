@@ -1,0 +1,84 @@
+package overload
+
+import "testing"
+
+// feedBrownoutWindow pushes one full window with `pressured` of the samples
+// marked pressured (the rest calm).
+func feedBrownoutWindow(b *Brownout, pressured int) {
+	for i := 0; i < b.cfg.Window; i++ {
+		b.Observe(i < pressured)
+	}
+}
+
+func TestBrownoutEscalation(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{Window: 4, UpFraction: 0.75, DownFraction: 0.25, CalmWindows: 2})
+	want := []Tier{TierStale, TierNoHedge, TierShedLow, TierShedLow}
+	for i, w := range want {
+		feedBrownoutWindow(b, 3) // 3/4 >= UpFraction
+		if got := b.Tier(); got != w {
+			t.Fatalf("after pressured window %d: tier = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := b.Transitions(); got != 3 {
+		t.Fatalf("transitions = %d, want 3 (top tier saturates)", got)
+	}
+}
+
+// TestBrownoutHysteresis: de-escalation needs CalmWindows consecutive calm
+// windows; a single calm window — or a middling one — does not step down.
+func TestBrownoutHysteresis(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{Window: 4, UpFraction: 0.75, DownFraction: 0.25, CalmWindows: 2})
+	feedBrownoutWindow(b, 4)
+	if got := b.Tier(); got != TierStale {
+		t.Fatalf("tier = %v, want %v", got, TierStale)
+	}
+
+	feedBrownoutWindow(b, 0) // calm window 1 of 2: no change yet
+	if got := b.Tier(); got != TierStale {
+		t.Fatalf("after one calm window: tier = %v, want still %v", got, TierStale)
+	}
+	feedBrownoutWindow(b, 2) // 2/4 is neither calm nor pressured: calm run resets
+	if got := b.Tier(); got != TierStale {
+		t.Fatalf("after middling window: tier = %v, want still %v", got, TierStale)
+	}
+	feedBrownoutWindow(b, 0)
+	feedBrownoutWindow(b, 0) // two consecutive calm windows: step down
+	if got := b.Tier(); got != TierNormal {
+		t.Fatalf("after two calm windows: tier = %v, want %v", got, TierNormal)
+	}
+	// Already at the floor: further calm windows stay put.
+	feedBrownoutWindow(b, 0)
+	feedBrownoutWindow(b, 0)
+	if got := b.Tier(); got != TierNormal {
+		t.Fatalf("tier below floor: %v", got)
+	}
+}
+
+func TestBrownoutPartialWindowHoldsState(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{Window: 8, UpFraction: 0.5, DownFraction: 0.1, CalmWindows: 2})
+	for i := 0; i < 7; i++ {
+		b.Observe(true)
+	}
+	if got := b.Tier(); got != TierNormal {
+		t.Fatalf("tier moved mid-window: %v", got)
+	}
+	b.Observe(true) // closes the window
+	if got := b.Tier(); got != TierStale {
+		t.Fatalf("tier after closing window = %v, want %v", got, TierStale)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	want := map[Tier]string{
+		TierNormal:  "normal",
+		TierStale:   "serve-stale",
+		TierNoHedge: "no-hedge",
+		TierShedLow: "shed-low-priority",
+		Tier(99):    "unknown",
+	}
+	for tier, name := range want {
+		if got := tier.String(); got != name {
+			t.Fatalf("Tier(%d).String() = %q, want %q", int(tier), got, name)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package overload
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// Shutdowner is anything that can stop accepting and drain in-flight work
+// within a context's bound — *http.Server and internal/httpx.Server both
+// qualify.
+type Shutdowner interface {
+	Shutdown(ctx context.Context) error
+}
+
+// Drainer coordinates graceful shutdown across a set of servers: Drain
+// flips readiness (so load balancers and the admission middleware stop
+// sending work), then shuts every managed server down concurrently,
+// waiting for in-flight requests up to the context's deadline.
+type Drainer struct {
+	draining atomic.Bool
+	servers  []Shutdowner
+}
+
+// Manage registers a server for draining. Not safe to call concurrently
+// with Drain — wire servers at startup.
+func (d *Drainer) Manage(s Shutdowner) { d.servers = append(d.servers, s) }
+
+// Draining reports whether Drain has started.
+func (d *Drainer) Draining() bool { return d.draining.Load() }
+
+// Drain flips readiness and shuts down every managed server, returning the
+// first error (typically context.DeadlineExceeded when in-flight requests
+// outlived the bound). It is idempotent; concurrent calls race harmlessly
+// on the same servers.
+func (d *Drainer) Drain(ctx context.Context) error {
+	d.draining.Store(true)
+	errs := make(chan error, len(d.servers))
+	for _, s := range d.servers {
+		go func() { errs <- s.Shutdown(ctx) }()
+	}
+	var first error
+	for range d.servers {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Healthz serves liveness: 200 as long as the process runs, draining or
+// not — a draining server is still healthy, just not ready.
+func (d *Drainer) Healthz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+}
+
+// Readyz serves readiness: 200 while accepting work, 503 once draining so
+// upstream load balancers stop routing here before the listener closes.
+func (d *Drainer) Readyz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if d.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = io.WriteString(w, "draining\n")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ready\n")
+	})
+}

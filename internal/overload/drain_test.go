@@ -1,0 +1,122 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"idicn/internal/httpx"
+)
+
+// TestDrainerLifecycle: Drain flips readiness, waits for the in-flight
+// request to finish, and leaves the listener closed for new connections.
+func TestDrainerLifecycle(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := httpx.Start(lis, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		_, _ = io.WriteString(w, "slow ok")
+	}))
+	defer srv.Close()
+
+	var d Drainer
+	d.Manage(srv)
+
+	// Ready before draining.
+	rec := httptest.NewRecorder()
+	d.Readyz().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", rec.Code)
+	}
+
+	// Park one in-flight request.
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL())
+		if err != nil {
+			inflight <- err
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			inflight <- errors.New(resp.Status)
+			return
+		}
+		inflight <- nil
+	}()
+	<-entered
+
+	drained := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() { drained <- d.Drain(ctx) }()
+
+	waitFor(t, "draining flag", d.Draining)
+	rec2 := httptest.NewRecorder()
+	d.Readyz().ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec2.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", rec2.Code)
+	}
+	// Liveness stays green throughout.
+	rec3 := httptest.NewRecorder()
+	d.Healthz().ServeHTTP(rec3, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200", rec3.Code)
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request during drain: %v", err)
+	}
+
+	// The listener is closed: new connections are refused.
+	if _, err := net.DialTimeout("tcp", srv.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial after drain succeeded, want refused")
+	}
+}
+
+// TestDrainerTimeout: an in-flight request that outlives the drain bound
+// surfaces the context error instead of hanging forever.
+func TestDrainerTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	entered := make(chan struct{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := httpx.Start(lis, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+	}))
+	defer srv.Close()
+
+	var d Drainer
+	d.Manage(srv)
+	go func() {
+		resp, err := http.Get(srv.URL())
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := d.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain past bound: err = %v, want DeadlineExceeded", err)
+	}
+}

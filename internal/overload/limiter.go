@@ -1,0 +1,157 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// LimiterConfig shapes the adaptive concurrency limiter. The zero value is
+// usable: limit 1..64 starting at 16, window 32 samples, tolerance 2x,
+// backoff 0.8.
+type LimiterConfig struct {
+	// Initial seeds the limit; <= 0 means min(16, Max).
+	Initial int
+	// Min floors the limit; <= 0 means 1.
+	Min int
+	// Max caps the limit; <= 0 means 64. Min == Max fixes the limit (no
+	// adaptation) — the -max-concurrency escape hatch.
+	Max int
+	// Window is how many latency samples form one adaptation step;
+	// <= 0 means 32.
+	Window int
+	// Tolerance is how much the window's minimum latency may exceed the
+	// moving baseline before the limit is cut; <= 0 means 2.0.
+	Tolerance float64
+	// Backoff is the multiplicative-decrease factor; outside (0,1) means 0.8.
+	Backoff float64
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.Max <= 0 {
+		c.Max = 64
+	}
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Min > c.Max {
+		c.Min = c.Max
+	}
+	if c.Initial <= 0 {
+		c.Initial = 16
+	}
+	if c.Initial > c.Max {
+		c.Initial = c.Max
+	}
+	if c.Initial < c.Min {
+		c.Initial = c.Min
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 2.0
+	}
+	if c.Backoff <= 0 || c.Backoff >= 1 {
+		c.Backoff = 0.8
+	}
+	return c
+}
+
+// baselineWindows is how many past adaptation windows the moving-minimum
+// baseline remembers. Short enough that a genuine shift in the latency
+// floor (a slower backend, a config change) ages in; long enough that one
+// overloaded window cannot drag the baseline up and mask the overload it
+// caused.
+const baselineWindows = 8
+
+// Limiter is an AIMD adaptive concurrency limiter driven purely by
+// observed request latencies: every Window samples it compares the
+// window's minimum latency against a moving baseline (the minimum over the
+// last baselineWindows windows). A window whose floor exceeds
+// Tolerance x baseline means queueing is happening somewhere — cut the
+// limit multiplicatively; otherwise grow it additively. No wall clock and
+// no RNG: the trajectory is a pure function of the sample sequence, so
+// tests (and the determinism vet pass) can pin it exactly.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu        sync.Mutex
+	limit     float64
+	samples   int           // samples seen in the current window
+	windowMin time.Duration // min latency in the current window
+	history   [baselineWindows]time.Duration
+	histLen   int // how many history slots are filled
+	histNext  int // ring index of the next slot to overwrite
+}
+
+// NewLimiter builds a limiter from cfg.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg = cfg.withDefaults()
+	return &Limiter{cfg: cfg, limit: float64(cfg.Initial)}
+}
+
+// Limit returns the current concurrency limit (always >= 1).
+func (l *Limiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.limit)
+}
+
+// Fixed reports whether the limit is pinned (Min == Max).
+func (l *Limiter) Fixed() bool { return l.cfg.Min == l.cfg.Max }
+
+// Observe feeds one completed request's service latency into the limiter.
+func (l *Limiter) Observe(latency time.Duration) {
+	if latency < 0 {
+		latency = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.samples == 0 || latency < l.windowMin {
+		l.windowMin = latency
+	}
+	l.samples++
+	if l.samples < l.cfg.Window {
+		return
+	}
+	l.adapt(l.windowMin)
+	l.samples = 0
+	l.windowMin = 0
+}
+
+// adapt closes one window: compare its latency floor against the baseline,
+// then record it into the baseline ring. Callers hold l.mu.
+func (l *Limiter) adapt(windowMin time.Duration) {
+	if !l.Fixed() {
+		if base, ok := l.baseline(); ok && float64(windowMin) > l.cfg.Tolerance*float64(base) {
+			l.limit *= l.cfg.Backoff
+			if l.limit < float64(l.cfg.Min) {
+				l.limit = float64(l.cfg.Min)
+			}
+		} else {
+			l.limit++
+			if l.limit > float64(l.cfg.Max) {
+				l.limit = float64(l.cfg.Max)
+			}
+		}
+	}
+	l.history[l.histNext] = windowMin
+	l.histNext = (l.histNext + 1) % baselineWindows
+	if l.histLen < baselineWindows {
+		l.histLen++
+	}
+}
+
+// baseline returns the moving minimum over the remembered windows.
+func (l *Limiter) baseline() (time.Duration, bool) {
+	if l.histLen == 0 {
+		return 0, false
+	}
+	base := l.history[0]
+	for i := 1; i < l.histLen; i++ {
+		if l.history[i] < base {
+			base = l.history[i]
+		}
+	}
+	return base, true
+}

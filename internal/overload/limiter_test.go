@@ -1,0 +1,98 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+// feedWindow pushes one full adaptation window of identical samples.
+func feedWindow(l *Limiter, d time.Duration) {
+	for i := 0; i < l.cfg.Window; i++ {
+		l.Observe(d)
+	}
+}
+
+func TestLimiterDefaults(t *testing.T) {
+	l := NewLimiter(LimiterConfig{})
+	if got := l.Limit(); got != 16 {
+		t.Fatalf("default initial limit = %d, want 16", got)
+	}
+	if l.Fixed() {
+		t.Fatal("default limiter reports fixed")
+	}
+}
+
+// TestLimiterAdditiveIncrease: stable latencies grow the limit by one per
+// window up to Max. The trajectory is exact — no clock, no RNG.
+func TestLimiterAdditiveIncrease(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 4, Max: 8, Window: 4})
+	for i, want := range []int{5, 6, 7, 8, 8} {
+		feedWindow(l, time.Millisecond)
+		if got := l.Limit(); got != want {
+			t.Fatalf("after window %d: limit = %d, want %d", i+1, got, want)
+		}
+	}
+}
+
+// TestLimiterMultiplicativeDecrease: a window whose latency floor exceeds
+// Tolerance x baseline cuts the limit by Backoff, down to Min.
+func TestLimiterMultiplicativeDecrease(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 10, Min: 2, Max: 64, Window: 4, Tolerance: 2, Backoff: 0.5})
+	feedWindow(l, time.Millisecond) // baseline window: limit 11
+	if got := l.Limit(); got != 11 {
+		t.Fatalf("after baseline window: limit = %d, want 11", got)
+	}
+	// 10ms > 2 x 1ms: decrease. 11 -> 5 -> 2 (floor), exactly.
+	for i, want := range []int{5, 2, 2} {
+		feedWindow(l, 10*time.Millisecond)
+		if got := l.Limit(); got != want {
+			t.Fatalf("after overload window %d: limit = %d, want %d", i+1, got, want)
+		}
+	}
+}
+
+// TestLimiterRecovery: when latencies return to the floor the limit grows
+// again.
+func TestLimiterRecovery(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 8, Min: 1, Max: 64, Window: 4, Tolerance: 2, Backoff: 0.5})
+	feedWindow(l, time.Millisecond)    // baseline
+	feedWindow(l, 10*time.Millisecond) // cut: 9 -> 4
+	if got := l.Limit(); got != 4 {
+		t.Fatalf("after cut: limit = %d, want 4", got)
+	}
+	feedWindow(l, time.Millisecond)
+	if got := l.Limit(); got != 5 {
+		t.Fatalf("after recovery window: limit = %d, want 5", got)
+	}
+}
+
+// TestLimiterBaselineAges: after the baseline ring fills with the new,
+// higher latency floor, that floor stops reading as overload — the
+// limiter adapts to a genuinely slower backend instead of collapsing to
+// Min forever.
+func TestLimiterBaselineAges(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 16, Min: 1, Max: 64, Window: 2, Tolerance: 2, Backoff: 0.5})
+	feedWindow(l, time.Millisecond) // old floor into history
+	// New floor 10ms: cut while the 1ms baseline survives in the ring...
+	for i := 0; i < baselineWindows; i++ {
+		feedWindow(l, 10*time.Millisecond)
+	}
+	// ...but now the ring holds only 10ms windows: 10ms is the new normal.
+	before := l.Limit()
+	feedWindow(l, 10*time.Millisecond)
+	if got := l.Limit(); got != before+1 {
+		t.Fatalf("after baseline aged: limit = %d, want %d (additive increase at the new floor)", got, before+1)
+	}
+}
+
+func TestLimiterFixed(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Min: 5, Max: 5, Window: 2})
+	if !l.Fixed() {
+		t.Fatal("Min == Max limiter not fixed")
+	}
+	feedWindow(l, time.Millisecond)
+	feedWindow(l, time.Hour)
+	if got := l.Limit(); got != 5 {
+		t.Fatalf("fixed limit moved to %d", got)
+	}
+}

@@ -1,0 +1,199 @@
+// Package overload is the daemon's overload-control subsystem: it decides,
+// per request, whether the serving stack should do the work at all — and
+// when it should not, makes the refusal cheap, immediate, and observable.
+//
+// The pieces compose into one admission pipeline (see Middleware):
+//
+//   - Limiter: an adaptive concurrency limit (AIMD on observed latency
+//     against a moving minimum), so the daemon finds its own capacity
+//     instead of trusting a hand-tuned constant.
+//   - Queue: a bounded admission queue in front of the limiter. Requests
+//     that would wait past their budget are rejected *before* enqueueing
+//     (503 + Retry-After), never parked to time out — shedding at the queue
+//     preserves goodput, shedding after dequeue wastes the wait.
+//   - Deadline propagation: client deadlines flow resolver→proxy→origin via
+//     context and the X-ICN-Deadline header, so no component works on a
+//     request that is already dead upstream.
+//   - Brownout: under sustained pressure the stack degrades stepwise
+//     (serve-stale, then no hedging/retries, then shed low-priority
+//     traffic) instead of failing uniformly.
+//   - Drainer: SIGTERM flips readiness, stops accepting, drains in-flight
+//     requests within a bound, then lets the process exit cleanly.
+//
+// Everything is stdlib-only, deterministic given its input sequence (no
+// RNG anywhere — tests pin exact state-machine trajectories), and safe for
+// concurrent use.
+package overload
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"idicn/internal/obs"
+)
+
+// Config assembles a Controller. The zero value is usable: adaptive limit
+// 1..64 starting at 16, queue capacity 128, queue deadline 1s.
+type Config struct {
+	// MaxConcurrency caps the concurrency limit. When MinConcurrency equals
+	// MaxConcurrency the limit is fixed (no adaptation). <= 0 means 64.
+	MaxConcurrency int
+	// MinConcurrency floors the adaptive limit; <= 0 means 1.
+	MinConcurrency int
+	// InitialConcurrency seeds the adaptive limit; <= 0 means
+	// min(16, MaxConcurrency).
+	InitialConcurrency int
+	// QueueCapacity bounds how many requests may wait for admission;
+	// <= 0 means 128.
+	QueueCapacity int
+	// QueueDeadline is the default per-request queue-wait budget (tightened
+	// by an earlier context deadline); <= 0 means 1s.
+	QueueDeadline time.Duration
+	// Brownout overrides the default brownout thresholds; nil uses defaults.
+	Brownout *Brownout
+	// Clock overrides time.Now, for tests.
+	Clock func() time.Time
+}
+
+// Controller ties the admission queue, the adaptive limiter, and the
+// brownout state machine together behind one middleware.
+type Controller struct {
+	queue    *Queue
+	brownout *Brownout
+
+	admitted     obs.Counter
+	shedQueue    obs.Counter // queue full
+	shedDeadline obs.Counter // would (or did) exceed the wait budget
+	shedBrownout obs.Counter // low-priority traffic under TierShedLow
+	shedDraining obs.Counter // rejected because the server is draining
+	queueWait    *obs.Histogram
+
+	draining func() bool // nil: never draining
+}
+
+// NewController builds a Controller from cfg.
+func NewController(cfg Config) *Controller {
+	b := cfg.Brownout
+	if b == nil {
+		b = NewBrownout(BrownoutConfig{})
+	}
+	return &Controller{
+		queue:     NewQueue(cfg),
+		brownout:  b,
+		queueWait: obs.NewHistogram(obs.LatencyBuckets()),
+	}
+}
+
+// SetDraining wires the readiness source consulted before admission; a
+// draining server sheds every new request immediately. fn may be nil.
+func (c *Controller) SetDraining(fn func() bool) { c.draining = fn }
+
+// Tier returns the current brownout tier.
+func (c *Controller) Tier() Tier { return c.brownout.Tier() }
+
+// Brownout returns the controller's brownout state machine, for wiring
+// degradation hooks (proxy serve-stale, resolver no-hedge).
+func (c *Controller) Brownout() *Brownout { return c.brownout }
+
+// Queue returns the controller's admission queue.
+func (c *Controller) Queue() *Queue { return c.queue }
+
+// QueueWait returns the queue-wait histogram (seconds), populated per
+// admitted request.
+func (c *Controller) QueueWait() *obs.Histogram { return c.queueWait }
+
+// Admitted returns how many requests were admitted.
+func (c *Controller) Admitted() int64 { return c.admitted.Value() }
+
+// Shed returns the total number of shed requests across all reasons.
+func (c *Controller) Shed() int64 {
+	return c.shedQueue.Value() + c.shedDeadline.Value() + c.shedBrownout.Value() + c.shedDraining.Value()
+}
+
+// RegisterMetrics exposes every admission decision in reg under
+// <component>_overload_* names: admitted/shed counters by reason, the
+// queue-wait histogram, and live limit/inflight/depth/tier gauges.
+func (c *Controller) RegisterMetrics(reg *obs.Registry, component string) {
+	reg.Func(component+"_overload_admitted_total", c.admitted.Value)
+	reg.Func(component+"_overload_shed_total", c.Shed)
+	reg.Func(component+"_overload_shed_queue_full_total", c.shedQueue.Value)
+	reg.Func(component+"_overload_shed_deadline_total", c.shedDeadline.Value)
+	reg.Func(component+"_overload_shed_brownout_total", c.shedBrownout.Value)
+	reg.Func(component+"_overload_shed_draining_total", c.shedDraining.Value)
+	reg.RegisterHistogram(component+"_overload_queue_wait_seconds", c.queueWait)
+	reg.Func(component+"_overload_limit", func() int64 { return int64(c.queue.Limit()) })
+	reg.Func(component+"_overload_inflight", func() int64 { return int64(c.queue.Inflight()) })
+	reg.Func(component+"_overload_queue_depth", func() int64 { return int64(c.queue.Depth()) })
+	reg.Func(component+"_overload_brownout_tier", func() int64 { return int64(c.brownout.Tier()) })
+	reg.Func(component+"_overload_brownout_transitions_total", c.brownout.transitions.Value)
+}
+
+// PriorityHeader carries a client's traffic class: "low", "normal" (the
+// default), or "high". Under TierShedLow brownout, low-priority requests
+// are shed before any normal traffic is touched.
+const PriorityHeader = "X-ICN-Priority"
+
+// shed writes the uniform rejection: 503 with Retry-After so well-behaved
+// clients back off instead of hammering, and a terse reason for humans.
+func shed(w http.ResponseWriter, reason string, retryAfter time.Duration) {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, reason, http.StatusServiceUnavailable)
+}
+
+// Middleware wraps next with the full admission pipeline: deadline
+// propagation in, brownout low-priority shedding, bounded-queue admission
+// with queue-deadline shedding, and per-request feedback into the limiter
+// and brownout state machines. Rejected requests get 503 + Retry-After
+// without ever occupying a concurrency slot.
+func (c *Controller) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if c.draining != nil && c.draining() {
+			c.shedDraining.Inc()
+			shed(w, "overload: draining", time.Second)
+			return
+		}
+		ctx, cancel := ContextWithHeaderDeadline(r.Context(), r.Header)
+		if cancel != nil {
+			defer cancel()
+		}
+		if err := ctx.Err(); err != nil {
+			// The propagated deadline already passed: the client upstream has
+			// given up, so any work done here is pure waste.
+			c.shedDeadline.Inc()
+			c.brownout.Observe(true)
+			shed(w, "overload: deadline exhausted", time.Second)
+			return
+		}
+		if c.brownout.Tier() >= TierShedLow && r.Header.Get(PriorityHeader) == "low" {
+			c.shedBrownout.Inc()
+			c.brownout.Observe(true)
+			shed(w, "overload: low-priority shed under brownout", 2*time.Second)
+			return
+		}
+		ticket, err := c.queue.Acquire(ctx)
+		if err != nil {
+			switch err {
+			case ErrQueueFull:
+				c.shedQueue.Inc()
+			default:
+				c.shedDeadline.Inc()
+			}
+			c.brownout.Observe(true)
+			shed(w, err.Error(), time.Second)
+			return
+		}
+		c.admitted.Inc()
+		wait := ticket.QueueWait()
+		c.queueWait.Observe(wait.Seconds())
+		// Pressure signal for brownout: a request that burned more than half
+		// its queue budget was close to being shed.
+		c.brownout.Observe(wait > c.queue.Deadline()/2)
+		defer ticket.Release()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

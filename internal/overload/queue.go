@@ -1,0 +1,245 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Queue admission errors. All of them mean "shed": the request never got a
+// concurrency slot.
+var (
+	// ErrQueueFull: the bounded waiter queue is at capacity.
+	ErrQueueFull = errors.New("overload: admission queue full")
+	// ErrWouldExpire: the predicted queue wait exceeds the request's budget,
+	// so it is rejected immediately instead of being parked to time out.
+	ErrWouldExpire = errors.New("overload: predicted queue wait exceeds deadline")
+	// ErrQueueTimeout: the request waited its full budget without being
+	// admitted (only possible when the wait prediction was optimistic).
+	ErrQueueTimeout = errors.New("overload: queue wait exceeded deadline")
+)
+
+// waiter is one parked request. ready has capacity 1 and receives exactly
+// one grant, so the granting side never blocks. admitted is stamped at
+// grant time (under q.mu, before the send): queue wait measures how long
+// the *queue* took to grant a slot, not how long the scheduler took to
+// resume the waiter afterwards — so it stays bounded by the budget even
+// on an oversubscribed machine.
+type waiter struct {
+	ready    chan struct{}
+	granted  bool
+	deadline time.Time
+	admitted time.Time
+}
+
+// Queue is the bounded admission queue in front of the concurrency
+// limiter. Requests acquire a slot immediately when the limiter has room,
+// wait FIFO when it does not, and are shed *before* enqueueing whenever
+// the predicted wait (queue depth x EWMA service time / concurrency)
+// already exceeds their budget — a request that cannot be served in time
+// must be rejected in microseconds, not parked to time out.
+type Queue struct {
+	limiter  *Limiter
+	capacity int
+	deadline time.Duration
+	clock    func() time.Time
+
+	mu       sync.Mutex
+	inflight int
+	waiters  []*waiter
+	svc      time.Duration // EWMA service time, for wait prediction
+}
+
+// NewQueue builds the admission queue (and its limiter) from cfg.
+func NewQueue(cfg Config) *Queue {
+	q := &Queue{
+		limiter: NewLimiter(LimiterConfig{
+			Initial: cfg.InitialConcurrency,
+			Min:     cfg.MinConcurrency,
+			Max:     cfg.MaxConcurrency,
+		}),
+		capacity: cfg.QueueCapacity,
+		deadline: cfg.QueueDeadline,
+		clock:    cfg.Clock,
+	}
+	if q.capacity <= 0 {
+		q.capacity = 128
+	}
+	if q.deadline <= 0 {
+		q.deadline = time.Second
+	}
+	if q.clock == nil {
+		q.clock = time.Now
+	}
+	return q
+}
+
+// Limit returns the limiter's current concurrency limit.
+func (q *Queue) Limit() int { return q.limiter.Limit() }
+
+// Limiter returns the queue's limiter.
+func (q *Queue) Limiter() *Limiter { return q.limiter }
+
+// Deadline returns the default queue-wait budget.
+func (q *Queue) Deadline() time.Duration { return q.deadline }
+
+// Inflight returns how many requests hold a concurrency slot.
+func (q *Queue) Inflight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inflight
+}
+
+// Depth returns how many requests are waiting for admission.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.waiters)
+}
+
+// Ticket is an admitted request's concurrency slot. Release must be called
+// exactly once when the request finishes; it feeds the observed service
+// latency back into the limiter and hands the slot to the next waiter.
+type Ticket struct {
+	q        *Queue
+	enqueued time.Time
+	admitted time.Time
+	released bool
+}
+
+// QueueWait returns how long the request waited for admission.
+func (t *Ticket) QueueWait() time.Duration { return t.admitted.Sub(t.enqueued) }
+
+// Release returns the slot. Safe to call more than once; only the first
+// call has effect.
+func (t *Ticket) Release() {
+	if t.released {
+		return
+	}
+	t.released = true
+	t.q.release(t.q.clock().Sub(t.admitted))
+}
+
+// Acquire admits the request or sheds it. It returns immediately with a
+// Ticket when a slot is free, immediately with ErrQueueFull/ErrWouldExpire
+// when waiting would be futile, and otherwise parks the request (FIFO) for
+// at most its budget: the queue deadline, tightened by ctx's deadline.
+func (q *Queue) Acquire(ctx context.Context) (*Ticket, error) {
+	now := q.clock()
+	q.mu.Lock()
+	if q.inflight < q.limiter.Limit() && len(q.waiters) == 0 {
+		q.inflight++
+		q.mu.Unlock()
+		return &Ticket{q: q, enqueued: now, admitted: now}, nil
+	}
+
+	budget := q.deadline
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := dl.Sub(now); rem < budget {
+			budget = rem
+		}
+	}
+	if budget <= 0 {
+		q.mu.Unlock()
+		return nil, ErrWouldExpire
+	}
+	if len(q.waiters) >= q.capacity {
+		q.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	// Shed-before-enqueue: with `limit` slots draining one request every
+	// `svc` on average, the newcomer at position len(waiters)+1 can expect
+	// to wait about position*svc/limit. If that already blows the budget,
+	// rejecting now costs the client microseconds; parking it would cost
+	// the full budget and still end in rejection.
+	if limit := q.limiter.Limit(); q.svc > 0 && limit > 0 {
+		predicted := time.Duration(int64(q.svc) * int64(len(q.waiters)+1) / int64(limit))
+		if predicted > budget {
+			q.mu.Unlock()
+			return nil, ErrWouldExpire
+		}
+	}
+	w := &waiter{ready: make(chan struct{}, 1), deadline: now.Add(budget)}
+	q.waiters = append(q.waiters, w)
+	q.mu.Unlock()
+
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return &Ticket{q: q, enqueued: now, admitted: w.admitted}, nil
+	case <-ctx.Done():
+		q.abandon(w)
+		return nil, fmt.Errorf("%w: %v", ErrQueueTimeout, ctx.Err())
+	case <-timer.C:
+		q.abandon(w)
+		return nil, ErrQueueTimeout
+	}
+}
+
+// abandon removes a parked waiter. If the waiter had already been granted
+// a slot in the race, the slot is released back to the queue; abandon
+// reports whether the waiter was still parked (true) or had been granted
+// (false).
+func (q *Queue) abandon(w *waiter) bool {
+	q.mu.Lock()
+	if w.granted {
+		// The grant and the give-up raced; return the slot without feeding a
+		// bogus latency sample into the limiter.
+		q.inflight--
+		q.grantLocked()
+		q.mu.Unlock()
+		return false
+	}
+	for i, other := range q.waiters {
+		if other == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			break
+		}
+	}
+	q.mu.Unlock()
+	return true
+}
+
+// release returns one slot, feeds the limiter, and wakes waiters.
+func (q *Queue) release(latency time.Duration) {
+	q.mu.Lock()
+	q.inflight--
+	if q.svc == 0 {
+		q.svc = latency
+	} else {
+		// EWMA with 1/8 gain: smooth enough to ignore one outlier, fast
+		// enough to track a genuine shift within a few dozen requests.
+		q.svc += (latency - q.svc) / 8
+	}
+	q.limiter.Observe(latency)
+	q.grantLocked()
+	q.mu.Unlock()
+}
+
+// grantLocked admits parked waiters while slots are free. Callers hold
+// q.mu. The ready channel has capacity 1 and each waiter is granted once,
+// so the send cannot block; the select-default is belt and braces.
+func (q *Queue) grantLocked() {
+	for len(q.waiters) > 0 && q.inflight < q.limiter.Limit() {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		now := q.clock()
+		if now.After(w.deadline) {
+			// The waiter's budget ran out while it was parked (its timer has
+			// fired; the goroutine just hasn't run abandon yet). Granting it
+			// now would hand a slot to a request that is already being shed —
+			// skip it and let its timeout path complete.
+			continue
+		}
+		w.granted = true
+		w.admitted = now
+		q.inflight++
+		select {
+		case w.ready <- struct{}{}:
+		default:
+		}
+	}
+}

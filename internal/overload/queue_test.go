@@ -1,0 +1,283 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic queue tests.
+// Only the latency/budget arithmetic uses it; the park timer still runs on
+// the wall clock, so tests that park use real (short) waits.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// fixedQueue builds a queue with a non-adaptive limit, the workhorse for
+// state-machine tests.
+func fixedQueue(limit int, cfg Config) *Queue {
+	cfg.MinConcurrency = limit
+	cfg.MaxConcurrency = limit
+	cfg.InitialConcurrency = limit
+	return NewQueue(cfg)
+}
+
+// waitFor polls cond for up to a second — used only to sequence goroutines
+// around the park/grant boundary, never to assert timing.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestQueueFastPath(t *testing.T) {
+	clk := newFakeClock()
+	q := fixedQueue(2, Config{Clock: clk.Now})
+	t1, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	t2, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("second Acquire: %v", err)
+	}
+	if got := q.Inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	if w := t1.QueueWait(); w != 0 {
+		t.Fatalf("fast-path queue wait = %v, want 0", w)
+	}
+	clk.Advance(10 * time.Millisecond)
+	t1.Release()
+	t1.Release() // idempotent: second call must not double-decrement
+	t2.Release()
+	if got := q.Inflight(); got != 0 {
+		t.Fatalf("inflight after releases = %d, want 0", got)
+	}
+}
+
+// TestQueueFIFOGrant: parked waiters are admitted in arrival order when
+// slots free up.
+func TestQueueFIFOGrant(t *testing.T) {
+	q := fixedQueue(1, Config{QueueDeadline: time.Minute})
+	t1, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+
+	type result struct {
+		id     int
+		ticket *Ticket
+	}
+	admitted := make(chan result, 2)
+	park := func(id int) {
+		tk, err := q.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("waiter %d: %v", id, err)
+			return
+		}
+		admitted <- result{id, tk}
+	}
+	go park(1)
+	waitFor(t, "first waiter parked", func() bool { return q.Depth() == 1 })
+	go park(2)
+	waitFor(t, "second waiter parked", func() bool { return q.Depth() == 2 })
+
+	t1.Release()
+	first := <-admitted
+	if first.id != 1 {
+		t.Fatalf("first grant went to waiter %d, want 1 (FIFO)", first.id)
+	}
+	if q.Depth() != 1 {
+		t.Fatalf("depth after first grant = %d, want 1", q.Depth())
+	}
+	first.ticket.Release()
+	second := <-admitted
+	if second.id != 2 {
+		t.Fatalf("second grant went to waiter %d, want 2", second.id)
+	}
+	second.ticket.Release()
+}
+
+// TestQueueFull: once capacity waiters are parked, further requests are
+// rejected immediately.
+func TestQueueFull(t *testing.T) {
+	q := fixedQueue(1, Config{QueueCapacity: 1, QueueDeadline: time.Minute})
+	t1, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	parked := make(chan *Ticket, 1)
+	go func() {
+		tk, err := q.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("parked waiter: %v", err)
+			return
+		}
+		parked <- tk
+	}()
+	waitFor(t, "waiter parked", func() bool { return q.Depth() == 1 })
+
+	if _, err := q.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Acquire past capacity: err = %v, want ErrQueueFull", err)
+	}
+	t1.Release()
+	(<-parked).Release()
+}
+
+// TestQueueShedBeforeEnqueue: once the EWMA service time predicts a wait
+// past the budget, the request is rejected instantly, not parked.
+func TestQueueShedBeforeEnqueue(t *testing.T) {
+	clk := newFakeClock()
+	q := fixedQueue(1, Config{Clock: clk.Now, QueueDeadline: time.Second})
+
+	// Prime the service-time EWMA: one request that took 100ms.
+	t1, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	clk.Advance(100 * time.Millisecond)
+	t1.Release()
+
+	// Occupy the only slot again.
+	t2, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer t2.Release()
+
+	// Budget 10ms << predicted 100ms wait: shed before enqueueing.
+	ctx, cancel := context.WithDeadline(context.Background(), clk.Now().Add(10*time.Millisecond))
+	defer cancel()
+	if _, err := q.Acquire(ctx); !errors.Is(err, ErrWouldExpire) {
+		t.Fatalf("Acquire with tiny budget: err = %v, want ErrWouldExpire", err)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("shed request left depth = %d, want 0", q.Depth())
+	}
+
+	// A deadline already in the past is shed the same way.
+	expired, cancel2 := context.WithDeadline(context.Background(), clk.Now().Add(-time.Millisecond))
+	defer cancel2()
+	if _, err := q.Acquire(expired); !errors.Is(err, ErrWouldExpire) {
+		t.Fatalf("Acquire with expired budget: err = %v, want ErrWouldExpire", err)
+	}
+}
+
+// TestQueueTimeout: a parked request whose budget elapses is rejected with
+// ErrQueueTimeout (reachable only when no service-time prediction existed).
+func TestQueueTimeout(t *testing.T) {
+	q := fixedQueue(1, Config{QueueDeadline: 20 * time.Millisecond})
+	t1, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer t1.Release()
+
+	// Queue-deadline timeout (background ctx, svc EWMA still unprimed).
+	if _, err := q.Acquire(context.Background()); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("Acquire timing out on queue deadline: err = %v, want ErrQueueTimeout", err)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("timed-out waiter left depth = %d, want 0", q.Depth())
+	}
+
+	// Context cancellation while parked is reported the same way.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Acquire(ctx)
+		done <- err
+	}()
+	waitFor(t, "waiter parked", func() bool { return q.Depth() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("canceled Acquire: err = %v, want ErrQueueTimeout", err)
+	}
+}
+
+// TestQueueWaitMeasured: an admitted-after-waiting ticket reports the wait
+// through the injected clock.
+func TestQueueWaitMeasured(t *testing.T) {
+	clk := newFakeClock()
+	q := fixedQueue(1, Config{Clock: clk.Now, QueueDeadline: time.Minute})
+	t1, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	admitted := make(chan *Ticket, 1)
+	go func() {
+		tk, err := q.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("parked waiter: %v", err)
+			return
+		}
+		admitted <- tk
+	}()
+	waitFor(t, "waiter parked", func() bool { return q.Depth() == 1 })
+	clk.Advance(30 * time.Millisecond)
+	t1.Release()
+	tk := <-admitted
+	if got := tk.QueueWait(); got != 30*time.Millisecond {
+		t.Fatalf("QueueWait = %v, want 30ms", got)
+	}
+	tk.Release()
+}
+
+// TestQueueExpiredWaiterNotGranted: a slot freeing up must never be handed
+// to a waiter whose budget already lapsed — that request is being shed (its
+// park timer has fired) even if its goroutine hasn't observed it yet.
+// Granting it would both waste the slot and record a queue wait beyond the
+// deadline.
+func TestQueueExpiredWaiterNotGranted(t *testing.T) {
+	clk := newFakeClock()
+	q := fixedQueue(1, Config{QueueDeadline: 50 * time.Millisecond, Clock: clk.Now})
+	t1, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := q.Acquire(context.Background())
+		errc <- err
+	}()
+	waitFor(t, "second request to park", func() bool { return q.Depth() == 1 })
+
+	clk.Advance(time.Minute) // the parked waiter's budget has long lapsed
+	t1.Release()
+	if err := <-errc; !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("expired waiter: err = %v, want ErrQueueTimeout", err)
+	}
+	if got := q.Inflight(); got != 0 {
+		t.Fatalf("inflight after skipping expired waiter = %d, want 0", got)
+	}
+	// The freed slot is available to fresh work immediately.
+	t3, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("fresh Acquire after expired skip: %v", err)
+	}
+	t3.Release()
+}
