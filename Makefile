@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmtcheck lint vet build test race bench-smoke chaos-smoke overload-smoke alloc-gate bench bench-all bench-json clean
+.PHONY: check fmtcheck lint vet build test race bench-smoke chaos-smoke overload-smoke crash-smoke alloc-gate bench bench-all bench-json clean
 
-check: fmtcheck lint vet build test race chaos-smoke overload-smoke bench-smoke
+check: fmtcheck lint vet build test race chaos-smoke overload-smoke crash-smoke bench-smoke
 
 # The serve-path allocation gate, shared by bench-smoke and the Makefile
 # test in alloc_gate_test.go. `go test -benchmem` reports allocs/op as a
@@ -71,13 +71,21 @@ chaos-smoke:
 overload-smoke:
 	$(GO) test -race -count=1 -run '^TestOverloadSurge$$' ./internal/idicn/integration
 
+# The crash-safety drill under the race detector: kill the streaming sim
+# after every on-disk checkpoint in turn (including torn-file cases) and
+# require the resumed Result to be bit-identical to an uninterrupted run.
+crash-smoke:
+	$(GO) test -race -count=1 -run '^TestCrashResumeDrill' ./internal/checkpoint
+
 # Measure sharded streaming throughput at 1, half, and all cores and append
 # the timestamped requests_per_sec series to the committed perf log, then
 # the daemon overload series (admitted/sec and p99 queue wait at 1x/2x/4x
-# offered load) to BENCH_daemon.json.
+# offered load, plus a load-under-chaos point that must engage the brownout
+# ladder while holding goodput above a quarter of fault-free capacity) to
+# BENCH_daemon.json.
 bench:
 	$(GO) run ./cmd/icnsim -bench-append BENCH_sim.json
-	$(GO) run ./cmd/idicnd -bench-daemon BENCH_daemon.json
+	$(GO) run ./cmd/idicnd -bench-daemon BENCH_daemon.json -faults 'proxy:latency,d=120ms,p=0.5'
 
 # Full benchmark pass over every artifact regeneration.
 bench-all:

@@ -51,7 +51,7 @@ func main() {
 		alpha       = flag.Float64("alpha", 0, "override Zipf alpha")
 		objects     = flag.Int("objects", 0, "override object-universe size")
 		sweepTopo   = flag.String("sweep-topology", "", "topology for the sensitivity sweeps (default ATT)")
-		policy      = flag.String("policy", "", "cache policy for every provisioned cache: lru, lfu, arc, car, tinylfu (default lru)")
+		policy      = flag.String("policy", "", "cache policy for every provisioned cache: lru, lfu, arc, car, tinylfu, tinylfu+arc, tinylfu+car (default lru)")
 		policySweep = flag.Bool("policy-sweep", false, "run the cache-policy x design sweep; shorthand for -exp policy-sweep")
 		locality    = flag.Float64("locality", 0, "temporal locality of the request stream (0=IID, ~0.7=trace-like)")
 		topoFile    = flag.String("topology-file", "", "load a custom sweep topology from a file (see internal/topo/parse.go for the format)")
@@ -66,6 +66,10 @@ func main() {
 		stream      = flag.Int64("stream", 0, "run one sharded streaming simulation over this many synthetic requests (or a -trace binary file) and print throughput + peak RSS, then exit")
 		users       = flag.Int("users", 0, "fixed user population for -stream synthetic workloads (0 = per-request sampling)")
 		epochLen    = flag.Int("epoch", 0, "epoch length in requests for sharded streaming runs (0 = default)")
+		ckptDir     = flag.String("checkpoint", "", "directory for periodic crash-safe checkpoints of the -stream run; resume with -resume")
+		ckptEvery   = flag.Int64("checkpoint-every", 25_000_000, "minimum requests between checkpoints (rounded up to epoch boundaries)")
+		ckptFsync   = flag.Bool("checkpoint-fsync", false, "fsync each checkpoint before publishing it (survives power loss, not just process crashes; slow on some filesystems)")
+		resume      = flag.Bool("resume", false, "resume the -stream run from the latest good checkpoint in -checkpoint (fresh start if none)")
 		streamDes   = flag.String("stream-design", "EDGE", "design for the -stream run (ICN-SP, ICN-NR, EDGE, EDGE-Coop, EDGE-Norm)")
 		metricsJSON = flag.String("metrics-json", "", "attach a metrics observer to every run and write its histograms (serve levels, latency, lookup hops, evictions) as JSON to this file; \"-\" writes to stdout")
 	)
@@ -159,10 +163,14 @@ func main() {
 	if *workers > 0 {
 		fmt.Fprintf(os.Stderr, "icnsim: using %d workers\n", *workers)
 	}
+	if *resume && *ckptDir == "" {
+		fatalf("icnsim: -resume requires -checkpoint <dir>")
+	}
 	if *stream > 0 || (*traceFile != "" && *exp == "all" && experiments.IsBinaryTrace(*traceFile)) {
 		// A sharded streaming run: synthetic (-stream N) or from a recorded
 		// binary trace (-trace FILE, alone or with -stream).
-		if err := runStreamScale(p, *stream, *users, *streamDes, *traceFile, *epochLen); err != nil {
+		ck := streamCheckpointing{dir: *ckptDir, every: *ckptEvery, resume: *resume, fsync: *ckptFsync}
+		if err := runStreamScale(p, *stream, *users, *streamDes, *traceFile, *epochLen, ck); err != nil {
 			fatalf("icnsim: stream: %v", err)
 		}
 		return

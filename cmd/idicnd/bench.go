@@ -34,7 +34,20 @@ type DaemonBenchRecord struct {
 	ErrorsPerSec   float64 `json:"errors_per_sec"`
 	P99QueueWaitMs float64 `json:"p99_queue_wait_ms"`
 	Limit          int     `json:"limit"`
-	Time           string  `json:"time,omitempty"`
+	// FaultPlan is the chaos spec active during this point ("" for the plain
+	// overload series); MaxBrownoutTier is the highest degradation tier the
+	// proxy reached while the point ran.
+	FaultPlan           string `json:"fault_plan,omitempty"`
+	MaxBrownoutTier     string `json:"max_brownout_tier,omitempty"`
+	BrownoutTransitions int64  `json:"brownout_transitions,omitempty"`
+	Time                string `json:"time,omitempty"`
+}
+
+// benchChaos is an extra fault plan layered on top of the bench's baseline
+// injected service latency: the load-under-chaos drill.
+type benchChaos struct {
+	spec string
+	seed int64
 }
 
 // benchStack is one disposable daemon instance for a single load point:
@@ -56,9 +69,17 @@ func (b *benchStack) close() {
 // newBenchStack builds a stack with a fixed concurrency limit and a
 // deterministic injected service latency on the proxy, then publishes and
 // warms one object so the measured path is the admission pipeline plus a
-// cache hit — the overload behavior under test, not resolver variance.
-func newBenchStack(ocfg overload.Config, svcLatency time.Duration) (*benchStack, error) {
-	plan, err := faults.ParsePlan(fmt.Sprintf("proxy:latency,d=%s,p=1", svcLatency), 1)
+// cache hit — the overload behavior under test, not resolver variance. A
+// non-empty chaos spec is merged into the same plan, so its faults stack on
+// top of the baseline service latency.
+func newBenchStack(ocfg overload.Config, svcLatency time.Duration, chaos benchChaos) (*benchStack, error) {
+	spec := fmt.Sprintf("proxy:latency,d=%s,p=1", svcLatency)
+	seed := int64(1)
+	if chaos.spec != "" {
+		spec += ";" + chaos.spec
+		seed = chaos.seed
+	}
+	plan, err := faults.ParsePlan(spec, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +138,7 @@ func (b *benchStack) fetch(ctx context.Context) (int, error) {
 // the calibration window and returns the sustained requests/sec — the 1x
 // reference the open-loop points are multiples of.
 func measureCapacity(ocfg overload.Config, svcLatency, window time.Duration) (float64, error) {
-	b, err := newBenchStack(ocfg, svcLatency)
+	b, err := newBenchStack(ocfg, svcLatency, benchChaos{})
 	if err != nil {
 		return 0, err
 	}
@@ -156,12 +177,35 @@ func measureCapacity(ocfg overload.Config, svcLatency, window time.Duration) (fl
 // runLoadPoint offers open-loop traffic at ratePerSec for the window —
 // requests launch on schedule whether or not earlier ones finished, which
 // is what makes overload possible — and reports the admission outcome.
-func runLoadPoint(ocfg overload.Config, svcLatency, window time.Duration, factor, ratePerSec float64, stamp string) (DaemonBenchRecord, error) {
-	b, err := newBenchStack(ocfg, svcLatency)
+func runLoadPoint(ocfg overload.Config, svcLatency, window time.Duration, factor, ratePerSec float64, stamp, name string, chaos benchChaos) (DaemonBenchRecord, error) {
+	b, err := newBenchStack(ocfg, svcLatency, chaos)
 	if err != nil {
 		return DaemonBenchRecord{}, err
 	}
 	defer b.close()
+
+	// Sample the proxy's brownout tier while the point runs: the record wants
+	// the highest tier reached, and by the time the load stops the ladder may
+	// already have stepped back down.
+	maxTier := b.st.ctls["proxy"].Tier()
+	tierStop := make(chan struct{})
+	var tierWG sync.WaitGroup
+	tierWG.Add(1)
+	go func() {
+		defer tierWG.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tierStop:
+				return
+			case <-tick.C:
+				if t := b.st.ctls["proxy"].Tier(); t > maxTier {
+					maxTier = t
+				}
+			}
+		}
+	}()
 
 	var offered, admitted, shed, failed atomic.Int64
 	var wg sync.WaitGroup
@@ -195,25 +239,34 @@ func runLoadPoint(ocfg overload.Config, svcLatency, window time.Duration, factor
 	// by however long the slowest straggler took.
 	elapsed := time.Since(start).Seconds()
 	wg.Wait()
+	close(tierStop)
+	tierWG.Wait()
 
 	ctl := b.st.ctls["proxy"]
 	return DaemonBenchRecord{
-		Name:           "DaemonOverload/proxy",
-		LoadFactor:     factor,
-		OfferedPerSec:  float64(offered.Load()) / elapsed,
-		AdmittedPerSec: float64(admitted.Load()) / elapsed,
-		ShedPerSec:     float64(shed.Load()) / elapsed,
-		ErrorsPerSec:   float64(failed.Load()) / elapsed,
-		P99QueueWaitMs: ctl.QueueWait().Quantile(0.99) * 1000,
-		Limit:          ctl.Queue().Limit(),
-		Time:           stamp,
+		Name:                name,
+		LoadFactor:          factor,
+		OfferedPerSec:       float64(offered.Load()) / elapsed,
+		AdmittedPerSec:      float64(admitted.Load()) / elapsed,
+		ShedPerSec:          float64(shed.Load()) / elapsed,
+		ErrorsPerSec:        float64(failed.Load()) / elapsed,
+		P99QueueWaitMs:      ctl.QueueWait().Quantile(0.99) * 1000,
+		Limit:               ctl.Queue().Limit(),
+		FaultPlan:           chaos.spec,
+		MaxBrownoutTier:     maxTier.String(),
+		BrownoutTransitions: ctl.Brownout().Transitions(),
+		Time:                stamp,
 	}, nil
 }
 
 // runBench measures the daemon's overload behavior — admitted/sec and p99
 // queue wait at 1x, 2x, and 4x measured capacity — and appends the records
-// to path. Invoked by `idicnd -bench-daemon <file>` (and `make bench`).
-func runBench(path string, ocfg overload.Config) error {
+// to path. A non-empty chaosSpec (the -faults flag) adds a load-under-chaos
+// point: 2x offered load with the extra faults active, asserting that the
+// brownout ladder engaged and that goodput held above a quarter of the
+// measured fault-free capacity. Invoked by `idicnd -bench-daemon <file>`
+// (and `make bench`).
+func runBench(path string, ocfg overload.Config, chaosSpec string, chaosSeed int64) error {
 	// Fix the concurrency limit and inject a deterministic service latency:
 	// the bench measures the admission pipeline's behavior at known
 	// multiples of a known capacity, not the adaptive limiter's hunt. The
@@ -241,12 +294,33 @@ func runBench(path string, ocfg overload.Config) error {
 	stamp := time.Now().UTC().Format(time.RFC3339)
 	var fresh []DaemonBenchRecord
 	for _, factor := range []float64{1, 2, 4} {
-		rec, err := runLoadPoint(ocfg, svcLatency, window, factor, capacity*factor, stamp)
+		rec, err := runLoadPoint(ocfg, svcLatency, window, factor, capacity*factor, stamp, "DaemonOverload/proxy", benchChaos{})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "idicnd: bench %gx: offered %.0f/s admitted %.0f/s shed %.0f/s p99 wait %.1fms\n",
 			factor, rec.OfferedPerSec, rec.AdmittedPerSec, rec.ShedPerSec, rec.P99QueueWaitMs)
+		fresh = append(fresh, rec)
+	}
+
+	if chaosSpec != "" {
+		chaos := benchChaos{spec: chaosSpec, seed: chaosSeed}
+		rec, err := runLoadPoint(ocfg, svcLatency, window, 2, capacity*2, stamp, "DaemonOverload/proxy-chaos", chaos)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "idicnd: bench 2x+chaos [%s]: admitted %.0f/s shed %.0f/s errors %.0f/s max tier %s (%d transitions)\n",
+			chaosSpec, rec.AdmittedPerSec, rec.ShedPerSec, rec.ErrorsPerSec, rec.MaxBrownoutTier, rec.BrownoutTransitions)
+		// The drill's two claims: degradation engaged (the tiers are doing
+		// their job, not sitting idle while the queue melts) and the daemon
+		// kept serving a usable fraction of its fault-free capacity.
+		if rec.MaxBrownoutTier == overload.TierNormal.String() {
+			return fmt.Errorf("idicnd: chaos bench: brownout never engaged under %q at 2x load", chaosSpec)
+		}
+		if floor := 0.25 * capacity; rec.AdmittedPerSec < floor {
+			return fmt.Errorf("idicnd: chaos bench: goodput %.0f/s below the %.0f/s floor (25%% of %.0f/s fault-free capacity)",
+				rec.AdmittedPerSec, floor, capacity)
+		}
 		fresh = append(fresh, rec)
 	}
 

@@ -67,7 +67,7 @@ func main() {
 		QueueDeadline:  *queueDeadline,
 	}
 	if *benchDaemon != "" {
-		if err := runBench(*benchDaemon, ocfg); err != nil {
+		if err := runBench(*benchDaemon, ocfg, *faultSpec, *faultSeed); err != nil {
 			fmt.Fprintf(os.Stderr, "idicnd: %v\n", err)
 			os.Exit(1)
 		}

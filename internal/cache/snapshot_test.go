@@ -1,0 +1,186 @@
+package cache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// snapshotPolicy pairs a constructor with a name for the round-trip sweep.
+// Constructors take the eviction hook so tests can compare hook sequences
+// across an original and its restored twin.
+var snapshotPolicies = []struct {
+	name string
+	make func(onEvict EvictFunc) Policy
+}{
+	{"IntLRU", func(f EvictFunc) Policy { return NewIntLRU(32, f) }},
+	{"IntLFU", func(f EvictFunc) Policy { return NewIntLFU(32, f) }},
+	{"ARC", func(f EvictFunc) Policy { return NewARC(32, f) }},
+	{"CAR", func(f EvictFunc) Policy { return NewCAR(32, f) }},
+	{"TinyLFU-LRU", func(f EvictFunc) Policy { return NewTinyLFULRU(32, f) }},
+	{"TinyLFU-ARC", func(f EvictFunc) Policy { return NewTinyLFU(NewARC(32, f), 32) }},
+	{"TinyLFU-CAR", func(f EvictFunc) Policy { return NewTinyLFU(NewCAR(32, f), 32) }},
+}
+
+// drive performs one Lookup-then-maybe-Insert step, the simulator's access
+// pattern, and returns whether the step hit.
+func drive(p Policy, obj int32) bool {
+	if p.Lookup(obj) {
+		return true
+	}
+	p.Insert(obj)
+	return false
+}
+
+// TestSnapshotRoundTripBehavior is the core restore-by-rebuild contract:
+// after restoring a snapshot into a fresh instance, the twin must be
+// behaviorally indistinguishable from the original — same hits, same
+// residency, same evictions, and same future snapshots — over an adversarial
+// tail of traffic.
+func TestSnapshotRoundTripBehavior(t *testing.T) {
+	for _, tc := range snapshotPolicies {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			var evA, evB []int32
+			a := tc.make(func(obj int32) { evA = append(evA, obj) })
+			// A scan-heavy prefix over a larger-than-capacity key space
+			// populates tiers, ghosts, and sketches.
+			for i := 0; i < 4000; i++ {
+				drive(a, int32(rng.Intn(96)))
+			}
+
+			blob := a.(Snapshotter).AppendState(nil)
+			b := tc.make(func(obj int32) { evB = append(evB, obj) })
+			rest, err := b.(Snapshotter).RestoreState(blob)
+			if err != nil {
+				t.Fatalf("RestoreState: %v", err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("RestoreState left %d bytes unconsumed", len(rest))
+			}
+			if got := b.(Snapshotter).AppendState(nil); !bytes.Equal(got, blob) {
+				t.Fatalf("restored snapshot differs from the original:\n got %x\nwant %x", got, blob)
+			}
+			if a.Len() != b.Len() {
+				t.Fatalf("Len diverges after restore: %d vs %d", a.Len(), b.Len())
+			}
+
+			// RestoreState must not fire the eviction hook: nothing left
+			// residency, it was never there.
+			if len(evB) != 0 {
+				t.Fatalf("restore fired %d eviction hooks", len(evB))
+			}
+			evA, evB = nil, nil
+
+			for i := 0; i < 4000; i++ {
+				obj := int32(rng.Intn(96))
+				if ha, hb := drive(a, obj), drive(b, obj); ha != hb {
+					t.Fatalf("step %d obj %d: original hit=%v, restored hit=%v", i, obj, ha, hb)
+				}
+			}
+			if len(evA) != len(evB) {
+				t.Fatalf("eviction counts diverge: %d vs %d", len(evA), len(evB))
+			}
+			for i := range evA {
+				if evA[i] != evB[i] {
+					t.Fatalf("eviction %d diverges: %d vs %d", i, evA[i], evB[i])
+				}
+			}
+			ba := a.(Snapshotter).AppendState(nil)
+			bb := b.(Snapshotter).AppendState(nil)
+			if !bytes.Equal(ba, bb) {
+				t.Fatalf("snapshots diverge after identical tails")
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTripSized covers SizedIntLRU separately: its Insert takes
+// a size, so it is not a cache.Policy.
+func TestSnapshotRoundTripSized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	size := func(obj int32) int64 { return 1 + int64(obj%5) }
+	var evA, evB []int32
+	a := NewSizedIntLRU(64, func(obj int32) { evA = append(evA, obj) })
+	for i := 0; i < 3000; i++ {
+		obj := int32(rng.Intn(80))
+		if !a.Lookup(obj) {
+			a.Insert(obj, size(obj))
+		}
+	}
+	blob := a.AppendState(nil)
+	b := NewSizedIntLRU(64, func(obj int32) { evB = append(evB, obj) })
+	rest, err := b.RestoreState(blob)
+	if err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("RestoreState left %d bytes unconsumed", len(rest))
+	}
+	if len(evB) != 0 {
+		t.Fatalf("restore fired %d eviction hooks", len(evB))
+	}
+	if got := b.AppendState(nil); !bytes.Equal(got, blob) {
+		t.Fatalf("restored snapshot differs from the original")
+	}
+	evA, evB = nil, nil
+	for i := 0; i < 3000; i++ {
+		obj := int32(rng.Intn(80))
+		ha, hb := a.Lookup(obj), b.Lookup(obj)
+		if ha != hb {
+			t.Fatalf("step %d obj %d: original hit=%v, restored hit=%v", i, obj, ha, hb)
+		}
+		if !ha {
+			a.Insert(obj, size(obj))
+			b.Insert(obj, size(obj))
+		}
+	}
+	if a.Used() != b.Used() || a.Len() != b.Len() {
+		t.Fatalf("restored twin diverges: used %d/%d len %d/%d", a.Used(), b.Used(), a.Len(), b.Len())
+	}
+	if len(evA) != len(evB) {
+		t.Fatalf("eviction counts diverge: %d vs %d", len(evA), len(evB))
+	}
+}
+
+// TestSnapshotRestoreRejectsCorruption: every truncation of a valid snapshot,
+// and a tag flip, must fail cleanly — no panic, no partial acceptance.
+func TestSnapshotRestoreRejectsCorruption(t *testing.T) {
+	for _, tc := range snapshotPolicies {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			a := tc.make(nil)
+			for i := 0; i < 2000; i++ {
+				drive(a, int32(rng.Intn(96)))
+			}
+			blob := a.(Snapshotter).AppendState(nil)
+			for cut := 0; cut < len(blob); cut++ {
+				fresh := tc.make(nil)
+				if _, err := fresh.(Snapshotter).RestoreState(blob[:cut]); err == nil {
+					t.Fatalf("truncation to %d/%d bytes accepted", cut, len(blob))
+				}
+			}
+			bad := append([]byte(nil), blob...)
+			bad[0] ^= 0x7f // snapshot tag
+			fresh := tc.make(nil)
+			if _, err := fresh.(Snapshotter).RestoreState(bad); err == nil {
+				t.Fatal("flipped tag byte accepted")
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreRejectsCapacityMismatch: a snapshot taken at one
+// capacity must not restore into an instance built with another — the slot
+// arrays would not line up.
+func TestSnapshotRestoreRejectsCapacityMismatch(t *testing.T) {
+	a := NewIntLRU(8, nil)
+	for i := int32(0); i < 8; i++ {
+		a.Insert(i)
+	}
+	blob := a.AppendState(nil)
+	b := NewIntLRU(16, nil)
+	if _, err := b.RestoreState(blob); err == nil {
+		t.Fatal("capacity-mismatched snapshot accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package checkpoint
+
+import "idicn/internal/sim"
+
+// AsyncSaver overlaps checkpoint persistence with simulation. A frozen
+// StreamState is a deep copy, so once the simulation hands it over, encoding
+// and fsyncing it can proceed while the epochs keep flowing; Save only
+// blocks on the *previous* save, bounding the in-flight window to one
+// checkpoint. A crash during the overlapped write leaves a torn or missing
+// newest file, which Store.Latest already falls back past — exactly the
+// guarantee a synchronous save gives, minus the barrier stall.
+//
+// Not safe for concurrent use: the streaming runner invokes the checkpoint
+// hook from one goroutine, and AsyncSaver assumes that discipline.
+type AsyncSaver struct {
+	store *Store
+	done  chan error // result of the in-flight save; nil when idle
+}
+
+// NewAsyncSaver wraps store. Callers must Wait before using the results of
+// the final save (or treating the run as fully persisted).
+func NewAsyncSaver(store *Store) *AsyncSaver { return &AsyncSaver{store: store} }
+
+// Save persists st in the background, first surfacing any error from the
+// previous save — so an error is reported at most one checkpoint late, and
+// the runner still aborts instead of simulating for hours on a dead disk.
+func (a *AsyncSaver) Save(st *sim.StreamState) error {
+	if err := a.Wait(); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	a.done = done
+	go func() {
+		_, err := a.store.Save(st)
+		done <- err
+	}()
+	return nil
+}
+
+// Wait blocks until the in-flight save, if any, completes, and returns its
+// error. Idempotent; safe to call with nothing in flight.
+func (a *AsyncSaver) Wait() error {
+	if a.done == nil {
+		return nil
+	}
+	err := <-a.done
+	a.done = nil
+	return err
+}

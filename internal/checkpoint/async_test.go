@@ -1,0 +1,115 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"idicn/internal/sim"
+	"idicn/internal/trace"
+)
+
+// TestAsyncSaverPersistsInOrder: every state handed to Save lands on disk,
+// Latest returns the newest, and Wait drains the tail.
+func TestAsyncSaverPersistsInOrder(t *testing.T) {
+	store, err := NewStore(t.TempDir(), testFP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAsyncSaver(store)
+	for _, r := range []int64{1000, 2000, 3000} {
+		st := sampleState()
+		st.Requests = r
+		if err := a.Save(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 3000 {
+		t.Fatalf("Latest.Requests = %d, want 3000", st.Requests)
+	}
+	names, err := store.files()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("%d files on disk, want 3: %v", len(names), names)
+	}
+}
+
+// TestAsyncSaverSurfacesErrors: a failing save is reported on the next Save
+// (or Wait), so the runner aborts instead of streaming into the void.
+func TestAsyncSaverSurfacesErrors(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir, testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAsyncSaver(store)
+	if err := a.Save(sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the directory so the next save's temp file fails. (Chmod-based
+	// denial would not work here: tests may run as root.)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	st := sampleState()
+	st.Requests = 9999
+	if err := a.Save(st); err != nil {
+		t.Fatalf("Save itself should defer the failure, got %v", err)
+	}
+	if err := a.Wait(); err == nil {
+		t.Fatal("Wait returned nil after a failed background save")
+	}
+}
+
+// TestAsyncSaverThroughRunStream wires the saver as the checkpoint hook of
+// a real streaming run and verifies a resume from the resulting store is
+// bit-identical — the exact icnsim -checkpoint composition.
+func TestAsyncSaverThroughRunStream(t *testing.T) {
+	cfg, reqs := drillWorkload()
+	want, err := sim.RunStream(cfg, trace.Requests(reqs), sim.StreamOptions{Workers: 2, EpochLen: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewStore(t.TempDir(), testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAsyncSaver(store)
+	calls := 0
+	_, err = sim.RunStream(cfg, trace.Requests(reqs), sim.StreamOptions{
+		Workers: 2, EpochLen: 1024, CheckpointEvery: 1,
+		Checkpoint: func(st *sim.StreamState) error {
+			if err := a.Save(st); err != nil {
+				return err
+			}
+			calls++
+			if calls == 6 {
+				return errKill
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, errKill) {
+		t.Fatalf("RunStream returned %v, want the injected crash", err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := resumeAndFinish(t, cfg, reqs, store, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("async-saved resume diverges:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,152 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+	"reflect"
+	"testing"
+
+	"idicn/internal/sim"
+	"idicn/internal/trace"
+)
+
+// appendChecksum stamps a valid trailer onto body, for tests that corrupt
+// the payload but need the checksum to pass.
+func appendChecksum(body []byte) []byte {
+	return binary.LittleEndian.AppendUint64(body, crc64.Checksum(body, crcTable))
+}
+
+// sampleState builds a representative StreamState: populated metrics,
+// nil and non-nil optional slices, multiple shards, and raw cache bytes.
+func sampleState() *sim.StreamState {
+	return &sim.StreamState{
+		Requests: 123456,
+		EpochLen: 1024,
+		TracePos: trace.StreamPos{Requests: 123456, Offset: 98765, PrevObj: -42},
+
+		WarmupDone: true,
+		Snaps: []sim.MetricState{
+			{
+				TotalLatency: 3.25,
+				PoPLatency:   []float64{1.5, 0, 2.25},
+				PoPRequests:  []int64{10, 0, 20},
+				Transfers:    7, Evictions: 3,
+				Stats:        sim.ServeStats{Leaf: 1, Sibling: 2, Tree: 3, Core: 4, Origin: 5},
+				ServedDepth:  []int64{9, 8},
+				TreeLoad:     []int64{1, 2, 3},
+				CoreLoad:     []int64{4},
+				OriginServed: []int64{5, 6},
+			},
+			{},
+		},
+		Shards: []sim.ShardState{
+			{
+				Metrics: sim.MetricState{TotalLatency: 1e-9, PoPLatency: []float64{0.5}},
+				Served:  []int64{100, -1, 0},
+				Caches:  []byte{0xde, 0xad, 0xbe, 0xef},
+			},
+			{},
+		},
+		Replicas: [][]int32{{0, 5, 9}, nil, {2}},
+		RootLive: [][]uint64{{0xffffffffffffffff, 0}, nil},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	const fp = 0xabcdef0123456789
+	st := sampleState()
+	data := Encode(st, fp)
+	got, err := Decode(data, fp)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("round trip diverges:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+func TestCodecRoundTripMinimal(t *testing.T) {
+	st := &sim.StreamState{EpochLen: 1, Shards: []sim.ShardState{{}}}
+	got, err := Decode(Encode(st, 1), 1)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("round trip diverges:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+func TestDecodeFingerprintMismatch(t *testing.T) {
+	data := Encode(sampleState(), 1)
+	_, err := Decode(data, 2)
+	if !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("Decode with the wrong fingerprint returned %v, want ErrFingerprint", err)
+	}
+}
+
+// TestDecodeRejectsCorruption: every single-byte flip and every truncation
+// of a valid image must fail with ErrCorrupt — the checksum catches torn
+// files regardless of where the tear lands.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	const fp = 7
+	data := Encode(sampleState(), fp)
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		if _, err := Decode(bad, fp); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: got %v, want ErrCorrupt", i, err)
+		}
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Decode(data[:cut], fp); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestDecodeRejectsTrailingBytes: a valid payload followed by garbage (with
+// a recomputed checksum, so only the length check can catch it) must fail.
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	const fp = 7
+	data := Encode(sampleState(), fp)
+	body := data[:len(data)-8]
+	bad := append(append([]byte(nil), body...), 0x00)
+	bad = appendChecksum(bad)
+	if _, err := Decode(bad, fp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFingerprintDistinguishesFraming(t *testing.T) {
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal("length framing failed: boundary shift collides")
+	}
+	if Fingerprint("x") == Fingerprint("x", "") {
+		t.Fatal("empty trailing part collides")
+	}
+}
+
+// FuzzDecode: arbitrary input must never panic or over-allocate, and any
+// input that decodes must re-encode to an image that decodes to the same
+// state.
+func FuzzDecode(f *testing.F) {
+	const fp = 99
+	f.Add(Encode(sampleState(), fp))
+	f.Add(Encode(&sim.StreamState{Shards: []sim.ShardState{{}}}, fp))
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data, fp)
+		if err != nil {
+			return
+		}
+		st2, err := Decode(Encode(st, fp), fp)
+		if err != nil {
+			t.Fatalf("re-decode of a decoded state failed: %v", err)
+		}
+		if !reflect.DeepEqual(st2, st) {
+			t.Fatalf("re-encode round trip diverges:\n got %+v\nwant %+v", st2, st)
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"idicn/internal/sim"
+	"idicn/internal/topo"
+	"idicn/internal/trace"
+)
+
+// errKill simulates the process dying right after a checkpoint hits disk.
+var errKill = errors.New("simulated crash")
+
+// drillWorkload mirrors the sim package's shard workload: warmup, capacity
+// windows, a failure plan, and nearest-replica routing, so every piece of
+// checkpointed state is live.
+func drillWorkload() (sim.Config, []trace.Request) {
+	net := topo.NewNetwork(topo.Abilene(), 2, 3)
+	const objects = 600
+	weights := net.Topo.PopulationWeights()
+	origins := trace.OriginAssignment(objects, weights, true, 11)
+	reqs := trace.NewSyntheticRequests(trace.StreamConfig{
+		Requests: 12000, Objects: objects, Alpha: 1.04,
+		PoPWeights: weights, Leaves: net.LeavesPerTree(), Seed: 13,
+	})
+	cfg := sim.ICNNR.Apply(sim.Config{
+		Network: net, Objects: objects, Origins: origins,
+		BudgetFraction: 0.05, BudgetPolicy: sim.BudgetProportional,
+		WarmupRequests: 3000, Capacity: 200, CapacityWindow: 2500,
+		FailurePlan: &sim.FailurePlan{
+			Seed: 99,
+			Epochs: []sim.FailureEpoch{
+				{Start: 4100, FailFraction: 0.3},
+				{Start: 7500, FailFraction: 0.1, ResolverDown: true},
+				{Start: 9000},
+			},
+		},
+	})
+	return cfg, reqs
+}
+
+// crashAt runs the workload with checkpoints persisted through a real Store,
+// killing the run right after the kill-th save, and returns the store.
+func crashAt(t *testing.T, cfg sim.Config, reqs []trace.Request, dir string, kill int) *Store {
+	t.Helper()
+	store, err := NewStore(dir, testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	_, err = sim.RunStream(cfg, trace.Requests(reqs), sim.StreamOptions{
+		Workers: 3, EpochLen: 1024, CheckpointEvery: 1,
+		Checkpoint: func(st *sim.StreamState) error {
+			if _, err := store.Save(st); err != nil {
+				return err
+			}
+			calls++
+			if calls == kill {
+				return errKill
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, errKill) {
+		t.Fatalf("kill=%d: RunStream returned %v, want the injected crash", kill, err)
+	}
+	return store
+}
+
+// resumeAndFinish loads the latest checkpoint from the store and runs the
+// stream to completion from it.
+func resumeAndFinish(t *testing.T, cfg sim.Config, reqs []trace.Request, store *Store, workers int) sim.Result {
+	t.Helper()
+	st, _, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunStream(cfg, trace.Requests(reqs), sim.StreamOptions{
+		Workers: workers, EpochLen: 1024, Resume: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCrashResumeDrill is the end-to-end crash-injection harness behind
+// `make crash-smoke`: kill the run after every checkpoint in turn — state
+// passing through the real on-disk store, not in-memory handoff — resume
+// from Latest, and require a Result bit-identical to an uninterrupted run.
+func TestCrashResumeDrill(t *testing.T) {
+	cfg, reqs := drillWorkload()
+	want, err := sim.RunStream(cfg, trace.Requests(reqs), sim.StreamOptions{Workers: 3, EpochLen: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count the checkpoints one interrupted-free pass produces.
+	total := 0
+	if _, err := sim.RunStream(cfg, trace.Requests(reqs), sim.StreamOptions{
+		Workers: 3, EpochLen: 1024, CheckpointEvery: 1,
+		Checkpoint: func(*sim.StreamState) error { total++; return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total < 10 {
+		t.Fatalf("only %d checkpoints fired", total)
+	}
+	for kill := 1; kill <= total; kill++ {
+		store := crashAt(t, cfg, reqs, t.TempDir(), kill)
+		got := resumeAndFinish(t, cfg, reqs, store, 3)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("kill=%d: resumed result diverges:\n got %+v\nwant %+v", kill, got, want)
+		}
+	}
+}
+
+// TestCrashResumeDrillTornFile: crash mid-write — the newest checkpoint file
+// is torn at an arbitrary byte — and the resume must fall back to the
+// previous snapshot and still reproduce the uninterrupted result exactly.
+func TestCrashResumeDrillTornFile(t *testing.T) {
+	cfg, reqs := drillWorkload()
+	want, err := sim.RunStream(cfg, trace.Requests(reqs), sim.StreamOptions{Workers: 3, EpochLen: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, kill := range []int{3, 6, 9} {
+		store := crashAt(t, cfg, reqs, t.TempDir(), kill)
+		names, err := store.files()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) < 2 {
+			t.Fatalf("kill=%d: %d files on disk, want 2", kill, len(names))
+		}
+		newest := filepath.Join(store.Dir(), names[len(names)-1])
+		data, err := os.ReadFile(newest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := (i + 1) * len(data) / 4
+		if err := os.WriteFile(newest, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := resumeAndFinish(t, cfg, reqs, store, 3)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("kill=%d torn at %d/%d: resumed result diverges", kill, cut, len(data))
+		}
+	}
+}
+
+// TestCrashResumeDrillEmptyStoreStartsFresh: resuming with nothing on disk
+// is a fresh start, the icnsim -resume convenience path.
+func TestCrashResumeDrillEmptyStoreStartsFresh(t *testing.T) {
+	store, err := NewStore(t.TempDir(), testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Latest: %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// TestCrashResumeDrillProcessBoundary re-decodes the checkpoint bytes as a
+// fresh process would (no shared memory with the killed run) and verifies
+// the resumed result, guarding against accidental reliance on aliased state.
+func TestCrashResumeDrillProcessBoundary(t *testing.T) {
+	cfg, reqs := drillWorkload()
+	want, err := sim.RunStream(cfg, trace.Requests(reqs), sim.StreamOptions{Workers: 2, EpochLen: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	crashAt(t, cfg, reqs, dir, 5)
+	// A brand-new Store over the same directory, as a restarted process sees.
+	store, err := NewStore(dir, testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resumeAndFinish(t, cfg, reqs, store, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("process-boundary resume diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCheckpointFingerprintWiring sanity-checks the fingerprint helper the
+// CLI builds its run identity from: order and content both matter.
+func TestCheckpointFingerprintWiring(t *testing.T) {
+	a := Fingerprint("att", "2", "3", "ICN-NR")
+	b := Fingerprint("att", "2", "3", "ICN-SP")
+	c := Fingerprint("att", "3", "2", "ICN-NR")
+	if a == b || a == c || b == c {
+		t.Fatalf("fingerprints collide: %x %x %x", a, b, c)
+	}
+	if a != Fingerprint("att", "2", "3", "ICN-NR") {
+		t.Fatal("fingerprint is not deterministic")
+	}
+}

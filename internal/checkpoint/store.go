@@ -1,0 +1,175 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"idicn/internal/sim"
+)
+
+// fileExt is the checkpoint file suffix; files are named by zero-padded
+// request index so lexical order is progress order.
+const fileExt = ".icnck"
+
+// ErrNoCheckpoint reports an empty store: nothing to resume from.
+var ErrNoCheckpoint = errors.New("checkpoint: no usable checkpoint in store")
+
+// Store is a directory of checkpoint files written atomically (temp file,
+// checksum, rename) and pruned to the newest few. Keeping at least two means
+// a crash while writing checkpoint N — even one that survives the rename
+// with a torn tail via filesystem reordering — still leaves N-1 intact, and
+// Latest falls back to it.
+type Store struct {
+	dir         string
+	fingerprint uint64
+	keep        int
+	fsync       bool
+}
+
+// NewStore opens (creating if needed) a checkpoint directory. fingerprint is
+// the run-identity hash (Fingerprint) stamped into every file and verified
+// on load. keep is how many recent checkpoints to retain; values below 2 are
+// raised to 2, the minimum that makes torn-write fallback possible.
+func NewStore(dir string, fingerprint uint64, keep int) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating store: %w", err)
+	}
+	if keep < 2 {
+		keep = 2
+	}
+	return &Store{dir: dir, fingerprint: fingerprint, keep: keep}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetFsync controls whether Save fsyncs the data before the rename. Off by
+// default: a process crash (the drill harness's threat model) never loses
+// page-cache writes, and the trailing checksum plus keep>=2 pruning already
+// recover from a newest file torn by anything harsher. Turn it on when the
+// checkpoint must survive power loss or a kernel panic, and budget for it —
+// on filesystems with expensive fsync (overlayfs, network mounts) a synced
+// multi-megabyte save costs seconds of system time per checkpoint.
+func (s *Store) SetFsync(on bool) { s.fsync = on }
+
+func (s *Store) fileFor(requests int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ckpt-%016d%s", requests, fileExt))
+}
+
+// Save atomically persists st and prunes old checkpoints, returning the
+// file path written. The full image lands under a temp name before the
+// rename makes it visible, so a crash at any instant leaves either the
+// complete new file or no new file — never a short one under a valid name —
+// and the trailing checksum catches a torn file even if the filesystem
+// reorders the metadata (possible without SetFsync(true)); Latest then falls
+// back to the previous checkpoint.
+func (s *Store) Save(st *sim.StreamState) (string, error) {
+	data := Encode(st, s.fingerprint)
+	final := s.fileFor(st.Requests)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err == nil && s.fsync {
+		err = f.Sync()
+	}
+	if err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := s.prune(); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// Latest loads the most recent usable checkpoint, scanning newest-first and
+// skipping files that fail to read or decode — a torn newest file (crash
+// mid-write) falls back to the previous good one. It returns ErrNoCheckpoint
+// when the store holds no checkpoint files at all, and the last decode
+// failure when files exist but none is usable (all corrupt, or written by a
+// different configuration).
+func (s *Store) Latest() (*sim.StreamState, string, error) {
+	names, err := s.files()
+	if err != nil {
+		return nil, "", err
+	}
+	if len(names) == 0 {
+		return nil, "", ErrNoCheckpoint
+	}
+	var lastErr error
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(s.dir, names[i])
+		data, err := os.ReadFile(path)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		st, err := Decode(data, s.fingerprint)
+		if err != nil {
+			lastErr = fmt.Errorf("%s: %w", path, err)
+			continue
+		}
+		return st, path, nil
+	}
+	return nil, "", fmt.Errorf("checkpoint: no usable checkpoint among %d files: %w", len(names), lastErr)
+}
+
+// files returns the store's checkpoint file names in ascending (oldest
+// first) name order, ignoring temp files and foreign entries.
+func (s *Store) files() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, fileExt) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// prune removes all but the newest keep checkpoints, plus any stale temp
+// files left by a crashed writer.
+func (s *Store) prune() error {
+	names, err := s.files()
+	if err != nil {
+		return err
+	}
+	for _, name := range names[:max(0, len(names)-s.keep)] {
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("checkpoint: pruning: %w", err)
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, e := range entries {
+		if e.Type().IsRegular() && strings.HasSuffix(e.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return fmt.Errorf("checkpoint: pruning: %w", err)
+			}
+		}
+	}
+	return nil
+}

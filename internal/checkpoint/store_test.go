@@ -1,0 +1,176 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testFP = 0x1234
+
+func mustSave(t *testing.T, s *Store, requests int64) string {
+	t.Helper()
+	st := sampleState()
+	st.Requests = requests
+	path, err := s.Save(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStoreSaveLatestRoundTrip(t *testing.T) {
+	s, err := NewStore(t.TempDir(), testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := mustSave(t, s, 5000)
+	st, got, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != path {
+		t.Fatalf("Latest path %s, want %s", got, path)
+	}
+	if st.Requests != 5000 {
+		t.Fatalf("Latest.Requests = %d, want 5000", st.Requests)
+	}
+}
+
+func TestStoreEmptyIsErrNoCheckpoint(t *testing.T) {
+	s, err := NewStore(t.TempDir(), testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Latest on an empty store: %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestStorePruneKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int64{1000, 2000, 3000, 4000} {
+		mustSave(t, s, r)
+	}
+	names, err := s.files()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("store holds %d files after prune, want 2: %v", len(names), names)
+	}
+	if !strings.Contains(names[1], "4000") || !strings.Contains(names[0], "3000") {
+		t.Fatalf("pruned to the wrong files: %v", names)
+	}
+}
+
+// TestStoreTornNewestFallsBack is the crash-mid-write story: truncate the
+// newest file as a torn write would, and Latest must fall back to the
+// previous good checkpoint.
+func TestStoreTornNewestFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, s, 1000)
+	newest := mustSave(t, s, 2000)
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, len(data) / 2, len(data) - 1} {
+		if err := os.WriteFile(newest, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, path, err := s.Latest()
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if st.Requests != 1000 {
+			t.Fatalf("cut=%d: fell back to Requests=%d via %s, want 1000", cut, st.Requests, path)
+		}
+	}
+}
+
+// TestStoreIgnoresForeignFiles: garbage with a checkpoint-like name is
+// skipped; files without the naming scheme are not even considered.
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, s, 1000)
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-9999999999999999.icnck"), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1000 {
+		t.Fatalf("Latest.Requests = %d, want 1000", st.Requests)
+	}
+}
+
+// TestStoreFingerprintMismatchIsFatal: a store full of another run's
+// checkpoints must refuse, not resume the wrong run.
+func TestStoreFingerprintMismatchIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, s, 1000)
+	other, err := NewStore(dir, testFP+1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := other.Latest(); !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("Latest across fingerprints: %v, want ErrFingerprint", err)
+	}
+}
+
+// TestStoreSaveCleansStrayTemp: a .tmp left by a crashed writer disappears
+// on the next successful save.
+func TestStoreSaveCleansStrayTemp(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, "ckpt-0000000000000500.icnck.tmp")
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, s, 1000)
+	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stray temp file survived a save: %v", err)
+	}
+}
+
+func TestStoreFsyncedSaveRoundTrips(t *testing.T) {
+	s, err := NewStore(t.TempDir(), testFP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFsync(true)
+	mustSave(t, s, 1000)
+	st, _, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1000 {
+		t.Fatalf("Latest.Requests = %d, want 1000", st.Requests)
+	}
+}

@@ -80,6 +80,13 @@ const (
 	// count-min sketch with periodic halving): one-hit wonders are denied
 	// entry instead of displacing proven content.
 	PolicyTinyLFU
+	// PolicyTinyLFUARC composes the TinyLFU admission filter over an ARC
+	// victim cache: admission screens one-hit wonders, ARC adapts the
+	// recency/frequency split of what gets in.
+	PolicyTinyLFUARC
+	// PolicyTinyLFUCAR composes the TinyLFU admission filter over Compact
+	// CAR, pairing the sketch-guarded door with the reference-bit hit path.
+	PolicyTinyLFUCAR
 )
 
 // String returns the policy's display name, used in sweep tables and flag
@@ -96,12 +103,16 @@ func (p CachePolicy) String() string {
 		return "CAR"
 	case PolicyTinyLFU:
 		return "TinyLFU"
+	case PolicyTinyLFUARC:
+		return "TinyLFU+ARC"
+	case PolicyTinyLFUCAR:
+		return "TinyLFU+CAR"
 	}
 	return "CachePolicy(?)"
 }
 
 // ParseCachePolicy resolves an icnsim -policy flag value (lru, lfu, arc,
-// car, tinylfu; case-insensitive).
+// car, tinylfu, tinylfu+arc, tinylfu+car; case-insensitive).
 func ParseCachePolicy(s string) (CachePolicy, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "lru":
@@ -114,13 +125,17 @@ func ParseCachePolicy(s string) (CachePolicy, error) {
 		return PolicyCAR, nil
 	case "tinylfu", "tlfu":
 		return PolicyTinyLFU, nil
+	case "tinylfu+arc", "tlfu+arc":
+		return PolicyTinyLFUARC, nil
+	case "tinylfu+car", "tlfu+car":
+		return PolicyTinyLFUCAR, nil
 	}
-	return PolicyLRU, fmt.Errorf("sim: unknown cache policy %q (want lru, lfu, arc, car, or tinylfu)", s)
+	return PolicyLRU, fmt.Errorf("sim: unknown cache policy %q (want lru, lfu, arc, car, tinylfu, tinylfu+arc, or tinylfu+car)", s)
 }
 
 // CachePolicies returns every policy in sweep order.
 func CachePolicies() []CachePolicy {
-	return []CachePolicy{PolicyLRU, PolicyLFU, PolicyARC, PolicyCAR, PolicyTinyLFU}
+	return []CachePolicy{PolicyLRU, PolicyLFU, PolicyARC, PolicyCAR, PolicyTinyLFU, PolicyTinyLFUARC, PolicyTinyLFUCAR}
 }
 
 // LatencyModel selects per-hop latency costs (§5.1 "Other parameters").

@@ -369,6 +369,10 @@ func (e *Engine) newStore(node topo.NodeID, capEntries int, slots, meanSize floa
 		return cache.NewCAR(capEntries, onEvict)
 	case PolicyTinyLFU:
 		return cache.NewTinyLFULRU(capEntries, onEvict)
+	case PolicyTinyLFUARC:
+		return cache.NewTinyLFU(cache.NewARC(capEntries, onEvict), capEntries)
+	case PolicyTinyLFUCAR:
+		return cache.NewTinyLFU(cache.NewCAR(capEntries, onEvict), capEntries)
 	default:
 		return cache.NewIntLRU(capEntries, onEvict)
 	}

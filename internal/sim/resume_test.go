@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"idicn/internal/trace"
+)
+
+// errKill is the sentinel a checkpoint hook returns to simulate a crash
+// immediately after a checkpoint is persisted.
+var errKill = errors.New("simulated crash")
+
+// runUntilKill runs the stream with a checkpoint after every epoch, crashing
+// right after the kill-th checkpoint completes, and returns that checkpoint.
+func runUntilKill(t *testing.T, cfg Config, reqs []Request, workers, kill int) *StreamState {
+	t.Helper()
+	var saved *StreamState
+	calls := 0
+	_, err := RunStream(cfg, trace.Requests(reqs), StreamOptions{
+		Workers: workers, EpochLen: 1024,
+		CheckpointEvery: 1,
+		Checkpoint: func(st *StreamState) error {
+			calls++
+			saved = st
+			if calls == kill {
+				return errKill
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, errKill) {
+		t.Fatalf("kill=%d: RunStream returned %v, want the injected crash", kill, err)
+	}
+	if saved == nil {
+		t.Fatalf("kill=%d: no checkpoint captured", kill)
+	}
+	return saved
+}
+
+// countCheckpoints runs the stream once, recording every epoch boundary a
+// checkpoint fires at. Boundaries are not uniform multiples of EpochLen: the
+// scheduler cuts extra barriers at warmup, capacity-window, and failure-epoch
+// starts.
+func countCheckpoints(t *testing.T, cfg Config, reqs []Request, workers int) []int64 {
+	t.Helper()
+	var cuts []int64
+	if _, err := RunStream(cfg, trace.Requests(reqs), StreamOptions{
+		Workers: workers, EpochLen: 1024, CheckpointEvery: 1,
+		Checkpoint: func(st *StreamState) error {
+			cuts = append(cuts, st.Requests)
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cuts
+}
+
+// TestRunStreamResumeBitIdentical is the tentpole acceptance test: kill the
+// run after each checkpoint in turn, resume from that checkpoint, and
+// require the final Result to be bit-identical — floats included — to an
+// uninterrupted run. The workload exercises warmup, capacity windows, a
+// failure plan, and (under ICN-NR) the cross-shard replica index. Every
+// epoch boundary is swept at two workers; other worker counts spot-check
+// the first, a middle, and the final boundary.
+func TestRunStreamResumeBitIdentical(t *testing.T) {
+	cfg, reqs := shardWorkload(t)
+	for _, d := range []Design{EDGECoop, ICNNR} {
+		dcfg := d.Apply(cfg)
+		cuts := countCheckpoints(t, dcfg, reqs, 2)
+		if len(cuts) < 10 {
+			t.Fatalf("%s: only %d checkpoints fired", d.Name, len(cuts))
+		}
+		for _, workers := range []int{1, 2, runtime.NumCPU()} {
+			kills := []int{1, len(cuts) / 2, len(cuts)}
+			if workers == 2 {
+				kills = kills[:0]
+				for k := 1; k <= len(cuts); k++ {
+					kills = append(kills, k)
+				}
+			}
+			t.Run(fmt.Sprintf("%s/workers=%d", d.Name, workers), func(t *testing.T) {
+				want, err := RunStream(dcfg, trace.Requests(reqs), StreamOptions{Workers: workers, EpochLen: 1024})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, kill := range kills {
+					st := runUntilKill(t, dcfg, reqs, workers, kill)
+					if st.Requests != cuts[kill-1] {
+						t.Fatalf("kill=%d: checkpoint at request %d, want %d", kill, st.Requests, cuts[kill-1])
+					}
+					got, err := RunStream(dcfg, trace.Requests(reqs), StreamOptions{
+						Workers: workers, EpochLen: 1024, Resume: st,
+					})
+					if err != nil {
+						t.Fatalf("kill=%d: resume: %v", kill, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("kill=%d: resumed result diverges:\n got %+v\nwant %+v", kill, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunStreamResumeAcrossWorkerCounts: a checkpoint taken at one worker
+// count must resume correctly at another — shard state is per-PoP, not
+// per-worker.
+func TestRunStreamResumeAcrossWorkerCounts(t *testing.T) {
+	cfg, reqs := shardWorkload(t)
+	dcfg := ICNNR.Apply(cfg)
+	want, err := RunStream(dcfg, trace.Requests(reqs), StreamOptions{Workers: 1, EpochLen: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runUntilKill(t, dcfg, reqs, 4, 7)
+	got, err := RunStream(dcfg, trace.Requests(reqs), StreamOptions{Workers: 2, EpochLen: 1024, Resume: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resume at a different worker count diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRunStreamResumeFromBinaryTrace: resume mid-way through a binary trace
+// file, exercising BinaryReader.SeekPos inside RunStream.
+func TestRunStreamResumeFromBinaryTrace(t *testing.T) {
+	cfg, reqs := shardWorkload(t)
+	dcfg := EDGECoop.Apply(cfg)
+	want, err := RunStream(dcfg, trace.Requests(reqs), StreamOptions{Workers: 2, EpochLen: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := encodeBinaryTrace(t, cfg, reqs)
+	var saved *StreamState
+	calls := 0
+	_, err = RunStream(dcfg, newBinaryReader(t, data), StreamOptions{
+		Workers: 2, EpochLen: 1024, CheckpointEvery: 1,
+		Checkpoint: func(st *StreamState) error {
+			calls++
+			saved = st
+			if calls == 5 {
+				return errKill
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, errKill) {
+		t.Fatalf("RunStream returned %v, want the injected crash", err)
+	}
+	got, err := RunStream(dcfg, newBinaryReader(t, data), StreamOptions{
+		Workers: 2, EpochLen: 1024, Resume: saved,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("binary-trace resume diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRunStreamResumeRejectsMismatchedEpochLen: the epoch length shapes the
+// barrier schedule and with it the exact result, so resuming under a
+// different one must fail loudly.
+func TestRunStreamResumeRejectsMismatchedEpochLen(t *testing.T) {
+	cfg, reqs := shardWorkload(t)
+	dcfg := EDGECoop.Apply(cfg)
+	st := runUntilKill(t, dcfg, reqs, 2, 3)
+	if _, err := RunStream(dcfg, trace.Requests(reqs), StreamOptions{
+		Workers: 2, EpochLen: 2048, Resume: st,
+	}); err == nil {
+		t.Fatal("resume with a different EpochLen accepted")
+	}
+}
+
+// TestRunStreamCheckpointRequiresResumableStream: checkpointing over a
+// non-resumable source must fail up front, not at the first save.
+func TestRunStreamCheckpointRequiresResumableStream(t *testing.T) {
+	cfg, reqs := shardWorkload(t)
+	dcfg := EDGECoop.Apply(cfg)
+	src := nonResumable{s: trace.Requests(reqs)}
+	_, err := RunStream(dcfg, src, StreamOptions{
+		Workers: 2, EpochLen: 1024,
+		Checkpoint: func(*StreamState) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("checkpointing over a non-resumable stream accepted")
+	}
+}
+
+// nonResumable strips the ResumableStream methods off a Stream.
+type nonResumable struct{ s trace.Stream }
+
+func (n nonResumable) Next(q *trace.Request) bool { return n.s.Next(q) }
+func (n nonResumable) Err() error                 { return n.s.Err() }
+
+// encodeBinaryTrace writes reqs as a binary trace image for cfg's topology.
+func encodeBinaryTrace(t *testing.T, cfg Config, reqs []Request) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	meta := trace.BinaryMeta{
+		PoPs: cfg.Network.PoPs(), Leaves: cfg.Network.LeavesPerTree(),
+		Objects: cfg.Objects, Requests: int64(len(reqs)),
+	}
+	if err := trace.WriteBinaryTrace(&buf, meta, trace.Requests(reqs)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// newBinaryReader opens a seekable reader over a binary trace image.
+func newBinaryReader(t *testing.T, data []byte) *trace.BinaryReader {
+	t.Helper()
+	br, err := trace.NewBinaryReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return br
+}

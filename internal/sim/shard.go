@@ -28,6 +28,23 @@ type StreamOptions struct {
 	// Observer receives events from every shard. Since shards run
 	// concurrently, a non-nil Observer must be safe for concurrent use.
 	Observer Observer
+
+	// Checkpoint, when non-nil, is invoked at epoch barriers with the run's
+	// complete frozen state; a non-nil error aborts the run. Requires src to
+	// implement trace.ResumableStream (the state must include an exact trace
+	// position). The callback runs on the simulation goroutine — the whole
+	// run is paused while it persists the state.
+	Checkpoint func(*StreamState) error
+	// CheckpointEvery is the minimum number of requests between Checkpoint
+	// calls; <= 0 checkpoints at every barrier. The actual spacing rounds up
+	// to epoch boundaries.
+	CheckpointEvery int64
+	// Resume, when non-nil, restores a state captured by Checkpoint and
+	// continues the run from it. The Config and EpochLen must be identical
+	// to the checkpointed run's, and src must implement
+	// trace.ResumableStream; the final Result is then bit-identical to an
+	// uninterrupted run's at any worker count.
+	Resume *StreamState
 }
 
 // remoteOp is one buffered effect on a node owned by another shard: a serve
@@ -223,6 +240,7 @@ func (e *Engine) clearRootBit(pop int, obj int32) {
 type epochBatch struct {
 	start, end int64 // request indices [start, end)
 	per        [][]Request
+	pos        trace.StreamPos // stream position at end, when checkpointing
 	err        error
 	eof        bool
 }
@@ -261,6 +279,40 @@ func RunStream(cfg Config, src trace.Stream, opt StreamOptions) (Result, error) 
 	plan := engines[0].cfg.FailurePlan
 	capWindow := int64(engines[0].cfg.CapacityWindow)
 
+	// Checkpointing needs the reader to capture exact trace positions, and
+	// resuming needs to seek to one; both require a resumable stream.
+	var rsrc trace.ResumableStream
+	if opt.Checkpoint != nil || opt.Resume != nil {
+		rs, ok := src.(trace.ResumableStream)
+		if !ok {
+			return Result{}, fmt.Errorf("sim: checkpoint/resume requires a resumable trace stream, got %T", src)
+		}
+		rsrc = rs
+	}
+
+	var snaps []*snapshot
+	var total int64
+	var resumeAt int64
+	if opt.Resume != nil {
+		st := opt.Resume
+		if st.EpochLen != epochLen {
+			return Result{}, fmt.Errorf("sim: checkpoint epoch length %d, run uses %d (EpochLen is part of a streaming result's identity)", st.EpochLen, epochLen)
+		}
+		snaps, err = thawStream(engines, shared, st)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := rsrc.SeekPos(st.TracePos); err != nil {
+			return Result{}, fmt.Errorf("sim: resuming trace stream: %w", err)
+		}
+		total, resumeAt = st.Requests, st.Requests
+	}
+	ckptEvery := opt.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = 1
+	}
+	lastCkpt := resumeAt
+
 	// The reader goroutine fills epoch batches ahead of the simulation;
 	// the free list bounds it to a handful of epochs in flight.
 	free := make(chan *epochBatch, 3)
@@ -269,13 +321,22 @@ func RunStream(cfg Config, src trace.Stream, opt StreamOptions) (Result, error) 
 		free <- &epochBatch{per: per}
 	}
 	ready := make(chan *epochBatch, cap(free))
+	// stop aborts the reader mid-stream when the simulation side fails (a
+	// checkpoint write error): batches stop coming back to the free list, so
+	// without it the reader would block there forever.
+	stop := make(chan struct{})
 	go func() {
 		defer close(ready)
-		var pos int64
+		pos := resumeAt
 		epIdx := 0
 		var q Request
 		for {
-			b := <-free
+			var b *epochBatch
+			select {
+			case b = <-free:
+			case <-stop:
+				return
+			}
 			b.start, b.err, b.eof = pos, nil, false
 			for p := range b.per {
 				b.per[p] = b.per[p][:0]
@@ -308,6 +369,13 @@ func RunStream(cfg Config, src trace.Stream, opt StreamOptions) (Result, error) 
 				pos++
 			}
 			b.end = pos
+			if opt.Checkpoint != nil {
+				// Captured here, not at the barrier: the reader prefetches
+				// batches ahead of the simulation, so the live stream position
+				// at barrier time belongs to a later epoch. The channel send
+				// below orders this write before the consumer's read.
+				b.pos = rsrc.Pos()
+			}
 			ready <- b
 			if b.eof {
 				return
@@ -315,8 +383,6 @@ func RunStream(cfg Config, src trace.Stream, opt StreamOptions) (Result, error) 
 		}
 	}()
 
-	var snaps []*snapshot
-	var total int64
 	var runErr error
 	for b := range ready {
 		if b.err != nil {
@@ -342,6 +408,17 @@ func RunStream(cfg Config, src trace.Stream, opt StreamOptions) (Result, error) 
 			runEpoch(engines, b.per, workers)
 			exchange(engines, shared)
 			total = b.end
+			if opt.Checkpoint != nil && b.end-lastCkpt >= ckptEvery {
+				st, err := freezeStream(engines, shared, b.pos, b.end, epochLen, snaps)
+				if err == nil {
+					err = opt.Checkpoint(st)
+				}
+				if err != nil {
+					runErr = fmt.Errorf("sim: checkpoint at request %d: %w", b.end, err)
+					break
+				}
+				lastCkpt = b.end
+			}
 		}
 		eof := b.eof
 		select {
@@ -352,6 +429,7 @@ func RunStream(cfg Config, src trace.Stream, opt StreamOptions) (Result, error) 
 			break
 		}
 	}
+	close(stop)
 	for range ready {
 		// Drain so the reader goroutine exits.
 	}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// StreamPos identifies an exact position in a Stream, sufficient to rebuild
+// the stream mid-flight: the request count covers deterministic generators,
+// and the byte offset plus delta-decoder state cover binary trace files. It
+// is the trace half of a simulation checkpoint (internal/checkpoint).
+type StreamPos struct {
+	Requests int64 // requests consumed so far
+	Offset   int64 // byte offset into the underlying file (binary traces only)
+	PrevObj  int64 // delta-decoding state at Offset (binary traces only)
+}
+
+// ResumableStream is a Stream whose position can be captured and later
+// restored, so a consumer killed mid-stream can continue from where it
+// stopped with the remaining requests identical to an uninterrupted pass.
+//
+// Pos is only meaningful between complete Next calls. SeekPos repositions
+// the stream so the next Next call produces request Pos.Requests of the
+// original sequence; it fails if the position cannot be reached (an
+// unseekable underlying reader, or a position beyond the stream).
+type ResumableStream interface {
+	Stream
+	Pos() StreamPos
+	SeekPos(StreamPos) error
+}
+
+// Pos returns the current position of the slice stream.
+func (s *sliceStream) Pos() StreamPos { return StreamPos{Requests: int64(s.i)} }
+
+// SeekPos repositions the slice stream to an absolute request index.
+func (s *sliceStream) SeekPos(p StreamPos) error {
+	if p.Requests < 0 || p.Requests > int64(len(s.reqs)) {
+		return fmt.Errorf("trace: seek to request %d outside [0, %d]", p.Requests, len(s.reqs))
+	}
+	s.i = int(p.Requests)
+	return nil
+}
+
+// Pos returns the current position of the synthetic generator.
+func (s *synthStream) Pos() StreamPos { return StreamPos{Requests: int64(s.emitted)} }
+
+// SeekPos repositions the generator by rebuilding it from its config and
+// replaying p.Requests draws. The generator is deterministic, so the replay
+// reproduces the PRNG and per-leaf recency-window state exactly; the cost is
+// linear in the target position (tens of nanoseconds per request), which a
+// resume pays once.
+func (s *synthStream) SeekPos(p StreamPos) error {
+	if p.Requests < 0 || p.Requests > int64(s.cfg.Requests) {
+		return fmt.Errorf("trace: seek to request %d outside [0, %d]", p.Requests, s.cfg.Requests)
+	}
+	ns := newSynthStream(s.cfg)
+	var q Request
+	for int64(ns.emitted) < p.Requests {
+		if !ns.Next(&q) {
+			return fmt.Errorf("trace: synthetic replay ended at request %d of %d", ns.emitted, p.Requests)
+		}
+	}
+	*s = *ns
+	return nil
+}
+
+// Pos returns the reader's position: records decoded, the byte offset of the
+// next undecoded record (buffered-but-unconsumed bytes are not part of the
+// position), and the delta-decoder state at that offset.
+func (br *BinaryReader) Pos() StreamPos {
+	return StreamPos{
+		Requests: br.read,
+		Offset:   br.cr.n - int64(br.r.Buffered()),
+		PrevObj:  br.prevObj,
+	}
+}
+
+// SeekPos repositions the reader to a position previously captured by Pos.
+// The underlying reader must implement io.Seeker (an *os.File or
+// *bytes.Reader does; a pipe does not). Any sticky decode error is cleared:
+// the seek target is by construction a clean record boundary.
+func (br *BinaryReader) SeekPos(p StreamPos) error {
+	seeker, ok := br.src.(io.Seeker)
+	if !ok {
+		return errors.New("trace: underlying reader is not seekable")
+	}
+	if p.Requests < 0 || (br.meta.Requests > 0 && p.Requests > br.meta.Requests) {
+		return fmt.Errorf("trace: seek to request %d outside [0, %d]", p.Requests, br.meta.Requests)
+	}
+	if p.Offset < int64(len(BinaryMagic)) {
+		return fmt.Errorf("trace: seek offset %d inside the header", p.Offset)
+	}
+	// Seeking past EOF succeeds silently on every io.Seeker, so bound the
+	// offset against the source size first.
+	size, err := seeker.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("trace: sizing source: %w", err)
+	}
+	if p.Offset > size {
+		return fmt.Errorf("trace: seek offset %d beyond source end %d", p.Offset, size)
+	}
+	if _, err := seeker.Seek(p.Offset, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: seeking to offset %d: %w", p.Offset, err)
+	}
+	br.cr.n = p.Offset
+	br.r.Reset(br.cr)
+	br.read = p.Requests
+	br.prevObj = p.PrevObj
+	br.err = nil
+	br.done = false
+	return nil
+}

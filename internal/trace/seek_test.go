@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seekStreamConfig is a small synthetic workload with every generator
+// feature on, so a replayed seek has real state to reconstruct.
+func seekStreamConfig() StreamConfig {
+	return StreamConfig{
+		Requests: 5000, Objects: 300, Alpha: 0.9,
+		SpatialSkew: 0.5, PoPWeights: []float64{0.5, 0.3, 0.2},
+		Leaves: 4, Seed: 17, TemporalLocality: 0.4, Users: 50,
+	}
+}
+
+// drain reads n requests, failing the test on a short stream.
+func drain(t *testing.T, s Stream, n int) []Request {
+	t.Helper()
+	out := make([]Request, 0, n)
+	var q Request
+	for len(out) < n {
+		if !s.Next(&q) {
+			t.Fatalf("stream ended after %d of %d requests (err %v)", len(out), n, s.Err())
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// checkSeekEquivalence reads the whole stream once recording the suffix
+// after the cut, then seeks a fresh stream to the recorded position and
+// verifies the suffix is reproduced exactly.
+func checkSeekEquivalence(t *testing.T, s, fresh ResumableStream, cut, total int) {
+	t.Helper()
+	drain(t, s, cut)
+	pos := s.Pos()
+	if pos.Requests != int64(cut) {
+		t.Fatalf("Pos().Requests = %d after %d reads", pos.Requests, cut)
+	}
+	want := drain(t, s, total-cut)
+	if err := fresh.SeekPos(pos); err != nil {
+		t.Fatalf("SeekPos(%+v): %v", pos, err)
+	}
+	got := drain(t, fresh, total-cut)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("request %d after seek: got %+v, want %+v", cut+i, got[i], want[i])
+		}
+	}
+	var q Request
+	if fresh.Next(&q) || fresh.Err() != nil {
+		t.Fatalf("seeked stream did not end with the original (err %v)", fresh.Err())
+	}
+}
+
+func TestSyntheticSeekPos(t *testing.T) {
+	cfg := seekStreamConfig()
+	for _, cut := range []int{0, 1, 137, 2500, cfg.Requests - 1, cfg.Requests} {
+		s := Synthetic(cfg).(ResumableStream)
+		fresh := Synthetic(cfg).(ResumableStream)
+		checkSeekEquivalence(t, s, fresh, cut, cfg.Requests)
+	}
+}
+
+func TestSliceStreamSeekPos(t *testing.T) {
+	reqs := NewSyntheticRequests(seekStreamConfig())
+	for _, cut := range []int{0, 1, 1234, len(reqs)} {
+		s := Requests(reqs).(ResumableStream)
+		fresh := Requests(reqs).(ResumableStream)
+		checkSeekEquivalence(t, s, fresh, cut, len(reqs))
+	}
+}
+
+// binaryTraceBytes encodes the config's synthetic requests as a binary
+// trace image.
+func binaryTraceBytes(t *testing.T, cfg StreamConfig) ([]byte, []Request) {
+	t.Helper()
+	reqs := NewSyntheticRequests(cfg)
+	var buf bytes.Buffer
+	meta := BinaryMeta{
+		PoPs: len(cfg.PoPWeights), Leaves: cfg.Leaves,
+		Objects: cfg.Objects, Requests: int64(len(reqs)),
+	}
+	if err := WriteBinaryTrace(&buf, meta, Requests(reqs)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), reqs
+}
+
+func TestBinaryReaderSeekPos(t *testing.T) {
+	cfg := seekStreamConfig()
+	data, reqs := binaryTraceBytes(t, cfg)
+	for _, cut := range []int{0, 1, 999, len(reqs)} {
+		br, err := NewBinaryReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewBinaryReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSeekEquivalence(t, br, fresh, cut, len(reqs))
+	}
+}
+
+// TestBinaryReaderSeekPosRejectsBadPositions: offsets before the header or
+// past the source, and mismatched request counts, must be refused before any
+// state is disturbed.
+func TestBinaryReaderSeekPosRejectsBadPositions(t *testing.T) {
+	cfg := seekStreamConfig()
+	data, _ := binaryTraceBytes(t, cfg)
+	br, err := NewBinaryReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := br.Pos()
+	for name, pos := range map[string]StreamPos{
+		"negative-requests": {Requests: -1, Offset: good.Offset},
+		"tiny-offset":       {Requests: 0, Offset: 1},
+		"huge-offset":       {Requests: 0, Offset: int64(len(data)) + 100},
+	} {
+		if err := br.SeekPos(pos); err == nil {
+			t.Errorf("%s: SeekPos(%+v) accepted", name, pos)
+		}
+	}
+}
+
+// TestBinaryReaderSeekPosRequiresSeeker: a reader over a non-seekable source
+// reports a usable error instead of corrupting its position.
+func TestBinaryReaderSeekPosRequiresSeeker(t *testing.T) {
+	cfg := seekStreamConfig()
+	data, _ := binaryTraceBytes(t, cfg)
+	br, err := NewBinaryReader(bytes.NewBuffer(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := br.SeekPos(br.Pos()); err == nil {
+		t.Fatal("SeekPos over a non-seekable source accepted")
+	}
+}
