@@ -16,9 +16,12 @@ check: fmtcheck lint vet build test race chaos-smoke overload-smoke crash-smoke 
 ALLOC_GATE_AWK = /^BenchmarkServeRequest\// && $$NF == "allocs/op" && $$(NF-1)+0 >= 0.5 { bad = 1; print "alloc-gate: FAIL: serve path allocates: " $$0 } END { exit bad }
 
 # Project-invariant static analysis (see README "Static analysis"): the
-# icnvet suite must report zero findings on the repository.
+# icnvet suite must report zero findings on the repository. LINT_JSON=1
+# switches to one JSON object per finding per line, for tooling that
+# consumes the gate's output (CI annotations, dashboards).
+LINT_FLAGS = $(if $(LINT_JSON),-json)
 lint:
-	$(GO) run ./cmd/icnvet ./...
+	$(GO) run ./cmd/icnvet $(LINT_FLAGS) ./...
 
 fmtcheck:
 	@unformatted="$$(gofmt -l .)"; \

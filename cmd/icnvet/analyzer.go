@@ -29,7 +29,7 @@ type Pass struct {
 	Run  func(u *Unit) []Finding
 }
 
-// passes returns the full suite in reporting order.
+// passes returns the per-unit suite in reporting order.
 func passes() []Pass {
 	return []Pass{
 		{Name: "noalloc", Doc: "functions marked //icn:noalloc must not contain allocating constructs", Run: runNoalloc},
@@ -39,7 +39,42 @@ func passes() []Pass {
 		{Name: "errcheck-lite", Doc: "error returns from io/os/net/encoding calls must be checked", Run: runErrcheckLite},
 		{Name: "metricname", Doc: "obs metric names are snake_case with _total/_seconds suffixes", Run: runMetricname},
 		{Name: "boundedqueue", Doc: "channels on handler-reachable paths need explicit capacity and non-blocking sends", Run: runBoundedqueue},
+		{Name: "guardedby", Doc: "fields marked //icn:guardedby <mu> are only touched with the named lock held", Run: runGuardedby},
+		{Name: "atomichygiene", Doc: "fields accessed via sync/atomic are never mixed with plain loads/stores", Run: runAtomichygiene},
 	}
+}
+
+// ModulePass is a check that needs the whole module at once (cross-package
+// reachability); unit-at-a-time passes stay in passes().
+type ModulePass struct {
+	Name string
+	Doc  string
+	Run  func(m *Module) []Finding
+}
+
+// modulePasses returns the module-wide suite.
+func modulePasses() []ModulePass {
+	return []ModulePass{
+		{Name: "golifetime", Doc: "goroutines reachable from handlers, RunStream, or main must have a bounded lifetime", Run: runGolifetime},
+	}
+}
+
+// stalePass is the synthesized pass name for suppressions that suppress
+// nothing; it has no Run of its own — runUnits derives its findings from
+// ignore-directive usage.
+const stalePass = "stalesuppress"
+
+// passNames returns every reportable pass name, for validating ignore
+// directives.
+func passNames() map[string]bool {
+	out := map[string]bool{stalePass: true}
+	for _, p := range passes() {
+		out[p.Name] = true
+	}
+	for _, p := range modulePasses() {
+		out[p.Name] = true
+	}
+	return out
 }
 
 // finding builds a Finding at pos.
@@ -48,17 +83,42 @@ func (u *Unit) finding(pass string, pos token.Pos, format string, args ...any) F
 	return Finding{Pass: pass, File: p.Filename, Line: p.Line, Col: p.Column, Message: fmt.Sprintf(format, args...)}
 }
 
-// runUnit runs every pass over u and drops findings silenced by an
-// //icnvet:ignore directive.
-func runUnit(u *Unit) []Finding {
-	ignored := ignoreDirectives(u)
+// runUnits is the whole suite: every per-unit pass over every unit, the
+// module passes over all of them together, //icnvet:ignore filtering, and —
+// because an escape hatch that excuses nothing is itself rot — a stale-
+// suppression sweep turning unused directives into findings.
+func runUnits(units []*Unit) []Finding {
+	m := newModule(units)
+	idx, directives := collectIgnores(units)
 	var out []Finding
-	for _, p := range passes() {
-		for _, f := range p.Run(u) {
-			if ignored[ignoreKey{file: f.File, line: f.Line, pass: f.Pass}] {
-				continue
+	keep := func(f Finding) {
+		if d, ok := idx[ignoreKey{file: f.File, line: f.Line, pass: f.Pass}]; ok {
+			d.used = true
+			return
+		}
+		out = append(out, f)
+	}
+	for _, u := range units {
+		for _, p := range passes() {
+			for _, f := range p.Run(u) {
+				keep(f)
 			}
-			out = append(out, f)
+		}
+	}
+	for _, p := range modulePasses() {
+		for _, f := range p.Run(m) {
+			keep(f)
+		}
+	}
+	known := passNames()
+	for _, d := range directives {
+		switch {
+		case !known[d.pass]:
+			out = append(out, Finding{Pass: stalePass, File: d.posn.Filename, Line: d.posn.Line, Col: d.posn.Column,
+				Message: fmt.Sprintf("//icnvet:ignore names unknown pass %q", d.pass)})
+		case !d.used:
+			out = append(out, Finding{Pass: stalePass, File: d.posn.Filename, Line: d.posn.Line, Col: d.posn.Column,
+				Message: fmt.Sprintf("//icnvet:ignore %s suppresses no finding; the code it excused is gone — remove it", d.pass)})
 		}
 	}
 	sortFindings(out)
@@ -87,28 +147,53 @@ type ignoreKey struct {
 	pass string
 }
 
-// ignoreDirectives collects //icnvet:ignore <pass>[,<pass>] comments. A
-// directive silences matching findings on its own line and on the line
-// directly below it (covering both trailing comments and standalone
-// comment lines above the flagged statement).
-func ignoreDirectives(u *Unit) map[ignoreKey]bool {
-	out := make(map[ignoreKey]bool)
-	for _, f := range u.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "//icnvet:ignore")
-				if !ok {
-					continue
-				}
-				pos := u.Fset.Position(c.Pos())
-				for _, pass := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
-					out[ignoreKey{file: pos.Filename, line: pos.Line, pass: pass}] = true
-					out[ignoreKey{file: pos.Filename, line: pos.Line + 1, pass: pass}] = true
+// ignoreDirective is one //icnvet:ignore entry (a single pass name; a
+// comma-separated comment yields several). used is set by runUnits when the
+// directive actually silences a finding — an unused directive is reported
+// under stalePass so escapes cannot outlive the code they excused.
+type ignoreDirective struct {
+	pass string
+	posn token.Position
+	used bool
+}
+
+// collectIgnores gathers //icnvet:ignore <pass>[,<pass>] comments across
+// units. A directive silences matching findings on its own line and on the
+// line directly below it (covering both trailing comments and standalone
+// comment lines above the flagged statement). The returned index maps both
+// lines to the directive; the slice preserves every directive for the
+// stale-suppression sweep.
+func collectIgnores(units []*Unit) (map[ignoreKey]*ignoreDirective, []*ignoreDirective) {
+	known := passNames()
+	idx := make(map[ignoreKey]*ignoreDirective)
+	var all []*ignoreDirective
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//icnvet:ignore")
+					if !ok {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					// The first token is always a pass name (a typo there is
+					// reported as an unknown pass); later tokens are passes only
+					// while they keep naming known ones — the first word that
+					// doesn't starts the human rationale.
+					for i, pass := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+						if i > 0 && !known[pass] {
+							break
+						}
+						d := &ignoreDirective{pass: pass, posn: pos}
+						all = append(all, d)
+						idx[ignoreKey{file: pos.Filename, line: pos.Line, pass: pass}] = d
+						idx[ignoreKey{file: pos.Filename, line: pos.Line + 1, pass: pass}] = d
+					}
 				}
 			}
 		}
 	}
-	return out
+	return idx, all
 }
 
 // hasDirective reports whether a doc comment group contains the given

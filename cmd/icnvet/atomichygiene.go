@@ -1,0 +1,206 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runAtomichygiene keeps the two memory models apart: once a word is managed
+// with sync/atomic it must always be, because a single plain load or store
+// next to atomic ones is a data race the race detector only catches if the
+// schedule cooperates. Three rules:
+//
+//   - a field of a typed atomic (atomic.Int64, atomic.Bool, atomic.Pointer[T],
+//     atomic.Value, ...) is touched only through its methods — copying the
+//     struct-typed value (x := s.n, s.n = other.n) smuggles a plain load past
+//     the type's own protection;
+//   - a field whose address is passed to a sync/atomic function
+//     (atomic.AddInt64(&s.n, 1)) is atomic forever: every other access to
+//     that field must go through sync/atomic too, never a plain read, write,
+//     or mutex-guarded assignment;
+//   - an atomic.Value stays monomorphic: Store of a second concrete type (or
+//     of a value whose dynamic type is unknowable statically) panics at
+//     runtime or degrades every Load to a type switch.
+//
+// Exceptions carry //icnvet:ignore atomichygiene with a rationale.
+func runAtomichygiene(u *Unit) []Finding {
+	var out []Finding
+
+	// Phase 1: every var whose address feeds a sync/atomic function is
+	// atomic-managed; those argument positions themselves are sanctioned.
+	atomicVars := make(map[*types.Var]bool)
+	sanctioned := make(map[token.Pos]bool)
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := u.calleeFunc(call)
+			if funcPkgPath(fn) != "sync/atomic" || fn.Signature().Recv() != nil {
+				return true
+			}
+			for _, a := range call.Args {
+				un, ok := ast.Unparen(a).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if v := u.varOf(un.X); v != nil {
+					atomicVars[v] = true
+					sanctioned[refPos(un.X)] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: a single parent-aware walk. Method calls/values on typed
+	// atomics are the sanctioned path (the receiver mention is skipped, its
+	// base still walked); everything else that names an atomic-managed word
+	// is a finding.
+	valueStores := make(map[*types.Var]types.Type) // atomic.Value var -> first stored type
+	check := func(id *ast.Ident) {
+		v, _ := u.Info.Uses[id].(*types.Var)
+		if v == nil || sanctioned[id.Pos()] {
+			return
+		}
+		if atomicVars[v] {
+			out = append(out, u.finding("atomichygiene", id.Pos(),
+				"%s is accessed via sync/atomic elsewhere; this plain access mixes memory models — use atomic ops everywhere or drop them", v.Name()))
+			return
+		}
+		if name := atomicTypeName(v.Type()); name != "" && v.IsField() {
+			out = append(out, u.finding("atomichygiene", id.Pos(),
+				"%s has type atomic.%s; access it only through its methods, never as a plain value", v.Name(), name))
+		}
+	}
+	var walk func(n ast.Node) bool
+	// walkBase skips the sanctioned receiver mention but keeps scanning the
+	// chain beneath it (s in s.n.Load() may itself hold guarded words).
+	walkBase := func(recv ast.Expr) {
+		if rsel, ok := ast.Unparen(recv).(*ast.SelectorExpr); ok {
+			ast.Inspect(rsel.X, walk)
+		}
+	}
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Store" {
+				if recv := u.varOf(sel.X); recv != nil && isAtomicValue(recv.Type()) {
+					out = append(out, u.checkValueStore(sel, recv, n, valueStores)...)
+				}
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if v := u.varOf(n.X); v != nil && atomicTypeName(v.Type()) != "" {
+					// &s.counter to pass the atomic by pointer: no data copied,
+					// methods still mediate every access.
+					walkBase(n.X)
+					return false
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			if _, isMethod := u.Info.Uses[n.Sel].(*types.Func); isMethod {
+				if recv := u.varOf(n.X); recv != nil && atomicTypeName(recv.Type()) != "" {
+					walkBase(n.X)
+					return false
+				}
+				ast.Inspect(n.X, walk)
+				return false
+			}
+			check(n.Sel)
+			ast.Inspect(n.X, walk)
+			return false
+		case *ast.KeyValueExpr:
+			// A composite-literal key names the field without touching it.
+			if _, ok := n.Key.(*ast.Ident); ok {
+				ast.Inspect(n.Value, walk)
+				return false
+			}
+			return true
+		case *ast.Ident:
+			check(n)
+		}
+		return true
+	}
+	for _, f := range u.Files {
+		ast.Inspect(f, walk)
+	}
+	sortFindings(out)
+	return out
+}
+
+// refPos is the stable position key for a field reference: the selector's
+// field identifier, or the identifier itself.
+func refPos(e ast.Expr) token.Pos {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return sel.Sel.Pos()
+	}
+	return ast.Unparen(e).Pos()
+}
+
+// varOf resolves an expression to the *types.Var it names (field selector or
+// plain identifier), or nil.
+func (u *Unit) varOf(e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := u.Info.Uses[e].(*types.Var)
+		if v == nil {
+			v, _ = u.Info.Defs[e].(*types.Var)
+		}
+		return v
+	case *ast.SelectorExpr:
+		v, _ := u.Info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// checkValueStore enforces monomorphic atomic.Value use: the first Store
+// fixes the concrete type; later Stores must match it and must be statically
+// concrete.
+func (u *Unit) checkValueStore(sel *ast.SelectorExpr, v *types.Var, call *ast.CallExpr, stores map[*types.Var]types.Type) []Finding {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	t := u.typeOf(call.Args[0])
+	if t == nil {
+		return nil
+	}
+	t = types.Default(t)
+	if types.IsInterface(t) {
+		return []Finding{u.finding("atomichygiene", sel.Sel.Pos(),
+			"atomic.Value %s stores an interface-typed value; its dynamic type cannot be proven monomorphic", v.Name())}
+	}
+	if prev, ok := stores[v]; ok {
+		if !types.Identical(prev, t) {
+			return []Finding{u.finding("atomichygiene", sel.Sel.Pos(),
+				"atomic.Value %s stores %s after storing %s; Value is monomorphic — mixed types panic at runtime", v.Name(), t, prev)}
+		}
+		return nil
+	}
+	stores[v] = t
+	return nil
+}
+
+// atomicTypeName returns the sync/atomic named type behind t ("Int64",
+// "Pointer", "Value", ...) or "".
+func atomicTypeName(t types.Type) string {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return obj.Name()
+}
+
+// isAtomicValue reports whether t is sync/atomic.Value.
+func isAtomicValue(t types.Type) bool {
+	return atomicTypeName(t) == "Value"
+}

@@ -24,18 +24,7 @@ import (
 // bounded elsewhere) are silenced with //icnvet:ignore boundedqueue, which
 // leaves the justification in the reader's view.
 func runBoundedqueue(u *Unit) []Finding {
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	for _, f := range u.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
-			}
-		}
-	}
+	decls := u.Decls()
 
 	// Roots: every declared function whose signature carries *http.Request.
 	reach := make(map[*types.Func]bool)

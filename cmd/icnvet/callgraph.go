@@ -42,16 +42,8 @@ func buildCallGraph(units []*Unit) *callGraph {
 				named = append(named, n)
 			}
 		}
-		for _, f := range u.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				if fn, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
-					g.Decls[fn] = declSite{Unit: u, Decl: fd}
-				}
-			}
+		for fn, fd := range u.Decls() {
+			g.Decls[fn] = declSite{Unit: u, Decl: fd}
 		}
 	}
 

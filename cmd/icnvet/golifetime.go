@@ -1,0 +1,292 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runGolifetime checks that every goroutine launched on the serving or
+// streaming path has a visible bound on its lifetime. Roots are the
+// module's entry surfaces — HTTP handlers (declared functions and literals
+// with a *http.Request parameter), the simulator's RunStream, and the main
+// functions of the command binaries — and scope is everything reachable
+// from them over the module call graph. A `go` statement in scope is
+// bounded if the analysis can see one of:
+//
+//   - the goroutine body calls Done on a sync.WaitGroup (tracked: someone
+//     Waits for it);
+//   - the body receives from a struct{}-element channel — the ctx.Done()/
+//     quit-channel idiom — or ranges over a channel (ends when the producer
+//     closes it);
+//   - the body, or the go call itself, passes a context.Context on (the
+//     callee inherits cancellation);
+//   - the statement carries `//icn:oneshot <rationale>` on its line or the
+//     line above: a deliberate fire-and-forget, with the reason in the
+//     reader's view.
+//
+// An //icn:oneshot that excuses nothing — no rationale, no go statement, or
+// a goroutine the rules already bound — is itself reported, so annotations
+// cannot outlive the code they excused.
+func runGolifetime(m *Module) []Finding {
+	cg := m.CallGraph()
+	var out []Finding
+
+	// Oneshot directives and, for the stale sweep, every go statement's
+	// position module-wide (in scope or not).
+	oneshots, directives := collectOneshots(m)
+	allGoLines := make(map[posKey]bool)
+	for _, u := range m.Units {
+		for _, fd := range u.Decls() {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					p := u.Fset.Position(g.Pos())
+					allGoLines[posKey{p.Filename, p.Line}] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Roots: handler decls, RunStream, command mains; handler literals add
+	// their direct callees (the call graph attributes a literal's calls to
+	// its enclosing declaration, which may itself be out of scope).
+	var roots []*types.Func
+	type litBody struct {
+		u    *Unit
+		body *ast.BlockStmt
+		enc  *types.Func
+	}
+	var lits []litBody
+	for _, u := range m.Units {
+		for fn, fd := range u.Decls() {
+			if hasRequestParam(fn.Signature()) ||
+				fn.Name() == "RunStream" ||
+				(u.Pkg.Name() == "main" && fn.Name() == "main" && fn.Signature().Recv() == nil) {
+				roots = append(roots, fn)
+			}
+			enc := fn
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				sig, _ := u.typeOf(lit).(*types.Signature)
+				if sig == nil || !hasRequestParam(sig) {
+					return true
+				}
+				lits = append(lits, litBody{u, lit.Body, enc})
+				ast.Inspect(lit.Body, func(n2 ast.Node) bool {
+					if call, ok := n2.(*ast.CallExpr); ok {
+						if callee := u.calleeFunc(call); callee != nil {
+							if _, local := cg.Decls[callee]; local {
+								roots = append(roots, callee)
+							}
+						}
+					}
+					return true
+				})
+				return true
+			})
+		}
+	}
+	reach := cg.ReachableFrom(roots)
+
+	// Scan every in-scope body for go statements, deduplicating: a handler
+	// literal may sit inside an already-reachable declaration.
+	seen := make(map[token.Pos]bool)
+	scan := func(u *Unit, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok || seen[g.Pos()] {
+				return true
+			}
+			seen[g.Pos()] = true
+			p := u.Fset.Position(g.Pos())
+			d := oneshots[posKey{p.Filename, p.Line}]
+			bounded := boundedGo(u, g, cg)
+			switch {
+			case d != nil && d.rationale == "":
+				// The annotation exists but says nothing; anchor the finding
+				// to the goroutine it fails to excuse.
+				d.used = true
+				out = append(out, u.finding("golifetime", g.Pos(),
+					"//icn:oneshot needs a rationale: say why this goroutine may outlive its caller"))
+			case bounded && d != nil:
+				d.used = true // reported as redundant in the sweep below
+			case bounded:
+			case d != nil:
+				d.used = true
+				d.excused = true
+			default:
+				out = append(out, u.finding("golifetime", g.Pos(),
+					"goroutine has no visible lifetime bound; select on ctx.Done()/a quit channel, track it with a WaitGroup, or annotate //icn:oneshot <why>"))
+			}
+			return true
+		})
+	}
+	for fn := range reach {
+		if site, ok := cg.Decls[fn]; ok {
+			scan(site.Unit, site.Decl.Body)
+		}
+	}
+	for _, lb := range lits {
+		scan(lb.u, lb.body)
+	}
+
+	// Stale sweep over the annotations themselves.
+	for _, d := range directives {
+		switch {
+		case d.used:
+			if !d.excused && d.rationale != "" {
+				out = append(out, Finding{Pass: stalePass, File: d.posn.Filename, Line: d.posn.Line, Col: d.posn.Column,
+					Message: "//icn:oneshot excuses a goroutine that is already bounded — remove it"})
+			}
+		case d.rationale == "":
+			out = append(out, Finding{Pass: "golifetime", File: d.posn.Filename, Line: d.posn.Line, Col: d.posn.Column,
+				Message: "//icn:oneshot needs a rationale: say why this goroutine may outlive its caller"})
+		case !allGoLines[posKey{d.posn.Filename, d.posn.Line}] && !allGoLines[posKey{d.posn.Filename, d.posn.Line + 1}]:
+			out = append(out, Finding{Pass: stalePass, File: d.posn.Filename, Line: d.posn.Line, Col: d.posn.Column,
+				Message: "//icn:oneshot is attached to no go statement — remove it"})
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+// oneshotDirective is one //icn:oneshot annotation. used marks that an
+// in-scope go statement sits on its line; excused that the statement
+// actually needed it.
+type oneshotDirective struct {
+	posn      token.Position
+	rationale string
+	used      bool
+	excused   bool
+}
+
+// collectOneshots parses //icn:oneshot comments across the module, indexed
+// by the line they apply to (their own line for trailing comments, the line
+// below for standalone ones — both are registered).
+func collectOneshots(m *Module) (map[posKey]*oneshotDirective, []*oneshotDirective) {
+	idx := make(map[posKey]*oneshotDirective)
+	var all []*oneshotDirective
+	for _, u := range m.Units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//icn:oneshot")
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					d := &oneshotDirective{posn: pos, rationale: strings.TrimSpace(rest)}
+					all = append(all, d)
+					idx[posKey{pos.Filename, pos.Line}] = d
+					if _, taken := idx[posKey{pos.Filename, pos.Line + 1}]; !taken {
+						idx[posKey{pos.Filename, pos.Line + 1}] = d
+					}
+				}
+			}
+		}
+	}
+	return idx, all
+}
+
+// boundedGo reports whether the goroutine launched by g has a statically
+// visible lifetime bound.
+func boundedGo(u *Unit, g *ast.GoStmt, cg *callGraph) bool {
+	// A context handed to the spawned call bounds it at the spawn site.
+	for _, a := range g.Call.Args {
+		if t := u.typeOf(a); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	var body *ast.BlockStmt
+	bu := u
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn := u.calleeFunc(g.Call); fn != nil {
+		if site, ok := cg.Decls[fn]; ok {
+			body, bu = site.Decl.Body, site.Unit
+		}
+	}
+	if body == nil {
+		return false // external or dynamic callee: nothing to inspect
+	}
+	return bodyBounded(bu, body)
+}
+
+// bodyBounded scans a goroutine body for any of the accepted bounds.
+func bodyBounded(u *Unit, body *ast.BlockStmt) bool {
+	bounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if isWaitGroup(u.typeOf(sel.X)) {
+					bounded = true
+					return false
+				}
+			}
+			for _, a := range n.Args {
+				if t := u.typeOf(a); t != nil && isContextType(t) {
+					bounded = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isSignalChan(u.typeOf(n.X)) {
+				bounded = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := u.typeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					bounded = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return bounded
+}
+
+// isWaitGroup reports whether t (or *t) is sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isSignalChan reports whether t is a channel of struct{} — the done/quit
+// idiom (ctx.Done() included).
+func isSignalChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

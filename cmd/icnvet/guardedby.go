@@ -1,0 +1,628 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runGuardedby enforces declared lock discipline: a struct field annotated
+//
+//	//icn:guardedby mu          // reads and writes hold mu
+//	//icn:guardedby mu writes   // writes hold mu; reads are lock-free
+//	                            // (atomic-published, single-writer)
+//
+// may only be touched while the named sync.Mutex/RWMutex field of the same
+// struct is held on the same instance. The check is a per-function lock-set
+// walk over the AST: Lock/RLock add to the set, Unlock/RUnlock remove,
+// defer'd Unlocks pin the lock to function exit, and nested branches get a
+// copy of the set so a conditional early-unlock doesn't leak. For an
+// RWMutex, RLock suffices for reads; writes need the full Lock.
+//
+// Escapes, in preference order:
+//
+//   - constructor-before-publish: accesses through a local the function
+//     itself created (x := &T{...}, new(T), var x T) are exempt — nobody
+//     else can see the value yet;
+//   - functions whose name ends in "Locked" assume every mutex field of
+//     their receiver is already held — the repo's caller-holds-the-lock
+//     naming convention, now enforced at the callee;
+//   - //icnvet:ignore guardedby with an inline rationale, for the rare
+//     access that is safe for a reason the walk cannot see.
+func runGuardedby(u *Unit) []Finding {
+	g := &guardChecker{u: u, guards: make(map[*types.Var]guardInfo)}
+	var out []Finding
+	out = append(out, g.collect()...)
+	if len(g.guards) == 0 {
+		return out
+	}
+	for _, fd := range u.Decls() {
+		out = append(out, g.checkFunc(fd)...)
+	}
+	sortFindings(out)
+	return out
+}
+
+// guardInfo is one parsed //icn:guardedby annotation.
+type guardInfo struct {
+	guard      string // guard field name on the same struct
+	rw         bool   // guard is an RWMutex (RLock suffices for reads)
+	writesOnly bool   // "writes" qualifier: reads are lock-free
+}
+
+type guardChecker struct {
+	u      *Unit
+	guards map[*types.Var]guardInfo
+}
+
+// guardDirective parses a comment group for //icn:guardedby <mu> [writes],
+// returning the guard name, the qualifier, and whether a directive exists.
+func guardDirective(doc *ast.CommentGroup) (name string, writes bool, ok bool, malformed bool) {
+	if doc == nil {
+		return "", false, false, false
+	}
+	for _, c := range doc.List {
+		rest, found := strings.CutPrefix(strings.TrimSpace(c.Text), "//icn:guardedby")
+		if !found {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return "", false, false, true
+		}
+		writes = len(fields) > 1 && fields[1] == "writes"
+		return fields[0], writes, true, false
+	}
+	return "", false, false, false
+}
+
+// collect finds every annotated field, validates its guard, and indexes it.
+func (g *guardChecker) collect() []Finding {
+	var out []Finding
+	for _, file := range g.u.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				name, writes, ok, malformed := guardDirective(f.Doc)
+				if !ok && !malformed {
+					name, writes, ok, malformed = guardDirective(f.Comment)
+				}
+				// Validation findings anchor to the field, not the comment, so
+				// the flagged line is the one carrying the annotated code.
+				if malformed {
+					out = append(out, g.u.finding("guardedby", f.Pos(), "//icn:guardedby needs a guard field name"))
+					continue
+				}
+				if !ok {
+					continue
+				}
+				rw, found := mutexField(g.u, st, name)
+				if !found {
+					out = append(out, g.u.finding("guardedby", f.Pos(),
+						"//icn:guardedby names %q, which is not a sync.Mutex/RWMutex field of the same struct", name))
+					continue
+				}
+				for _, id := range f.Names {
+					if v, ok := g.u.Info.Defs[id].(*types.Var); ok {
+						g.guards[v] = guardInfo{guard: name, rw: rw, writesOnly: writes}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mutexField reports whether st has a field called name whose type is
+// sync.Mutex or sync.RWMutex (possibly behind a pointer), and whether it is
+// the RW flavor.
+func mutexField(u *Unit, st *ast.StructType, name string) (rw, found bool) {
+	for _, f := range st.Fields.List {
+		for _, id := range f.Names {
+			if id.Name != name {
+				continue
+			}
+			t := u.typeOf(f.Type)
+			if t == nil {
+				return false, false
+			}
+			return isMutex(t)
+		}
+	}
+	return false, false
+}
+
+// isMutex reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func isMutex(t types.Type) (rw, ok bool) {
+	if p, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, isNamed := types.Unalias(t).(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// Lock-set membership: the strongest hold on a lock path.
+const (
+	heldNone = iota
+	heldRead
+	heldWrite
+)
+
+// lockState is the per-walk mutable state: which lock paths are held (and
+// how), which are pinned to function exit by a defer'd Unlock, and which
+// locals are fresh (created here, unpublished).
+type lockState struct {
+	held   map[string]int
+	pinned map[string]bool
+	fresh  map[types.Object]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]int{}, pinned: map[string]bool{}, fresh: map[types.Object]bool{}}
+}
+
+// clone copies the state for a branch: lock changes inside the branch must
+// not leak past it, but fresh locals may (a value created in an if-branch
+// is still fresh after it — over-approximate, and shared maps would be
+// wrong for held).
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.pinned {
+		c.pinned[k] = true
+	}
+	c.fresh = s.fresh // shared on purpose: freshness is function-scoped
+	return c
+}
+
+// exprPath normalizes an lvalue-ish expression to a stable string path and
+// its root object: q.mu -> ("<obj q>.mu", q), engines[p].sh -> path with the
+// index rendered textually. Returns ok=false for expressions the walk cannot
+// name (call results, composite literals) — those accesses are skipped
+// rather than guessed at.
+func (g *guardChecker) exprPath(e ast.Expr) (string, types.Object, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := g.u.Info.Uses[e]
+		if obj == nil {
+			obj = g.u.Info.Defs[e]
+		}
+		if obj == nil {
+			return "", nil, false
+		}
+		return obj.Id() + "@" + g.u.Fset.Position(obj.Pos()).String(), obj, true
+	case *ast.SelectorExpr:
+		p, root, ok := g.exprPath(e.X)
+		if !ok {
+			return "", nil, false
+		}
+		return p + "." + e.Sel.Name, root, true
+	case *ast.IndexExpr:
+		p, root, ok := g.exprPath(e.X)
+		if !ok {
+			return "", nil, false
+		}
+		return p + "[" + types.ExprString(e.Index) + "]", root, true
+	case *ast.StarExpr:
+		return g.exprPath(e.X)
+	}
+	return "", nil, false
+}
+
+// checkFunc walks one declared function.
+func (g *guardChecker) checkFunc(fd *ast.FuncDecl) []Finding {
+	st := newLockState()
+	// Caller-holds-the-lock convention: xxxLocked methods run with every
+	// mutex field of their receiver held.
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && strings.HasSuffix(fd.Name.Name, "Locked") {
+		if len(fd.Recv.List[0].Names) == 1 {
+			recv := g.u.Info.Defs[fd.Recv.List[0].Names[0]]
+			if recv != nil {
+				rt := recv.Type()
+				if p, ok := types.Unalias(rt).(*types.Pointer); ok {
+					rt = p.Elem()
+				}
+				if s, ok := rt.Underlying().(*types.Struct); ok {
+					base, _, _ := g.exprPath(fd.Recv.List[0].Names[0])
+					for i := 0; i < s.NumFields(); i++ {
+						if _, isMu := isMutex(s.Field(i).Type()); isMu {
+							st.held[base+"."+s.Field(i).Name()] = heldWrite
+						}
+					}
+				}
+			}
+		}
+	}
+	w := &guardWalker{g: g}
+	w.stmts(fd.Body.List, st)
+	return w.out
+}
+
+type guardWalker struct {
+	g   *guardChecker
+	out []Finding
+}
+
+func (w *guardWalker) stmts(list []ast.Stmt, st *lockState) {
+	for _, s := range list {
+		w.stmt(s, st)
+	}
+}
+
+// stmt processes one statement: scan its expressions against the current
+// lock set, apply its lock effects, and recurse into nested blocks with a
+// cloned set so branch-local changes stay branch-local.
+func (w *guardWalker) stmt(s ast.Stmt, st *lockState) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scan(s.Cond, st, false)
+		w.stmt(s.Body, st.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond, st, false)
+		}
+		body := st.clone()
+		w.stmt(s.Body, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.scan(s.X, st, false)
+		body := st.clone()
+		if s.Key != nil {
+			w.scan(s.Key, body, true)
+		}
+		if s.Value != nil {
+			w.scan(s.Value, body, true)
+		}
+		w.stmt(s.Body, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag, st, false)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				branch := st.clone()
+				for _, e := range cc.List {
+					w.scan(e, branch, false)
+				}
+				w.stmts(cc.Body, branch)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.stmt(s.Assign, st)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				branch := st.clone()
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, branch)
+				}
+				w.stmts(cc.Body, branch)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, st)
+	case *ast.DeferStmt:
+		// A defer'd Unlock pins the lock to function exit; a defer'd closure
+		// runs at exit under an unknown lock set, so its body is walked
+		// fresh. Other defer'd calls have their arguments scanned now.
+		if path, op, ok := w.g.lockOp(s.Call); ok {
+			if op == opUnlock || op == opRUnlock {
+				st.pinned[path] = true
+			}
+			return
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			inner := newLockState()
+			inner.fresh = st.fresh
+			w.stmt(lit.Body, inner)
+			for _, a := range s.Call.Args {
+				w.scan(a, st, false)
+			}
+			return
+		}
+		w.scan(s.Call, st, false)
+	case *ast.GoStmt:
+		// The goroutine runs under its own (empty) lock set.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.stmt(lit.Body, newLockState())
+			for _, a := range s.Call.Args {
+				w.scan(a, st, false)
+			}
+			return
+		}
+		w.scan(s.Call, st, false)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scan(e, st, false)
+		}
+		for _, e := range s.Lhs {
+			w.scan(e, st, true)
+		}
+		if s.Tok == token.DEFINE {
+			w.markFresh(s, st)
+		}
+	case *ast.IncDecStmt:
+		w.scan(s.X, st, true)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					w.scan(v, st, false)
+				}
+				if len(vs.Values) == 0 && vs.Type != nil {
+					// var x T: zero value, created here, unpublished.
+					for _, id := range vs.Names {
+						if obj := w.g.u.Info.Defs[id]; obj != nil {
+							st.fresh[obj] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if path, op, ok := w.g.lockOp(callOf(s.X)); ok {
+			switch op {
+			case opLock:
+				st.held[path] = heldWrite
+			case opRLock:
+				if st.held[path] == heldNone {
+					st.held[path] = heldRead
+				}
+			case opUnlock, opRUnlock:
+				if !st.pinned[path] {
+					delete(st.held, path)
+				}
+			}
+			return
+		}
+		w.scan(s.X, st, false)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scan(e, st, false)
+		}
+	case *ast.SendStmt:
+		w.scan(s.Chan, st, false)
+		w.scan(s.Value, st, false)
+	default:
+		// BranchStmt, EmptyStmt: nothing to scan.
+	}
+}
+
+// markFresh records locals defined from a composite literal, &literal, or
+// new(T): values this function created and has not yet published.
+func (w *guardWalker) markFresh(s *ast.AssignStmt, st *lockState) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.g.u.Info.Defs[id]
+		if obj == nil {
+			continue
+		}
+		switch rhs := ast.Unparen(s.Rhs[i]).(type) {
+		case *ast.CompositeLit:
+			st.fresh[obj] = true
+		case *ast.UnaryExpr:
+			if rhs.Op == token.AND {
+				if _, isLit := ast.Unparen(rhs.X).(*ast.CompositeLit); isLit {
+					st.fresh[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && id.Name == "new" {
+				if _, builtin := w.g.u.Info.Uses[id].(*types.Builtin); builtin {
+					st.fresh[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// Lock operations.
+const (
+	opLock = iota
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+func callOf(e ast.Expr) *ast.CallExpr {
+	c, _ := ast.Unparen(e).(*ast.CallExpr)
+	return c
+}
+
+// lockOp recognizes <path>.Lock()/Unlock()/RLock()/RUnlock() on a
+// sync.Mutex/RWMutex and returns the normalized lock path.
+func (g *guardChecker) lockOp(call *ast.CallExpr) (path string, op int, ok bool) {
+	if call == nil {
+		return "", 0, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return "", 0, false
+	}
+	t := g.u.typeOf(sel.X)
+	if t == nil {
+		return "", 0, false
+	}
+	if _, isMu := isMutex(t); !isMu {
+		return "", 0, false
+	}
+	p, _, okPath := g.exprPath(sel.X)
+	if !okPath {
+		return "", 0, false
+	}
+	return p, op, true
+}
+
+// storeMethods are methods on a field that count as writes when classifying
+// guarded accesses (the atomic-pointer publish idiom under a writes guard).
+var storeMethods = map[string]bool{"Store": true, "Swap": true, "CompareAndSwap": true, "Add": true}
+
+// scan records guarded-field accesses in an expression tree. write marks the
+// whole expression as a write target (assignment LHS, IncDec operand).
+func (w *guardWalker) scan(e ast.Expr, st *lockState, write bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure may run later under a different lock set: walk it
+			// with an empty one.
+			inner := newLockState()
+			inner.fresh = st.fresh
+			w.stmt(n.Body, inner)
+			return false
+		case *ast.CallExpr:
+			// Nested lock calls inside expressions (rare) are not applied as
+			// effects — only statement-level calls are — but their receivers
+			// still get scanned below.
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				// Taking the address may hand out a mutable reference: treat
+				// as a write.
+				w.access(n.X, st, true)
+				return false
+			}
+			return true
+		case *ast.SelectorExpr:
+			isWrite := write && n == outerSelector(e)
+			// A method call on the field itself: Store-like methods mutate.
+			w.access(n, st, isWrite)
+			// Keep scanning the base expression for deeper guarded fields
+			// (done inside access), but stop default traversal duplicating it.
+			return false
+		}
+		return true
+	})
+}
+
+// outerSelector unwraps parens to the top-level selector of e, if any.
+func outerSelector(e ast.Expr) ast.Expr {
+	u := ast.Unparen(e)
+	if sel, ok := u.(*ast.SelectorExpr); ok {
+		return sel
+	}
+	if idx, ok := u.(*ast.IndexExpr); ok {
+		return outerSelector(idx.X)
+	}
+	return nil
+}
+
+// access checks one selector chain. The outermost selector carries the
+// write flag; inner selectors along the chain are reads.
+func (w *guardWalker) access(e ast.Expr, st *lockState, write bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		w.scan(e, st, false)
+		return
+	}
+	// Method selection: m.pop.Store — the method ident itself is not a field
+	// access, but its receiver chain is; Store-like methods write it.
+	if fn, isMethod := w.g.u.Info.Uses[sel.Sel].(*types.Func); isMethod {
+		w.access(sel.X, st, storeMethods[fn.Name()])
+		return
+	}
+	if v, isVar := w.g.u.Info.Uses[sel.Sel].(*types.Var); isVar {
+		if info, guarded := w.g.guards[v]; guarded {
+			w.checkAccess(sel, v, info, st, write)
+		}
+	}
+	// The base of the chain is read.
+	w.access(sel.X, st, false)
+}
+
+// checkAccess applies the lock-discipline rule to one guarded access.
+func (w *guardWalker) checkAccess(sel *ast.SelectorExpr, v *types.Var, info guardInfo, st *lockState, write bool) {
+	base, root, ok := w.g.exprPath(sel.X)
+	if !ok {
+		return // unnameable base (call result, literal): out of the walk's reach
+	}
+	if root != nil && st.fresh[root] {
+		return // constructor-before-publish
+	}
+	hold := st.held[base+"."+info.guard]
+	if write {
+		if hold != heldWrite {
+			w.out = append(w.out, w.g.u.finding("guardedby", sel.Sel.Pos(),
+				"write to %s without holding %s (//icn:guardedby)", v.Name(), info.guard))
+		}
+		return
+	}
+	if info.writesOnly {
+		return
+	}
+	if hold == heldNone {
+		msg := "read of %s without holding %s (//icn:guardedby)"
+		if info.rw {
+			msg = "read of %s without holding %s (//icn:guardedby; RLock suffices)"
+		}
+		w.out = append(w.out, w.g.u.finding("guardedby", sel.Sel.Pos(), msg, v.Name(), info.guard))
+	}
+}

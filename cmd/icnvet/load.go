@@ -22,6 +22,8 @@ type Unit struct {
 	Info  *types.Info
 	Files []*ast.File
 	Fset  *token.FileSet
+
+	decls map[*types.Func]*ast.FuncDecl // lazy index, see Decls
 }
 
 // loader parses and type-checks module packages on demand, resolving

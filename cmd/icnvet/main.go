@@ -43,11 +43,7 @@ func main() {
 		fatal(err)
 	}
 
-	var findings []Finding
-	for _, u := range units {
-		findings = append(findings, runUnit(u)...)
-	}
-	sortFindings(findings)
+	findings := runUnits(units)
 
 	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Module is the shared analysis context: every loaded unit, plus the
+// expensive derived structures — per-unit function-declaration indexes and
+// the module-wide call graph — built exactly once and shared by all passes
+// (and by the tests). Before it existed, each pass that needed a decl index
+// or reachability re-derived it per unit per run.
+type Module struct {
+	Units []*Unit
+
+	cg *callGraph // lazily built; see CallGraph
+}
+
+// newModule wraps units for analysis.
+func newModule(units []*Unit) *Module {
+	return &Module{Units: units}
+}
+
+// CallGraph returns the module-wide static call graph, building it on first
+// use and memoizing it across passes.
+func (m *Module) CallGraph() *callGraph {
+	if m.cg == nil {
+		m.cg = buildCallGraph(m.Units)
+	}
+	return m.cg
+}
+
+// Decls returns the unit's declared functions (with bodies) indexed by their
+// types.Func, built once and shared by every pass that walks function
+// bodies.
+func (u *Unit) Decls() map[*types.Func]*ast.FuncDecl {
+	if u.decls == nil {
+		u.decls = make(map[*types.Func]*ast.FuncDecl)
+		for _, f := range u.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+					u.decls[fn] = fd
+				}
+			}
+		}
+	}
+	return u.decls
+}

@@ -1,0 +1,61 @@
+// Package fixture exercises the atomichygiene pass: a word managed with
+// sync/atomic must never also be touched with a plain load or store, typed
+// atomics are method-access-only, and an atomic.Value stays monomorphic.
+// The sanctioned idioms — method calls, &field into sync/atomic functions,
+// passing a typed atomic by pointer — must stay silent, as must the
+// //icnvet:ignore escape. Flagged lines carry trailing want-markers checked
+// by vet_test.go.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits   atomic.Int64
+	misses int64 // managed via atomic.AddInt64 below
+	mode   atomic.Value
+}
+
+func (c *counters) good() {
+	c.hits.Add(1)
+	atomic.AddInt64(&c.misses, 1)
+	c.mode.Store("steady")
+}
+
+func (c *counters) goodLoads() (int64, int64) {
+	return c.hits.Load(), atomic.LoadInt64(&c.misses)
+}
+
+// goodPointer passes the typed atomic by reference: no data is copied and
+// every access still goes through its methods.
+func goodPointer(n *atomic.Int64) int64 { return n.Load() }
+
+func (c *counters) share() int64 { return goodPointer(&c.hits) }
+
+func (c *counters) badPlainRead() int64 {
+	return c.misses // want "plain access mixes memory models"
+}
+
+func (c *counters) badPlainWrite() {
+	c.misses = 0 // want "plain access mixes memory models"
+}
+
+func (c *counters) badCopy() atomic.Int64 {
+	return c.hits // want "access it only through its methods"
+}
+
+func (c *counters) badOverwrite(other *counters) {
+	c.hits = other.hits // want "access it only through its methods" // want "access it only through its methods"
+}
+
+func (c *counters) badMixedStore() {
+	c.mode.Store(42) // want "Value is monomorphic"
+}
+
+func (c *counters) badIfaceStore(err error) {
+	c.mode.Store(err) // want "interface-typed value"
+}
+
+func (c *counters) excused() int64 {
+	//icnvet:ignore atomichygiene — read during single-threaded shutdown, after all writers joined
+	return c.misses
+}

@@ -1,0 +1,75 @@
+// Package fixture exercises the golifetime pass: goroutines reachable from
+// handler or RunStream entry points must have a visible lifetime bound — a
+// WaitGroup Done, a receive from a struct{} quit channel, a range over a
+// channel, or a context handed onward — or carry //icn:oneshot with a
+// rationale. Flagged lines carry trailing want-markers checked by
+// vet_test.go.
+package fixture
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+func work() {}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	go work() // want "no visible lifetime bound"
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // tracked: Done inside, Wait below
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+
+	quit := make(chan struct{}, 1)
+	go func() { // bounded: selects on the quit channel
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+	close(quit)
+
+	jobs := make(chan int, 4)
+	go func() { // bounded: ends when jobs is closed
+		for range jobs {
+			work()
+		}
+	}()
+	close(jobs)
+
+	go spin(r.Context()) // bounded: inherits cancellation from the context
+
+	go work() //icn:oneshot fixture: deliberate fire-and-forget, reason recorded here
+
+	//icn:oneshot
+	go work() // want "needs a rationale"
+}
+
+func spin(ctx context.Context) {
+	<-ctx.Done()
+}
+
+type runner struct{}
+
+// RunStream is a scope root by name, matching the simulator's streaming
+// entry point.
+func (runner) RunStream() {
+	go leak() // want "no visible lifetime bound"
+}
+
+// leak is resolved through the module call graph: its body (an unbounded
+// busy loop) is what makes the go statement above a finding.
+func leak() {
+	for {
+		work()
+	}
+}

@@ -1,0 +1,42 @@
+// Package fixture exercises the stale-suppression sweep: an escape hatch
+// that excuses nothing is itself rot. An //icnvet:ignore that suppresses no
+// finding, an //icnvet:ignore naming a pass that does not exist, an
+// //icn:oneshot on a goroutine the lifetime rules already bound, and an
+// //icn:oneshot attached to no go statement at all are each reported. A
+// directive that genuinely suppresses a finding (the unbuffered channel
+// below) stays silent. Flagged lines carry trailing want-markers checked by
+// vet_test.go.
+package fixture
+
+import (
+	"net/http"
+	"sync"
+)
+
+func work() {}
+
+//icnvet:ignore noalloc — the function this excused was rewritten long ago // want "suppresses no finding"
+func clean() {}
+
+//icnvet:ignore nosuchpass — typo for a pass that never existed // want "unknown pass"
+func typo() {}
+
+//icn:oneshot fixture: the goroutine this excused is gone // want "attached to no go statement"
+func orphan() {}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	// A used directive: the unbuffered make below is a real boundedqueue
+	// finding, so this ignore suppresses something and is not reported.
+	//icnvet:ignore boundedqueue — fixture: consumed synchronously in this function
+	ch := make(chan int)
+	_ = ch
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//icn:oneshot fixture: annotation is redundant, the goroutine is tracked // want "already bounded"
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}

@@ -73,32 +73,40 @@ func wantComments(t *testing.T, dir string) map[string][]string {
 	return out
 }
 
-// TestFixtures runs each pass over its golden fixture package and checks
-// the findings against the fixture's `// want` comments: every want must be
-// matched by a finding on its line, every finding must be expected, and
-// every pass must actually fire at least once.
+// TestFixtures runs the whole suite over each pass's golden fixture package
+// and checks the findings for that pass against the fixture's `// want`
+// comments: every want must be matched by a finding on its line, every
+// finding must be expected, and every pass must actually fire at least
+// once. Module passes and the synthesized stale-suppression pass get
+// fixtures too: each fixture unit is analyzed as a one-unit module.
 func TestFixtures(t *testing.T) {
 	l := sharedLoader(t)
+	var names []string
 	for _, p := range passes() {
-		t.Run(p.Name, func(t *testing.T) {
-			dir, err := filepath.Abs(filepath.Join("testdata", p.Name))
+		names = append(names, p.Name)
+	}
+	for _, p := range modulePasses() {
+		names = append(names, p.Name)
+	}
+	names = append(names, stalePass)
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			dir, err := filepath.Abs(filepath.Join("testdata", name))
 			if err != nil {
 				t.Fatal(err)
 			}
-			u, err := l.load(fixturePath(p.Name), dir)
+			u, err := l.load(fixturePath(name), dir)
 			if err != nil {
 				t.Fatalf("load fixture: %v", err)
 			}
-			ignored := ignoreDirectives(u)
 			var findings []Finding
-			for _, f := range p.Run(u) {
-				if ignored[ignoreKey{file: f.File, line: f.Line, pass: f.Pass}] {
-					continue
+			for _, f := range runUnits([]*Unit{u}) {
+				if f.Pass == name {
+					findings = append(findings, f)
 				}
-				findings = append(findings, f)
 			}
 			if len(findings) == 0 {
-				t.Fatalf("pass %s produced no findings on its fixture", p.Name)
+				t.Fatalf("pass %s produced no findings on its fixture", name)
 			}
 
 			want := wantComments(t, dir)
@@ -138,10 +146,8 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load module: %v", err)
 	}
-	for _, u := range units {
-		for _, f := range runUnit(u) {
-			t.Errorf("repo not clean: %s", f)
-		}
+	for _, f := range runUnits(units) {
+		t.Errorf("repo not clean: %s", f)
 	}
 }
 
@@ -159,7 +165,7 @@ func TestNoallocReachableFromBench(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load module: %v", err)
 	}
-	g := buildCallGraph(units)
+	g := newModule(units).CallGraph()
 
 	const simPath = "idicn/internal/sim"
 	simDir := filepath.Join(l.root, "internal", "sim")

@@ -57,7 +57,7 @@ func main() {
 	must(err)
 	shareURL := "http://" + lis.Addr().String()
 	share := adhoc.NewShareProxy(cache, responder, shareURL)
-	go httpx.Serve(lis, share)
+	go httpx.Serve(lis, share) //icn:oneshot demo accept loop; lives until the process exits
 	must(share.PublishAll())
 	fmt.Println("alice shares", cache.Hosts(), "at", shareURL)
 

@@ -97,6 +97,6 @@ func serve(h http.Handler) string {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go httpx.Serve(lis, h)
+	go httpx.Serve(lis, h) //icn:oneshot demo accept loop; lives until the process exits
 	return "http://" + lis.Addr().String()
 }

@@ -1,6 +1,10 @@
 package checkpoint
 
-import "idicn/internal/sim"
+import (
+	"sync"
+
+	"idicn/internal/sim"
+)
 
 // AsyncSaver overlaps checkpoint persistence with simulation. A frozen
 // StreamState is a deep copy, so once the simulation hands it over, encoding
@@ -10,11 +14,16 @@ import "idicn/internal/sim"
 // newest file, which Store.Latest already falls back past — exactly the
 // guarantee a synchronous save gives, minus the barrier stall.
 //
-// Not safe for concurrent use: the streaming runner invokes the checkpoint
-// hook from one goroutine, and AsyncSaver assumes that discipline.
+// The done handoff is mutex-guarded, so a Wait racing the runner's final
+// Save observes either the in-flight channel or none — never a torn
+// pointer. Saves themselves are still expected from one goroutine at a
+// time (the streaming runner's checkpoint hook).
 type AsyncSaver struct {
 	store *Store
-	done  chan error // result of the in-flight save; nil when idle
+
+	mu sync.Mutex
+	//icn:guardedby mu
+	done chan error // result of the in-flight save; nil when idle
 }
 
 // NewAsyncSaver wraps store. Callers must Wait before using the results of
@@ -29,7 +38,9 @@ func (a *AsyncSaver) Save(st *sim.StreamState) error {
 		return err
 	}
 	done := make(chan error, 1)
+	a.mu.Lock()
 	a.done = done
+	a.mu.Unlock()
 	go func() {
 		_, err := a.store.Save(st)
 		done <- err
@@ -38,12 +49,16 @@ func (a *AsyncSaver) Save(st *sim.StreamState) error {
 }
 
 // Wait blocks until the in-flight save, if any, completes, and returns its
-// error. Idempotent; safe to call with nothing in flight.
+// error. Idempotent; safe to call with nothing in flight. The channel is
+// claimed under the lock before blocking, so concurrent Waits cannot both
+// consume the same result.
 func (a *AsyncSaver) Wait() error {
-	if a.done == nil {
+	a.mu.Lock()
+	ch := a.done
+	a.done = nil
+	a.mu.Unlock()
+	if ch == nil {
 		return nil
 	}
-	err := <-a.done
-	a.done = nil
-	return err
+	return <-ch
 }

@@ -164,8 +164,10 @@ type Injector struct {
 	component string
 	rules     []Rule
 
-	mu  sync.Mutex
-	n   int64 // request index, drives rule windows
+	mu sync.Mutex
+	//icn:guardedby mu
+	n int64 // request index, drives rule windows
+	//icn:guardedby mu
 	rng *rand.Rand
 
 	counts [numKinds]obs.Counter

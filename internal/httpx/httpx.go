@@ -51,6 +51,7 @@ type Server struct {
 // timeouts applied and returns the handle for Shutdown/Close.
 func Start(lis net.Listener, h http.Handler) *Server {
 	s := &Server{srv: NewServer(h), lis: lis}
+	//icn:oneshot accept loop; Serve returns when Shutdown or Close tears down the listener
 	go func() {
 		// ErrServerClosed (and a closed-listener error during shutdown) is
 		// the normal end of serving; anything else surfaced here would race

@@ -35,7 +35,7 @@ func NewUDPTransport(addr string) (*UDPTransport, error) {
 		return nil, fmt.Errorf("adhoc: listening on %s: %w", addr, err)
 	}
 	t := &UDPTransport{conn: conn, handlers: make(map[int]func(Message))}
-	go t.receiveLoop()
+	go t.receiveLoop() //icn:oneshot receive loop; Close unblocks ReadFromUDP and ends it
 	return t, nil
 }
 

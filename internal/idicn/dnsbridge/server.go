@@ -27,7 +27,8 @@ type Server struct {
 	nx      atomic.Int64
 	refused atomic.Int64
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//icn:guardedby mu
 	closed bool
 }
 
@@ -59,7 +60,7 @@ func NewServer(addr, zone string, proxyIPs []string, ttl uint32) (*Server, error
 		ttl:    ttl,
 		proxyA: ips,
 	}
-	go s.serve()
+	go s.serve() //icn:oneshot receive loop; Close unblocks ReadFromUDP and ends it
 	return s, nil
 }
 

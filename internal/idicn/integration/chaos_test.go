@@ -19,6 +19,7 @@ import (
 	"idicn/internal/idicn/resilience"
 	"idicn/internal/idicn/resolver"
 	"idicn/internal/obs"
+	"idicn/internal/testutil/leakcheck"
 )
 
 // chaosClock is a hand-advanced clock shared by the proxy so cache-TTL
@@ -163,6 +164,7 @@ func runChaosScenario(t *testing.T, seed int64) chaosOutcome {
 // (verified) copies until resolution returns — and the injected-fault
 // counters exposed through obs must be identical for identical seeds.
 func TestChaosResolverBlackout(t *testing.T) {
+	leakcheck.Check(t)
 	out := runChaosScenario(t, 20130812)
 
 	if out.completed < out.total*99/100 {

@@ -17,6 +17,7 @@ import (
 	"idicn/internal/idicn/origin"
 	"idicn/internal/idicn/proxy"
 	"idicn/internal/idicn/resolver"
+	"idicn/internal/testutil/leakcheck"
 )
 
 func principal(t testing.TB, b byte) *names.Principal {
@@ -47,6 +48,9 @@ type deployment struct {
 
 func newDeployment(t *testing.T) *deployment {
 	t.Helper()
+	// Everything the deployment spawns must be gone once its Cleanups have
+	// torn the servers down; registered first so it checks last.
+	leakcheck.Check(t)
 	d := &deployment{registry: resolver.NewRegistry()}
 	resSrv := httptest.NewServer(resolver.NewServer(d.registry))
 	t.Cleanup(resSrv.Close)

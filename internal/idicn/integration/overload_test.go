@@ -21,6 +21,7 @@ import (
 	"idicn/internal/idicn/resolver"
 	"idicn/internal/obs"
 	"idicn/internal/overload"
+	"idicn/internal/testutil/leakcheck"
 )
 
 // TestOverloadSurge is the overload-control drill `make overload-smoke`
@@ -31,6 +32,7 @@ import (
 // afterwards a SIGTERM-style drain must finish cleanly with nothing left
 // in the queue and no goroutines pinned.
 func TestOverloadSurge(t *testing.T) {
+	leakcheck.Check(t)
 	const (
 		limit         = 4
 		queueCapacity = 8

@@ -40,12 +40,17 @@ type Host struct {
 	principal *names.Principal
 	resolver  *resolver.Client
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	//icn:guardedby mu
 	content map[string]hostObject
-	seq     map[string]uint64
-	srv     *http.Server
-	lis     net.Listener
-	moved   time.Time
+	//icn:guardedby mu
+	seq map[string]uint64
+	//icn:guardedby mu
+	srv *http.Server
+	//icn:guardedby mu
+	lis net.Listener
+	//icn:guardedby mu
+	moved time.Time
 }
 
 type hostObject struct {
@@ -81,7 +86,7 @@ func (h *Host) listen() error {
 	h.srv = srv
 	h.moved = time.Now()
 	h.mu.Unlock()
-	go srv.Serve(lis)
+	go srv.Serve(lis) //icn:oneshot accept loop; closing this generation's listener ends it
 	return nil
 }
 
@@ -204,9 +209,10 @@ type Fetcher struct {
 	// Seed drives the backoff jitter; the same seed yields the same delays.
 	Seed int64
 
+	mu sync.Mutex
 	// Resumes counts how many times transfers were resumed mid-stream.
+	//icn:guardedby mu
 	resumes int
-	mu      sync.Mutex
 }
 
 // Resumes reports how many mid-transfer resumptions occurred.

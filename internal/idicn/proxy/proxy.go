@@ -58,15 +58,18 @@ type Proxy struct {
 	resolver Resolver
 	client   *http.Client
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//icn:guardedby mu
 	cache *cache.LRU[string, *CachedObject]
 	// Degradation memory: the last successfully resolved content locations
 	// per name, and per-publisher origin base URLs derived from them. When
 	// the resolver is unreachable these let the proxy go straight to the
 	// authority implied by the self-certifying name — the content is still
 	// verified against the name, so no trust is lost.
+	//icn:guardedby mu
 	lastLocs map[string][]string
-	pubBase  map[string]string // key: P (keyhash string)
+	//icn:guardedby mu
+	pubBase map[string]string // key: P (keyhash string)
 
 	// AllowLegacy enables pass-through fetching for non-idICN hosts.
 	AllowLegacy bool
@@ -107,6 +110,7 @@ type Option func(*Proxy)
 
 // WithCacheEntries bounds the content cache (default 4096 objects).
 func WithCacheEntries(n int) Option {
+	//icnvet:ignore guardedby — options run inside New, before the Proxy is published
 	return func(p *Proxy) { p.cache = cache.NewLRU[string, *CachedObject](n, nil) }
 }
 

@@ -22,7 +22,8 @@ import (
 // an orphan nobody will read.
 
 type flightGroup struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//icn:guardedby mu
 	flights map[string]*flight
 }
 

@@ -266,11 +266,15 @@ type Breaker struct {
 	// Clock overrides time.Now, for tests.
 	Clock func() time.Time
 
-	mu       sync.Mutex
-	fails    int
+	mu sync.Mutex
+	//icn:guardedby mu
+	fails int
+	//icn:guardedby mu
 	openedAt time.Time
-	open     bool
-	probing  bool
+	//icn:guardedby mu
+	open bool
+	//icn:guardedby mu
+	probing bool
 }
 
 func (b *Breaker) now() time.Time {

@@ -85,9 +85,10 @@ type Result struct {
 // regardless of its sequence number, so a host whose clock drifted backwards
 // across an outage (and therefore reuses an old seq) can still come back.
 type Registry struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	//icn:guardedby mu
 	records map[string]storedRecord // key: flat name ("L.P" or "P")
-	ttl     time.Duration           // 0: registrations never expire
+	ttl     time.Duration           // 0: registrations never expire; set before publish
 	clock   func() time.Time
 }
 

@@ -57,9 +57,11 @@ type metric interface {
 // `name value` line per scalar and a count/sum/bucket group per histogram —
 // the expvar-style /debug/metrics surface of cmd/idicnd.
 type Registry struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//icn:guardedby mu
 	names []string // registration order
-	vars  map[string]metric
+	//icn:guardedby mu
+	vars map[string]metric
 }
 
 // NewRegistry returns an empty metric registry.

@@ -81,11 +81,15 @@ func (c BrownoutConfig) withDefaults() BrownoutConfig {
 type Brownout struct {
 	cfg BrownoutConfig
 
-	mu        sync.Mutex
-	tier      Tier
-	samples   int
+	mu sync.Mutex
+	//icn:guardedby mu
+	tier Tier
+	//icn:guardedby mu
+	samples int
+	//icn:guardedby mu
 	pressured int
-	calm      int
+	//icn:guardedby mu
+	calm int
 
 	transitions obs.Counter
 }

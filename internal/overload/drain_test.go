@@ -11,11 +11,13 @@ import (
 	"time"
 
 	"idicn/internal/httpx"
+	"idicn/internal/testutil/leakcheck"
 )
 
 // TestDrainerLifecycle: Drain flips readiness, waits for the in-flight
 // request to finish, and leaves the listener closed for new connections.
 func TestDrainerLifecycle(t *testing.T) {
+	leakcheck.Check(t)
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
@@ -91,6 +93,7 @@ func TestDrainerLifecycle(t *testing.T) {
 // TestDrainerTimeout: an in-flight request that outlives the drain bound
 // surfaces the context error instead of hanging forever.
 func TestDrainerTimeout(t *testing.T) {
+	leakcheck.Check(t)
 	release := make(chan struct{})
 	defer close(release)
 	entered := make(chan struct{})

@@ -75,13 +75,19 @@ const baselineWindows = 8
 type Limiter struct {
 	cfg LimiterConfig
 
-	mu        sync.Mutex
-	limit     float64
-	samples   int           // samples seen in the current window
+	mu sync.Mutex
+	//icn:guardedby mu
+	limit float64
+	//icn:guardedby mu
+	samples int // samples seen in the current window
+	//icn:guardedby mu
 	windowMin time.Duration // min latency in the current window
-	history   [baselineWindows]time.Duration
-	histLen   int // how many history slots are filled
-	histNext  int // ring index of the next slot to overwrite
+	//icn:guardedby mu
+	history [baselineWindows]time.Duration
+	//icn:guardedby mu
+	histLen int // how many history slots are filled
+	//icn:guardedby mu
+	histNext int // ring index of the next slot to overwrite
 }
 
 // NewLimiter builds a limiter from cfg.
@@ -114,16 +120,16 @@ func (l *Limiter) Observe(latency time.Duration) {
 	if l.samples < l.cfg.Window {
 		return
 	}
-	l.adapt(l.windowMin)
+	l.adaptLocked(l.windowMin)
 	l.samples = 0
 	l.windowMin = 0
 }
 
-// adapt closes one window: compare its latency floor against the baseline,
-// then record it into the baseline ring. Callers hold l.mu.
-func (l *Limiter) adapt(windowMin time.Duration) {
+// adaptLocked closes one window: compare its latency floor against the
+// baseline, then record it into the baseline ring. Callers hold l.mu.
+func (l *Limiter) adaptLocked(windowMin time.Duration) {
 	if !l.Fixed() {
-		if base, ok := l.baseline(); ok && float64(windowMin) > l.cfg.Tolerance*float64(base) {
+		if base, ok := l.baselineLocked(); ok && float64(windowMin) > l.cfg.Tolerance*float64(base) {
 			l.limit *= l.cfg.Backoff
 			if l.limit < float64(l.cfg.Min) {
 				l.limit = float64(l.cfg.Min)
@@ -142,8 +148,9 @@ func (l *Limiter) adapt(windowMin time.Duration) {
 	}
 }
 
-// baseline returns the moving minimum over the remembered windows.
-func (l *Limiter) baseline() (time.Duration, bool) {
+// baselineLocked returns the moving minimum over the remembered windows.
+// Callers hold l.mu.
+func (l *Limiter) baselineLocked() (time.Duration, bool) {
 	if l.histLen == 0 {
 		return 0, false
 	}

@@ -46,10 +46,13 @@ type Queue struct {
 	deadline time.Duration
 	clock    func() time.Time
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//icn:guardedby mu
 	inflight int
-	waiters  []*waiter
-	svc      time.Duration // EWMA service time, for wait prediction
+	//icn:guardedby mu
+	waiters []*waiter
+	//icn:guardedby mu
+	svc time.Duration // EWMA service time, for wait prediction
 }
 
 // NewQueue builds the admission queue (and its limiter) from cfg.

@@ -89,8 +89,9 @@ type MetricsObserver struct {
 	latency    *obs.Histogram
 	lookupHops *obs.Histogram
 
-	mu  sync.Mutex                       // guards growth of the per-PoP table
-	pop atomic.Pointer[[]*obs.Histogram] // latency histograms by arrival PoP
+	mu sync.Mutex // serializes growth of the per-PoP table
+	//icn:guardedby mu writes
+	pop atomic.Pointer[[]*obs.Histogram] // latency histograms by arrival PoP; lock-free reads
 }
 
 // latencyBounds covers the simulator's unit-cost latencies: 0..31 hops plus

@@ -1,0 +1,137 @@
+// Package leakcheck asserts that a test leaves no goroutines behind. It is
+// the dynamic complement to icnvet's golifetime pass: the analyzer proves a
+// bound is visible in the source, this package proves the bound actually
+// fired. Call Check at the top of a test; it snapshots the live goroutines
+// and registers a cleanup that re-snapshots after the test body (and its
+// defers) finish. Goroutines born during the test get a grace period to
+// wind down — Close and Shutdown are asynchronous — before any survivor
+// fails the test with its full stack.
+package leakcheck
+
+import (
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// DefaultGrace is how long Check waits for test-born goroutines to exit
+// before declaring them leaked. Teardown paths in this repo are bounded by
+// listener closes and context deadlines well under a second; anything still
+// alive after this is stuck, not slow.
+const DefaultGrace = 2 * time.Second
+
+// Check snapshots the current goroutines and registers a cleanup that fails
+// t if goroutines created during the test are still running DefaultGrace
+// after it ends. It must be called before the test spawns anything.
+func Check(t testing.TB) {
+	CheckTimeout(t, DefaultGrace)
+}
+
+// CheckTimeout is Check with an explicit grace period.
+func CheckTimeout(t testing.TB, grace time.Duration) {
+	t.Helper()
+	base := make(map[string]bool)
+	for id := range snapshot() {
+		base[id] = true
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // don't stack a leak report on top of the real failure
+		}
+		deadline := time.Now().Add(grace)
+		var leaked []string
+		for {
+			// Keepalive connections from shared clients park a readLoop
+			// goroutine per idle conn; retire them so only genuinely stuck
+			// goroutines remain.
+			http.DefaultClient.CloseIdleConnections()
+			leaked = leaked[:0]
+			for id, stack := range snapshot() {
+				if !base[id] && !benign(stack) {
+					leaked = append(leaked, stack)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		sort.Strings(leaked)
+		t.Errorf("leakcheck: %d goroutine(s) leaked by this test:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// snapshot returns every live goroutine's stack, keyed by the goroutine id
+// from its "goroutine N [state]:" header. Identity is the id, not the stack
+// text: a pre-existing goroutine that moved (a pool worker picking up new
+// work) is not a leak.
+func snapshot() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		header, _, ok := strings.Cut(g, "\n")
+		if !ok || !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		id, _, ok := strings.Cut(strings.TrimPrefix(header, "goroutine "), " ")
+		if !ok {
+			continue
+		}
+		out[id] = strings.TrimRight(g, "\n")
+	}
+	return out
+}
+
+// benign reports whether a stack belongs to infrastructure that legitimately
+// outlives an individual test: the runtime and the testing framework, this
+// package's own snapshot, and net/http transport internals whose lifetime is
+// tied to shared keepalive pools rather than to the test.
+func benign(stack string) bool {
+	for _, marker := range []string{
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.runTests",
+		"testing.tRunner",
+		"runtime.goexit0",
+		"created by runtime",
+		"leakcheck.snapshot",
+		"net/http.(*persistConn).readLoop",
+		"net/http.(*persistConn).writeLoop",
+		"net/http.(*Transport).dialConn",
+		"net/http.setRequestCancel",
+		"os/signal.signal_recv",
+		"runtime/trace.Start",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of non-benign live goroutines; exported for
+// tests of this package itself.
+func Count() int {
+	n := 0
+	for _, stack := range snapshot() {
+		if !benign(stack) {
+			n++
+		}
+	}
+	return n
+}

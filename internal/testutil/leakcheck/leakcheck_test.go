@@ -1,0 +1,58 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCleanRun: a test that joins everything it spawns passes the check.
+func TestCleanRun(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// TestSlowTeardownWithinGrace: a goroutine that exits shortly after the
+// test body — the Close/Shutdown window — is not a leak.
+func TestSlowTeardownWithinGrace(t *testing.T) {
+	Check(t)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+	}() //icn:oneshot exits within leakcheck's grace window; that is the scenario under test
+}
+
+// TestDetectsLeak: a genuinely stuck goroutine is caught. The failure is
+// observed through a sub-test runner so this test passes exactly when the
+// checker fires.
+func TestDetectsLeak(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+
+	leaked := false
+	t.Run("leaky", func(t *testing.T) {
+		// A tiny grace keeps the failing path fast.
+		probe := &probeTB{TB: t}
+		CheckTimeout(probe, 50*time.Millisecond)
+		go func() { <-block }() //icn:oneshot deliberate leak; the checker under test must report it
+		probe.onError = func() { leaked = true }
+	})
+	if !leaked {
+		t.Fatal("leakcheck did not report a deliberately leaked goroutine")
+	}
+}
+
+// probeTB intercepts Errorf so a deliberate leak does not fail the real
+// test, while Failed still reports false so the cleanup runs its check.
+type probeTB struct {
+	testing.TB
+	onError func()
+}
+
+func (p *probeTB) Errorf(string, ...any) {
+	if p.onError != nil {
+		p.onError()
+	}
+}
+
+func (p *probeTB) Failed() bool { return false }
